@@ -1,0 +1,160 @@
+//! Ablation experiments for the design choices DESIGN.md §5 calls out.
+//!
+//! * [`chain_depth_recall`] — detection recall as a function of the
+//!   candidate-set chain depth (the cost/recall trade-off behind the
+//!   paper's "at most three times" bound);
+//! * [`scanning_equivalence`] — the structured-lookup detector vs an
+//!   exhaustive Aho–Corasick substring sweep over raw capture bytes.
+
+use crate::study::StudyResults;
+use pii_core::detect::LeakDetector;
+use pii_core::scan::AhoCorasick;
+use pii_core::tokens::TokenSetBuilder;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// One depth's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DepthRecall {
+    pub depth: usize,
+    pub candidate_tokens: usize,
+    pub senders_detected: usize,
+    pub events: usize,
+    /// Fraction of the depth-2 (reference) event set recovered.
+    pub recall: f64,
+}
+
+/// Re-run detection with candidate sets of depth 1..=max_depth and report
+/// recall against the study's reference configuration.
+pub fn chain_depth_recall(r: &StudyResults, max_depth: usize) -> Vec<DepthRecall> {
+    let reference_events = r.report.events.len().max(1);
+    (1..=max_depth)
+        .map(|depth| {
+            let builder = TokenSetBuilder {
+                max_depth: depth,
+                ..Default::default()
+            };
+            let tokens = builder.build(&r.universe.persona);
+            let report = LeakDetector::new(&tokens, &r.psl, &r.universe.zones).detect(&r.dataset);
+            DepthRecall {
+                depth,
+                candidate_tokens: tokens.len(),
+                senders_detected: report.senders().len(),
+                events: report.events.len(),
+                recall: report.events.len() as f64 / reference_events as f64,
+            }
+        })
+        .collect()
+}
+
+/// Result of the scanning-strategy comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScanComparison {
+    /// Senders found by the structured (query/cookie/body decomposition)
+    /// detector.
+    pub structured_senders: usize,
+    /// Senders whose raw captured bytes contain at least one candidate
+    /// token, per the exhaustive automaton sweep.
+    pub exhaustive_senders: usize,
+    /// Senders found by exactly one of the two strategies.
+    pub disagreements: Vec<String>,
+}
+
+/// Compare the structured detector against an exhaustive substring sweep.
+///
+/// The sweep is *channel-blind*: it concatenates each request's URL,
+/// headers, and body and looks for any candidate token. It must find every
+/// structured sender (tokens on the wire are substrings of something), and
+/// the structured detector should not trail it — a gap would mean a leak
+/// channel the §4.1 decomposition misses.
+pub fn scanning_equivalence(r: &StudyResults) -> ScanComparison {
+    let structured: BTreeSet<&str> = r.report.senders().into_iter().collect();
+    // Exhaustive sweep with the same candidate set.
+    let patterns: Vec<&str> = r.tokens.iter().map(|(token, _)| token.as_str()).collect();
+    let automaton = AhoCorasick::new(&patterns);
+    let mut exhaustive: BTreeSet<&str> = BTreeSet::new();
+    for crawl in r.dataset.completed() {
+        'site: for rec in crawl.delivered() {
+            // Only third-party-addressed bytes count as a leak.
+            if r.psl.same_site(&rec.request.url.host, &crawl.domain)
+                && !rec.request.url.host.starts_with("metrics.")
+            {
+                continue;
+            }
+            let mut haystack = rec.request.url.to_string();
+            for (name, value) in rec.request.headers.iter() {
+                haystack.push('\n');
+                haystack.push_str(name);
+                haystack.push(':');
+                haystack.push_str(value);
+            }
+            if let Some(body) = rec.request.body_text() {
+                haystack.push('\n');
+                haystack.push_str(&body);
+            }
+            // Percent-decoded view too: plaintext emails hide as %40.
+            let decoded = pii_encodings::percent::decode_lossy(&haystack);
+            if automaton.is_match(haystack.as_bytes()) || automaton.is_match(&decoded) {
+                exhaustive.insert(crawl.domain.as_str());
+                break 'site;
+            }
+        }
+    }
+    let disagreements: Vec<String> = structured
+        .symmetric_difference(&exhaustive)
+        .map(|s| s.to_string())
+        .collect();
+    ScanComparison {
+        structured_senders: structured.len(),
+        exhaustive_senders: exhaustive.len(),
+        disagreements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::testutil::shared;
+
+    #[test]
+    fn depth_two_is_the_knee() {
+        let r = shared();
+        let recalls = chain_depth_recall(r, 2);
+        assert_eq!(recalls.len(), 2);
+        // Depth 1 misses the SHA256(MD5) chains but finds most senders.
+        assert!(
+            recalls[0].senders_detected >= 125,
+            "{}",
+            recalls[0].senders_detected
+        );
+        assert!(recalls[0].recall < 1.0);
+        // Depth 2 is complete on this universe.
+        assert_eq!(recalls[1].senders_detected, 130);
+        assert!((recalls[1].recall - 1.0).abs() < 1e-9);
+        // Candidate cost grows superlinearly.
+        assert!(recalls[1].candidate_tokens > recalls[0].candidate_tokens * 10);
+    }
+
+    #[test]
+    fn depth_one_misses_exactly_the_double_chains() {
+        let r = shared();
+        let recalls = chain_depth_recall(r, 1);
+        let missing = 130 - recalls[0].senders_detected;
+        // Only senders whose *every* edge uses a 2-step chain can vanish;
+        // the two SHA256(MD5) Criteo senders have other edges, so at most a
+        // couple of senders may drop.
+        assert!(missing <= 2, "depth-1 lost {missing} senders");
+    }
+
+    #[test]
+    fn exhaustive_sweep_agrees_with_structured_detector() {
+        let r = shared();
+        let cmp = scanning_equivalence(r);
+        assert_eq!(cmp.structured_senders, 130);
+        assert!(
+            cmp.disagreements.is_empty(),
+            "strategies disagree on: {:?}",
+            cmp.disagreements
+        );
+    }
+}

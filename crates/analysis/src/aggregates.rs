@@ -1,0 +1,203 @@
+//! §4.2 headline aggregates and the §4.2.3 mailbox analysis.
+
+use crate::report::{Comparison, Table};
+use crate::study::StudyResults;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The §4.2 numbers.
+pub struct Aggregates {
+    pub senders: usize,
+    pub receivers: usize,
+    pub leaking_requests: usize,
+    pub avg_receivers_per_sender: f64,
+    /// Share of senders with ≥3 receivers.
+    pub share_three_plus: f64,
+    pub max_receivers: usize,
+    pub max_receiver_site: String,
+    pub inbox: usize,
+    pub spam: usize,
+    pub third_party_mail_senders: usize,
+}
+
+pub fn compute(r: &StudyResults) -> Aggregates {
+    let mut receivers_per_sender: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &r.report.events {
+        receivers_per_sender
+            .entry(e.sender.as_str())
+            .or_default()
+            .insert(e.receiver_domain.as_str());
+    }
+    let senders = receivers_per_sender.len();
+    let total_edges: usize = receivers_per_sender.values().map(|v| v.len()).sum();
+    let three_plus = receivers_per_sender
+        .values()
+        .filter(|v| v.len() >= 3)
+        .count();
+    let (max_site, max_count) = receivers_per_sender
+        .iter()
+        .max_by_key(|(site, v)| (v.len(), std::cmp::Reverse(*site)))
+        .map(|(site, v)| (site.to_string(), v.len()))
+        .unwrap_or_default();
+    let receivers = r.report.receivers().len();
+    let third_party_domains: Vec<String> =
+        r.report.receivers().iter().map(|s| s.to_string()).collect();
+    Aggregates {
+        senders,
+        receivers,
+        leaking_requests: r.report.leaking_request_count(),
+        avg_receivers_per_sender: total_edges as f64 / senders.max(1) as f64,
+        share_three_plus: three_plus as f64 / senders.max(1) as f64,
+        max_receivers: max_count,
+        max_receiver_site: max_site,
+        inbox: r.universe.mailbox.inbox_count(),
+        spam: r.universe.mailbox.spam_count(),
+        third_party_mail_senders: r
+            .universe
+            .mailbox
+            .third_party_senders(&third_party_domains)
+            .len(),
+    }
+}
+
+pub fn render(r: &StudyResults) -> String {
+    let a = compute(r);
+    let funnel = r.dataset.funnel();
+    let mut t = Table::new(
+        "§3–§4 headline aggregates",
+        &["Metric", "Paper", "Measured"],
+    );
+    t.row(&["candidate shopping sites", "404", &funnel.total.to_string()]);
+    t.row(&[
+        "authentication flows completed",
+        "307",
+        &funnel.completed.to_string(),
+    ]);
+    t.row(&[
+        "sites requiring email confirmation",
+        "68",
+        &funnel.email_confirmed.to_string(),
+    ]);
+    t.row(&[
+        "sites with bot detection",
+        "43",
+        &funnel.bot_detection.to_string(),
+    ]);
+    t.row(&["leaking first-party senders", "130", &a.senders.to_string()]);
+    t.row(&["third-party receivers", "100", &a.receivers.to_string()]);
+    t.row(&[
+        "requests containing leaked PII",
+        "1522",
+        &a.leaking_requests.to_string(),
+    ]);
+    t.row(&[
+        "avg receivers per sender",
+        "2.97",
+        &format!("{:.2}", a.avg_receivers_per_sender),
+    ]);
+    t.row(&[
+        "senders with ≥3 receivers",
+        "46.15%",
+        &format!("{:.2}%", a.share_three_plus * 100.0),
+    ]);
+    t.row(&[
+        "max receivers (loccitane.com)",
+        "16",
+        &format!("{} ({})", a.max_receivers, a.max_receiver_site),
+    ]);
+    t.row(&["marketing mail: inbox", "2172", &a.inbox.to_string()]);
+    t.row(&["marketing mail: spam", "141", &a.spam.to_string()]);
+    t.row(&[
+        "third-party domains sending mail",
+        "0",
+        &a.third_party_mail_senders.to_string(),
+    ]);
+    t.render()
+}
+
+pub fn comparisons(r: &StudyResults) -> Vec<Comparison> {
+    let a = compute(r);
+    let funnel = r.dataset.funnel();
+    vec![
+        Comparison::counts("§3.2 / completed auth flows", 307, funnel.completed, 0),
+        Comparison::counts(
+            "§3.2 / email-confirmation sites",
+            68,
+            funnel.email_confirmed,
+            0,
+        ),
+        Comparison::counts("§3.2 / bot-detection sites", 43, funnel.bot_detection, 0),
+        Comparison::counts("§4.2 / leaking senders", 130, a.senders, 0),
+        Comparison::counts("§4.2 / third-party receivers", 100, a.receivers, 0),
+        Comparison::counts("§4.2 / leaking requests", 1522, a.leaking_requests, 160),
+        Comparison::new(
+            "§4.2 / avg receivers per sender",
+            "2.97",
+            format!("{:.2}", a.avg_receivers_per_sender),
+            (2.5..=3.4).contains(&a.avg_receivers_per_sender),
+        ),
+        Comparison::new(
+            "§4.2 / senders with ≥3 receivers",
+            "46.15%",
+            format!("{:.2}%", a.share_three_plus * 100.0),
+            (0.35..=0.60).contains(&a.share_three_plus),
+        ),
+        Comparison::counts(
+            "§4.2 / max receivers for one sender",
+            16,
+            a.max_receivers,
+            0,
+        ),
+        Comparison::new(
+            "§4.2 / max-receiver site",
+            "loccitane.com",
+            a.max_receiver_site.clone(),
+            a.max_receiver_site == "loccitane.com",
+        ),
+        Comparison::counts("§4.2.3 / inbox mail", 2172, a.inbox, 0),
+        Comparison::counts("§4.2.3 / spam mail", 141, a.spam, 0),
+        Comparison::counts(
+            "§4.2.3 / third-party mail senders",
+            0,
+            a.third_party_mail_senders,
+            0,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::testutil::shared;
+
+    #[test]
+    fn aggregates_match_paper_headlines() {
+        let r = shared();
+        let a = compute(r);
+        assert_eq!(a.senders, 130);
+        assert_eq!(a.receivers, 100);
+        assert_eq!(a.max_receivers, 16);
+        assert_eq!(a.max_receiver_site, "loccitane.com");
+        assert_eq!(a.third_party_mail_senders, 0);
+        assert!((2.5..=3.4).contains(&a.avg_receivers_per_sender));
+    }
+
+    #[test]
+    fn leak_request_volume_is_in_band() {
+        let r = shared();
+        let a = compute(r);
+        assert!(
+            (1362..=1682).contains(&a.leaking_requests),
+            "leaking requests = {} (paper 1522 ± ~10%)",
+            a.leaking_requests
+        );
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let r = shared();
+        let text = render(r);
+        assert!(text.contains("loccitane.com"));
+        assert!(text.contains("2172"));
+        assert!(text.contains("2.97"));
+    }
+}

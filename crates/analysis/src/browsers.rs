@@ -1,0 +1,193 @@
+//! §7.1 — evaluating browser countermeasures against PII leakage.
+//!
+//! "We then obtain data on the 130 first-party sites that leak PII to third
+//! parties. Finally, we apply the same method to detect PII leakage among
+//! these profiles."
+
+use crate::report::{Comparison, Table};
+use crate::study::StudyResults;
+use pii_browser::profiles::BrowserKind;
+use pii_core::detect::LeakDetector;
+use pii_crawler::{CrawlOutcome, Crawler};
+
+/// One browser's measured exposure.
+#[derive(Debug, Clone)]
+pub struct BrowserResult {
+    pub browser: BrowserKind,
+    pub senders: usize,
+    pub receivers: usize,
+    pub leaking_requests: usize,
+    /// Sites whose sign-up flow the browser itself broke.
+    pub signup_failures: Vec<String>,
+}
+
+impl BrowserResult {
+    /// Reduction relative to a baseline count.
+    pub fn reduction(&self, baseline: usize, value: usize) -> f64 {
+        if baseline == 0 {
+            return 0.0;
+        }
+        (baseline - value) as f64 * 100.0 / baseline as f64
+    }
+}
+
+/// Re-crawl the leaking senders under every browser and re-run detection.
+pub fn evaluate_all(r: &StudyResults) -> Vec<BrowserResult> {
+    let senders: Vec<String> = r.report.senders().iter().map(|s| s.to_string()).collect();
+    let crawler = Crawler::new(&r.universe);
+    BrowserKind::ALL
+        .iter()
+        .map(|&kind| {
+            let dataset = crawler.run_on(kind, Some(&senders));
+            let report = LeakDetector::new(&r.tokens, &r.psl, &r.universe.zones).detect(&dataset);
+            BrowserResult {
+                browser: kind,
+                senders: report.senders().len(),
+                receivers: report.receivers().len(),
+                leaking_requests: report.leaking_request_count(),
+                signup_failures: dataset
+                    .crawls
+                    .iter()
+                    .filter(|c| matches!(c.outcome, CrawlOutcome::SignupFailed(_)))
+                    .map(|c| c.domain.clone())
+                    .collect(),
+            }
+        })
+        .collect()
+}
+
+pub fn table(r: &StudyResults, results: &[BrowserResult]) -> Table {
+    let base_senders = r.report.senders().len();
+    let base_receivers = r.report.receivers().len();
+    let mut t = Table::new(
+        "§7.1 — browsers vs PII leakage (re-crawl of the 130 leaking sites)",
+        &[
+            "Browser",
+            "Senders",
+            "Receivers",
+            "Sender reduction",
+            "Receiver reduction",
+            "Broken sign-ups",
+        ],
+    );
+    for res in results {
+        t.row(&[
+            res.browser.name().to_string(),
+            res.senders.to_string(),
+            res.receivers.to_string(),
+            format!("{:.1}%", res.reduction(base_senders, res.senders)),
+            format!("{:.1}%", res.reduction(base_receivers, res.receivers)),
+            if res.signup_failures.is_empty() {
+                "—".to_string()
+            } else {
+                res.signup_failures.join(", ")
+            },
+        ]);
+    }
+    t
+}
+
+pub fn comparisons(r: &StudyResults, results: &[BrowserResult]) -> Vec<Comparison> {
+    let base_senders = r.report.senders().len();
+    let base_receivers = r.report.receivers().len();
+    let mut out = Vec::new();
+    for res in results {
+        match res.browser {
+            BrowserKind::Brave129 => {
+                let sender_red = res.reduction(base_senders, res.senders);
+                let receiver_red = res.reduction(base_receivers, res.receivers);
+                out.push(Comparison::new(
+                    "§7.1 / Brave sender reduction",
+                    "93.1%",
+                    format!("{sender_red:.1}%"),
+                    (90.0..=95.0).contains(&sender_red),
+                ));
+                out.push(Comparison::new(
+                    "§7.1 / Brave receiver reduction",
+                    "92.0%",
+                    format!("{receiver_red:.1}%"),
+                    (90.0..=94.0).contains(&receiver_red),
+                ));
+                out.push(Comparison::counts(
+                    "§7.1 / receivers missed by Brave",
+                    8,
+                    res.receivers,
+                    0,
+                ));
+                out.push(Comparison::new(
+                    "§7.1 / Brave broken sign-up",
+                    "nykaa.com",
+                    res.signup_failures.join(","),
+                    res.signup_failures == ["nykaa.com"],
+                ));
+            }
+            other => {
+                out.push(Comparison::counts(
+                    format!("§7.1 / {} senders (no effect expected)", other.name()),
+                    base_senders,
+                    res.senders,
+                    0,
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::testutil::shared;
+    use std::sync::OnceLock;
+
+    fn results() -> &'static Vec<BrowserResult> {
+        static R: OnceLock<Vec<BrowserResult>> = OnceLock::new();
+        R.get_or_init(|| evaluate_all(shared()))
+    }
+
+    #[test]
+    fn only_brave_reduces_leakage() {
+        let r = shared();
+        let base = r.report.senders().len();
+        for res in results() {
+            if res.browser == BrowserKind::Brave129 {
+                assert_eq!(res.senders, 9, "Brave leaves 9 senders (−93.1%)");
+                assert_eq!(res.receivers, 8, "Brave leaves the 8 missed receivers");
+            } else {
+                assert_eq!(res.senders, base, "{} must not help", res.browser.name());
+                assert_eq!(res.receivers, 100);
+            }
+        }
+    }
+
+    #[test]
+    fn brave_breaks_nykaa_signup_only() {
+        for res in results() {
+            if res.browser == BrowserKind::Brave129 {
+                assert_eq!(res.signup_failures, vec!["nykaa.com".to_string()]);
+            } else {
+                assert!(res.signup_failures.is_empty(), "{}", res.browser.name());
+            }
+        }
+    }
+
+    #[test]
+    fn comparison_rows_all_match() {
+        let r = shared();
+        for c in comparisons(r, results()) {
+            assert!(
+                c.matches,
+                "{}: paper {} vs {}",
+                c.metric, c.paper, c.measured
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_six_rows() {
+        let r = shared();
+        let t = table(r, results());
+        assert_eq!(t.rows.len(), 6);
+        assert!(t.render().contains("Brave"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Figure 2 — top-15 third-party receiver domains by number of first-party
+//! senders (facebook.com tops the chart with 60% in the paper).
+
+use crate::report::{Comparison, Table};
+use crate::study::StudyResults;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// (receiver label, distinct sender count), sorted descending.
+pub fn ranking(r: &StudyResults) -> Vec<(String, usize)> {
+    let mut senders_per_receiver: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in &r.report.events {
+        senders_per_receiver
+            .entry(e.receiver_domain.as_str())
+            .or_default()
+            .insert(e.sender.as_str());
+    }
+    let mut out: Vec<(String, usize)> = senders_per_receiver
+        .into_iter()
+        .map(|(domain, senders)| (r.receiver_label(domain), senders.len()))
+        .collect();
+    // Descending by count, then lexicographic for determinism.
+    out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// The top-15 bar chart as a table (with a text bar).
+pub fn table(r: &StudyResults) -> Table {
+    let total = r.report.senders().len().max(1);
+    let mut t = Table::new(
+        "Figure 2 — top 15 third-party receiver domains",
+        &["Receiver", "Senders", "% of senders", "bar"],
+    );
+    for (domain, count) in ranking(r).into_iter().take(15) {
+        let pct = count as f64 * 100.0 / total as f64;
+        t.row(&[
+            domain,
+            count.to_string(),
+            format!("{pct:.1}%"),
+            "#".repeat((pct / 2.0).round() as usize),
+        ]);
+    }
+    t
+}
+
+pub fn comparisons(r: &StudyResults) -> Vec<Comparison> {
+    let ranking = ranking(r);
+    let top = &ranking[0];
+    let total = r.report.senders().len().max(1);
+    let fb_pct = top.1 as f64 * 100.0 / total as f64;
+    vec![
+        Comparison::new(
+            "Figure 2 / top receiver",
+            "facebook.com",
+            top.0.clone(),
+            top.0 == "facebook.com",
+        ),
+        Comparison::new(
+            "Figure 2 / facebook share of senders",
+            "60.0%",
+            format!("{fb_pct:.1}%"),
+            (52.0..=65.0).contains(&fb_pct),
+        ),
+        Comparison::counts(
+            "Figure 2 / criteo.com senders",
+            37,
+            ranking
+                .iter()
+                .find(|(d, _)| d == "criteo.com")
+                .map(|(_, c)| *c)
+                .unwrap_or(0),
+            0,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::testutil::shared;
+
+    #[test]
+    fn facebook_tops_the_ranking() {
+        let r = shared();
+        let ranking = ranking(r);
+        assert_eq!(ranking[0].0, "facebook.com");
+        assert_eq!(ranking[0].1, 74);
+        // Strictly more than second place.
+        assert!(ranking[0].1 > ranking[1].1);
+    }
+
+    #[test]
+    fn table2_providers_rank_high() {
+        let r = shared();
+        let top15: Vec<String> = ranking(r).into_iter().take(15).map(|(d, _)| d).collect();
+        for expected in [
+            "facebook.com",
+            "criteo.com",
+            "pinterest.com",
+            "snapchat.com",
+        ] {
+            assert!(
+                top15.contains(&expected.to_string()),
+                "{expected} not in top 15"
+            );
+        }
+    }
+
+    #[test]
+    fn adobe_label_is_applied() {
+        let r = shared();
+        let ranking = ranking(r);
+        assert!(ranking.iter().any(|(d, _)| d == "adobe_cname"));
+        assert!(!ranking.iter().any(|(d, _)| d == "omtrdc.net"));
+    }
+
+    #[test]
+    fn figure_renders_with_bars() {
+        let r = shared();
+        let rendered = table(r).render();
+        assert!(rendered.contains("facebook.com"));
+        assert!(rendered.contains('#'));
+    }
+}

@@ -1,0 +1,150 @@
+//! Plain-text table rendering and paper-vs-measured comparison rows.
+
+use serde::{Deserialize, Serialize};
+
+/// One paper-vs-measured data point, for EXPERIMENTS.md.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// e.g. "Table 1a / URI senders".
+    pub metric: String,
+    /// The paper's published value, as text ("118/90.8%").
+    pub paper: String,
+    /// Our measured value.
+    pub measured: String,
+    /// Whether the reproduction considers this a match (exact or in-band).
+    pub matches: bool,
+}
+
+impl Comparison {
+    pub fn new(
+        metric: impl Into<String>,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        matches: bool,
+    ) -> Self {
+        Comparison {
+            metric: metric.into(),
+            paper: paper.into(),
+            measured: measured.into(),
+            matches,
+        }
+    }
+
+    /// Compare two integer counts with a tolerance band.
+    pub fn counts(
+        metric: impl Into<String>,
+        paper: usize,
+        measured: usize,
+        tolerance: usize,
+    ) -> Self {
+        Comparison {
+            metric: metric.into(),
+            paper: paper.to_string(),
+            measured: measured.to_string(),
+            matches: measured.abs_diff(paper) <= tolerance,
+        }
+    }
+}
+
+/// A renderable plain-text table.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Table {
+    pub title: String,
+    pub headers: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: ToString>(&mut self, cells: &[S]) -> &mut Self {
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+        self
+    }
+
+    /// Render as an aligned ASCII table.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("## {}\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            let mut s = String::from("|");
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                s.push_str(&format!(" {cell:<w$} |", w = w));
+            }
+            s.push('\n');
+            s
+        };
+        if !self.headers.is_empty() {
+            out.push_str(&line(&self.headers, &widths));
+            let mut sep = String::from("|");
+            for w in &widths {
+                sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+            }
+            sep.push('\n');
+            out.push_str(&sep);
+        }
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+}
+
+/// Format `part` of `total` as the paper's "n/x.y%" cell style.
+pub fn count_pct(part: usize, total: usize) -> String {
+    if total == 0 {
+        return format!("{part}/0.0%");
+    }
+    format!("{part}/{:.1}%", part as f64 * 100.0 / total as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["Method", "# Senders"]);
+        t.row(&["URI", "118"]);
+        t.row(&["Payload body", "43"]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("| URI          | 118       |"));
+        assert!(s.contains("| Payload body | 43        |"));
+    }
+
+    #[test]
+    fn count_pct_formats_like_the_paper() {
+        assert_eq!(count_pct(118, 130), "118/90.8%");
+        assert_eq!(count_pct(78, 100), "78/78.0%");
+        assert_eq!(count_pct(0, 0), "0/0.0%");
+    }
+
+    #[test]
+    fn comparison_tolerance() {
+        assert!(Comparison::counts("x", 118, 118, 0).matches);
+        assert!(Comparison::counts("x", 118, 120, 3).matches);
+        assert!(!Comparison::counts("x", 118, 125, 3).matches);
+    }
+}

@@ -1,0 +1,166 @@
+//! One-call orchestration of the full measurement study.
+//!
+//! ```no_run
+//! use pii_analysis::Study;
+//! let results = Study::paper().run();
+//! println!("{}", results.render_all());
+//! ```
+
+use pii_browser::profiles::BrowserKind;
+use pii_core::detect::{DetectionReport, LeakDetector};
+use pii_core::tokens::{TokenSet, TokenSetBuilder};
+use pii_core::tracking::{analyze, TrackingAnalysis};
+use pii_crawler::{CrawlDataset, Crawler};
+use pii_dns::PublicSuffixList;
+use pii_web::{Universe, UniverseSpec};
+
+/// Study configuration.
+pub struct Study {
+    pub spec: UniverseSpec,
+    pub tokens: TokenSetBuilder,
+    pub capture_browser: BrowserKind,
+}
+
+impl Study {
+    /// The paper's configuration: default universe, Firefox 88 capture.
+    pub fn paper() -> Study {
+        Study {
+            spec: UniverseSpec::default(),
+            tokens: TokenSetBuilder::default(),
+            capture_browser: BrowserKind::Firefox88Vanilla,
+        }
+    }
+
+    /// Run §3 (crawl) + §4.1 (detection) + §5.2 (tracking analysis).
+    pub fn run(self) -> StudyResults {
+        let universe = Universe::generate_with(self.spec);
+        let psl = PublicSuffixList::embedded();
+        let dataset = Crawler::new(&universe).run(self.capture_browser);
+        let tokens = self.tokens.build(&universe.persona);
+        let report = LeakDetector::new(&tokens, &psl, &universe.zones).detect(&dataset);
+        let tracking = analyze(&report);
+        StudyResults {
+            universe,
+            psl,
+            dataset,
+            tokens,
+            report,
+            tracking,
+        }
+    }
+}
+
+/// Everything downstream experiments need.
+pub struct StudyResults {
+    pub universe: Universe,
+    pub psl: PublicSuffixList,
+    pub dataset: CrawlDataset,
+    pub tokens: TokenSet,
+    pub report: DetectionReport,
+    pub tracking: TrackingAnalysis,
+}
+
+impl StudyResults {
+    /// Map a detected receiver domain to the paper's reporting label
+    /// (Table 2 calls the CNAME-cloaked Adobe endpoints `adobe_cname`).
+    pub fn receiver_label(&self, domain: &str) -> String {
+        if domain == "omtrdc.net" {
+            "adobe_cname".to_string()
+        } else {
+            domain.to_string()
+        }
+    }
+
+    /// Render every table/figure of the paper in order.
+    pub fn render_all(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&crate::aggregates::render(self));
+        out.push('\n');
+        out.push_str(
+            &crate::table1::tables(self)
+                .iter()
+                .map(|t| t.render())
+                .collect::<Vec<_>>()
+                .join("\n"),
+        );
+        out.push('\n');
+        out.push_str(&crate::figure2::table(self).render());
+        out.push('\n');
+        out.push_str(&crate::table2::table(self).render());
+        out.push('\n');
+        out.push_str(&crate::table3::table(self).render());
+        out.push('\n');
+        out
+    }
+
+    /// All paper-vs-measured comparisons from the core pipeline (tables 1–3,
+    /// figure 2, aggregates). Browser/blocklist comparisons are produced by
+    /// their own modules because they re-crawl.
+    pub fn comparisons(&self) -> Vec<crate::report::Comparison> {
+        let mut out = Vec::new();
+        out.extend(crate::aggregates::comparisons(self));
+        out.extend(crate::table1::comparisons(self));
+        out.extend(crate::figure2::comparisons(self));
+        out.extend(crate::table2::comparisons(self));
+        out.extend(crate::table3::comparisons(self));
+        out
+    }
+}
+
+/// Shared fixture for the crate's test modules: the full study is
+/// expensive, so run it once per test binary.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use std::sync::OnceLock;
+
+    pub(crate) fn shared() -> &'static StudyResults {
+        static RESULTS: OnceLock<StudyResults> = OnceLock::new();
+        RESULTS.get_or_init(|| Study::paper().run())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::shared;
+
+    #[test]
+    fn full_pipeline_headlines() {
+        let r = shared();
+        assert_eq!(r.report.senders().len(), 130);
+        assert_eq!(r.report.receivers().len(), 100);
+        assert_eq!(r.tracking.confirmed().len(), 20);
+    }
+
+    #[test]
+    fn render_all_produces_every_section() {
+        let r = shared();
+        let text = r.render_all();
+        for needle in [
+            "Table 1a",
+            "Table 1b",
+            "Table 1c",
+            "Figure 2",
+            "Table 2",
+            "Table 3",
+            "facebook.com",
+            "adobe_cname",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn comparisons_mostly_match() {
+        let r = shared();
+        let comparisons = r.comparisons();
+        assert!(comparisons.len() >= 30, "expected a rich comparison set");
+        let matching = comparisons.iter().filter(|c| c.matches).count();
+        let ratio = matching as f64 / comparisons.len() as f64;
+        assert!(
+            ratio >= 0.8,
+            "only {matching}/{} comparisons match the paper",
+            comparisons.len()
+        );
+    }
+}

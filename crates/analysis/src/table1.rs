@@ -1,0 +1,409 @@
+//! Table 1 — breakdown of PII leakage to third parties, by method (1a),
+//! encoding/hashing (1b), and PII type (1c).
+//!
+//! Row semantics follow the paper's overlapping-count convention (see
+//! DESIGN.md): a sender/receiver appears in a row when it has at least one
+//! leak with that attribute; "Combined" counts senders/receivers exhibiting
+//! more than one attribute.
+
+use crate::report::{count_pct, Comparison, Table};
+use crate::study::StudyResults;
+use pii_core::detect::LeakEvent;
+use pii_web::persona::PiiKind;
+use pii_web::site::LeakMethod;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Count distinct senders/receivers per attribute of an event.
+fn breakdown<K: Ord + Clone>(
+    events: &[LeakEvent],
+    key: impl Fn(&LeakEvent) -> K,
+) -> (
+    BTreeMap<K, BTreeSet<&str>>,
+    BTreeMap<K, BTreeSet<&str>>,
+    usize,
+    usize,
+) {
+    let mut senders: BTreeMap<K, BTreeSet<&str>> = BTreeMap::new();
+    let mut receivers: BTreeMap<K, BTreeSet<&str>> = BTreeMap::new();
+    let mut sender_attrs: BTreeMap<&str, BTreeSet<K>> = BTreeMap::new();
+    let mut receiver_attrs: BTreeMap<&str, BTreeSet<K>> = BTreeMap::new();
+    for e in events {
+        let k = key(e);
+        senders.entry(k.clone()).or_default().insert(&e.sender);
+        receivers
+            .entry(k.clone())
+            .or_default()
+            .insert(&e.receiver_domain);
+        sender_attrs.entry(&e.sender).or_default().insert(k.clone());
+        receiver_attrs
+            .entry(&e.receiver_domain)
+            .or_default()
+            .insert(k);
+    }
+    let combined_senders = sender_attrs.values().filter(|s| s.len() > 1).count();
+    let combined_receivers = receiver_attrs.values().filter(|s| s.len() > 1).count();
+    (senders, receivers, combined_senders, combined_receivers)
+}
+
+/// Computed Table 1a counts.
+pub struct Table1a {
+    pub senders: BTreeMap<LeakMethod, usize>,
+    pub receivers: BTreeMap<LeakMethod, usize>,
+    pub combined_senders: usize,
+    pub combined_receivers: usize,
+}
+
+pub fn table1a(r: &StudyResults) -> Table1a {
+    let (s, rx, cs, cr) = breakdown(&r.report.events, |e| e.method);
+    Table1a {
+        senders: s.into_iter().map(|(k, v)| (k, v.len())).collect(),
+        receivers: rx.into_iter().map(|(k, v)| (k, v.len())).collect(),
+        combined_senders: cs,
+        combined_receivers: cr,
+    }
+}
+
+/// Computed Table 1b counts (keyed by encoding bucket).
+pub struct Table1b {
+    pub senders: BTreeMap<String, usize>,
+    pub receivers: BTreeMap<String, usize>,
+    pub combined_senders: usize,
+    pub combined_receivers: usize,
+}
+
+pub fn table1b(r: &StudyResults) -> Table1b {
+    let (s, rx, cs, cr) = breakdown(&r.report.events, |e| e.bucket.clone());
+    Table1b {
+        senders: s.into_iter().map(|(k, v)| (k, v.len())).collect(),
+        receivers: rx.into_iter().map(|(k, v)| (k, v.len())).collect(),
+        combined_senders: cs,
+        combined_receivers: cr,
+    }
+}
+
+/// Computed Table 1c counts: per-sender PII *combinations* (the paper's
+/// rows are combinations like "Email,name").
+pub struct Table1c {
+    pub senders: BTreeMap<String, usize>,
+    pub receivers: BTreeMap<String, usize>,
+}
+
+/// Combination label per (sender, receiver) pair.
+fn pii_combo(kinds: &BTreeSet<PiiKind>) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    if kinds.contains(&PiiKind::Email) {
+        parts.push("email");
+    }
+    if kinds.contains(&PiiKind::Username) {
+        parts.push("username");
+    }
+    if kinds.contains(&PiiKind::Name) {
+        parts.push("name");
+    }
+    for other in [
+        PiiKind::Phone,
+        PiiKind::DateOfBirth,
+        PiiKind::Gender,
+        PiiKind::JobTitle,
+        PiiKind::Address,
+    ] {
+        if kinds.contains(&other) {
+            parts.push(other.name());
+        }
+    }
+    parts.join(",")
+}
+
+pub fn table1c(r: &StudyResults) -> Table1c {
+    // Collect PII kinds per (sender, receiver) edge.
+    let mut per_edge: BTreeMap<(&str, &str), BTreeSet<PiiKind>> = BTreeMap::new();
+    for e in &r.report.events {
+        per_edge
+            .entry((e.sender.as_str(), e.receiver_domain.as_str()))
+            .or_default()
+            .insert(e.pii);
+    }
+    let mut senders: BTreeMap<String, BTreeSet<&str>> = BTreeMap::new();
+    let mut receivers: BTreeMap<String, BTreeSet<&str>> = BTreeMap::new();
+    for ((sender, receiver), kinds) in &per_edge {
+        let combo = pii_combo(kinds);
+        senders.entry(combo.clone()).or_default().insert(sender);
+        receivers.entry(combo).or_default().insert(receiver);
+    }
+    Table1c {
+        senders: senders.into_iter().map(|(k, v)| (k, v.len())).collect(),
+        receivers: receivers.into_iter().map(|(k, v)| (k, v.len())).collect(),
+    }
+}
+
+/// Render all three sub-tables.
+pub fn tables(r: &StudyResults) -> Vec<Table> {
+    let total_s = r.report.senders().len();
+    let total_r = r.report.receivers().len();
+    let a = table1a(r);
+    let mut ta = Table::new(
+        "Table 1a — PII leakage by method",
+        &["Method", "# of Senders", "# of Receivers"],
+    );
+    for (method, label) in [
+        (LeakMethod::Referer, "Referer header"),
+        (LeakMethod::Uri, "URI"),
+        (LeakMethod::Payload, "Payload body"),
+        (LeakMethod::Cookie, "Cookie"),
+    ] {
+        ta.row(&[
+            label.to_string(),
+            count_pct(a.senders.get(&method).copied().unwrap_or(0), total_s),
+            count_pct(a.receivers.get(&method).copied().unwrap_or(0), total_r),
+        ]);
+    }
+    ta.row(&[
+        "Combined".to_string(),
+        count_pct(a.combined_senders, total_s),
+        count_pct(a.combined_receivers, total_r),
+    ]);
+
+    let b = table1b(r);
+    let mut tb = Table::new(
+        "Table 1b — PII leakage by encoding/hashing",
+        &["Encoding/hashing", "# of Senders", "# of Receivers"],
+    );
+    for (bucket, label) in [
+        ("plaintext", "Plaintext"),
+        ("base64", "BASE64"),
+        ("md5", "MD5"),
+        ("sha1", "SHA1"),
+        ("sha256", "SHA256"),
+        ("sha256_of_md5", "SHA256 of MD5"),
+        ("other", "Other forms"),
+    ] {
+        tb.row(&[
+            label.to_string(),
+            count_pct(b.senders.get(bucket).copied().unwrap_or(0), total_s),
+            count_pct(b.receivers.get(bucket).copied().unwrap_or(0), total_r),
+        ]);
+    }
+    tb.row(&[
+        "Combined".to_string(),
+        count_pct(b.combined_senders, total_s),
+        count_pct(b.combined_receivers, total_r),
+    ]);
+
+    let c = table1c(r);
+    let mut tc = Table::new(
+        "Table 1c — PII leakage by PII type",
+        &["PII type", "# of Senders", "# of Receivers"],
+    );
+    for (combo, label) in [
+        ("email", "Email"),
+        ("username", "Username"),
+        ("email,username", "Email,username"),
+        ("email,name", "Email,name"),
+    ] {
+        tc.row(&[
+            label.to_string(),
+            count_pct(c.senders.get(combo).copied().unwrap_or(0), total_s),
+            count_pct(c.receivers.get(combo).copied().unwrap_or(0), total_r),
+        ]);
+    }
+    vec![ta, tb, tc]
+}
+
+/// Paper-vs-measured rows.
+pub fn comparisons(r: &StudyResults) -> Vec<Comparison> {
+    let a = table1a(r);
+    let b = table1b(r);
+    let c = table1c(r);
+    let mut out = Vec::new();
+    let s = |m: LeakMethod| a.senders.get(&m).copied().unwrap_or(0);
+    let rx = |m: LeakMethod| a.receivers.get(&m).copied().unwrap_or(0);
+    out.push(Comparison::counts(
+        "Table 1a / Referer senders",
+        3,
+        s(LeakMethod::Referer),
+        0,
+    ));
+    out.push(Comparison::counts(
+        "Table 1a / URI senders",
+        118,
+        s(LeakMethod::Uri),
+        6,
+    ));
+    out.push(Comparison::counts(
+        "Table 1a / Payload senders",
+        43,
+        s(LeakMethod::Payload),
+        4,
+    ));
+    out.push(Comparison::counts(
+        "Table 1a / Cookie senders",
+        5,
+        s(LeakMethod::Cookie),
+        0,
+    ));
+    out.push(Comparison::counts(
+        "Table 1a / Combined senders",
+        27,
+        a.combined_senders,
+        12,
+    ));
+    out.push(Comparison::counts(
+        "Table 1a / Referer receivers",
+        7,
+        rx(LeakMethod::Referer),
+        0,
+    ));
+    out.push(Comparison::counts(
+        "Table 1a / URI receivers",
+        78,
+        rx(LeakMethod::Uri),
+        5,
+    ));
+    out.push(Comparison::counts(
+        "Table 1a / Payload receivers",
+        17,
+        rx(LeakMethod::Payload),
+        0,
+    ));
+    out.push(Comparison::counts(
+        "Table 1a / Cookie receivers",
+        1,
+        rx(LeakMethod::Cookie),
+        0,
+    ));
+    out.push(Comparison::counts(
+        "Table 1a / Combined receivers",
+        8,
+        a.combined_receivers,
+        4,
+    ));
+    let sb = |k: &str| b.senders.get(k).copied().unwrap_or(0);
+    let rb = |k: &str| b.receivers.get(k).copied().unwrap_or(0);
+    out.push(Comparison::counts(
+        "Table 1b / Plaintext senders",
+        42,
+        sb("plaintext"),
+        35,
+    ));
+    out.push(Comparison::counts(
+        "Table 1b / BASE64 senders",
+        19,
+        sb("base64"),
+        5,
+    ));
+    out.push(Comparison::counts(
+        "Table 1b / MD5 senders",
+        35,
+        sb("md5"),
+        6,
+    ));
+    out.push(Comparison::counts(
+        "Table 1b / SHA1 senders",
+        9,
+        sb("sha1"),
+        3,
+    ));
+    out.push(Comparison::counts(
+        "Table 1b / SHA256 senders",
+        91,
+        sb("sha256"),
+        10,
+    ));
+    out.push(Comparison::counts(
+        "Table 1b / SHA256-of-MD5 senders",
+        2,
+        sb("sha256_of_md5"),
+        0,
+    ));
+    out.push(Comparison::counts(
+        "Table 1b / Combined senders",
+        21,
+        b.combined_senders,
+        25,
+    ));
+    out.push(Comparison::counts(
+        "Table 1b / Plaintext receivers",
+        56,
+        rb("plaintext"),
+        50,
+    ));
+    out.push(Comparison::counts(
+        "Table 1b / SHA256 receivers",
+        30,
+        rb("sha256"),
+        35,
+    ));
+    let sc = |k: &str| c.senders.get(k).copied().unwrap_or(0);
+    out.push(Comparison::counts(
+        "Table 1c / Email senders",
+        116,
+        sc("email"),
+        12,
+    ));
+    out.push(Comparison::counts(
+        "Table 1c / Username senders",
+        1,
+        sc("username"),
+        0,
+    ));
+    out.push(Comparison::counts(
+        "Table 1c / Email+username senders",
+        3,
+        sc("email,username"),
+        1,
+    ));
+    out.push(Comparison::counts(
+        "Table 1c / Email+name senders",
+        29,
+        sc("email,name"),
+        20,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::testutil::shared;
+
+    #[test]
+    fn table1a_matches_constructed_ground_truth() {
+        let r = shared();
+        let a = table1a(r);
+        assert_eq!(a.senders[&LeakMethod::Referer], 3);
+        assert_eq!(a.senders[&LeakMethod::Cookie], 5);
+        assert_eq!(a.receivers[&LeakMethod::Cookie], 1);
+        assert_eq!(a.receivers[&LeakMethod::Referer], 7);
+        let uri = a.senders[&LeakMethod::Uri];
+        assert!((112..=124).contains(&uri), "URI senders {uri}");
+    }
+
+    #[test]
+    fn table1b_has_the_paper_rows() {
+        let r = shared();
+        let b = table1b(r);
+        assert_eq!(
+            b.senders["sha256_of_md5"], 2,
+            "the two Criteo SHA256(MD5) sites"
+        );
+        assert!(b.senders["sha256"] >= 70);
+        assert!(b.senders["md5"] >= 25);
+    }
+
+    #[test]
+    fn table1c_email_dominates() {
+        let r = shared();
+        let c = table1c(r);
+        assert!(c.senders["email"] >= 100);
+        assert!(c.receivers["email"] >= 85);
+    }
+
+    #[test]
+    fn tables_render() {
+        let r = shared();
+        let rendered: Vec<String> = tables(r).iter().map(|t| t.render()).collect();
+        assert!(rendered[0].contains("Referer header"));
+        assert!(rendered[1].contains("SHA256 of MD5"));
+        assert!(rendered[2].contains("Email,name"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Table 2 — the confirmed persistent-tracking providers: receiver, sender
+//! count, method(s), encoding form(s), and trackid parameter(s).
+
+use crate::report::{Comparison, Table};
+use crate::study::StudyResults;
+use pii_core::tracking::TrackingProvider;
+use pii_web::site::LeakMethod;
+
+fn method_label(methods: &std::collections::BTreeSet<LeakMethod>) -> String {
+    let mut parts = Vec::new();
+    for (m, label) in [
+        (LeakMethod::Uri, "URI"),
+        (LeakMethod::Payload, "Payload"),
+        (LeakMethod::Cookie, "Cookie"),
+        (LeakMethod::Referer, "Referer"),
+    ] {
+        if methods.contains(&m) {
+            parts.push(label);
+        }
+    }
+    parts.join("/")
+}
+
+/// Confirmed providers sorted by sender count (paper order).
+pub fn providers(r: &StudyResults) -> Vec<&TrackingProvider> {
+    let mut out = r.tracking.confirmed();
+    out.sort_by(|a, b| {
+        b.sender_count()
+            .cmp(&a.sender_count())
+            .then(a.receiver_domain.cmp(&b.receiver_domain))
+    });
+    out
+}
+
+pub fn table(r: &StudyResults) -> Table {
+    let mut t = Table::new(
+        "Table 2 — persistent tracking based on PII leakage",
+        &[
+            "#",
+            "Receiver",
+            "# of Senders",
+            "Method",
+            "Encoding form",
+            "trackid parameter",
+        ],
+    );
+    for (i, p) in providers(r).iter().enumerate() {
+        t.row(&[
+            (i + 1).to_string(),
+            r.receiver_label(&p.receiver_domain),
+            p.sender_count().to_string(),
+            method_label(&p.methods),
+            p.encodings.iter().cloned().collect::<Vec<_>>().join("/"),
+            p.params.iter().cloned().collect::<Vec<_>>().join("/"),
+        ]);
+    }
+    t
+}
+
+pub fn comparisons(r: &StudyResults) -> Vec<Comparison> {
+    let providers = providers(r);
+    let count = |domain: &str| {
+        providers
+            .iter()
+            .find(|p| p.receiver_domain == domain)
+            .map(|p| p.sender_count())
+            .unwrap_or(0)
+    };
+    let mut out = vec![
+        Comparison::counts("Table 2 / confirmed providers", 20, providers.len(), 0),
+        Comparison::counts("Table 2 / facebook senders", 74, count("facebook.com"), 0),
+        Comparison::counts("Table 2 / criteo senders", 37, count("criteo.com"), 0),
+        Comparison::counts("Table 2 / pinterest senders", 33, count("pinterest.com"), 0),
+        Comparison::counts("Table 2 / snapchat senders", 20, count("snapchat.com"), 0),
+        Comparison::counts("Table 2 / cquotient senders", 7, count("cquotient.com"), 0),
+        Comparison::counts("Table 2 / bluecore senders", 5, count("bluecore.com"), 0),
+        Comparison::counts("Table 2 / zendesk senders", 2, count("zendesk.com"), 0),
+    ];
+    // §5.2 strata.
+    out.push(Comparison::counts(
+        "§5.2 / cross-site candidates",
+        34,
+        r.tracking.candidates.len(),
+        0,
+    ));
+    out.push(Comparison::counts(
+        "§5.2 / single-appearance receivers",
+        58,
+        r.tracking.single_appearance.len(),
+        0,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::testutil::shared;
+
+    #[test]
+    fn table_has_twenty_rows_in_sender_order() {
+        let r = shared();
+        let t = table(r);
+        assert_eq!(t.rows.len(), 20);
+        assert_eq!(t.rows[0][1], "facebook.com");
+        assert_eq!(t.rows[1][1], "criteo.com");
+        // Counts are non-increasing.
+        let counts: Vec<usize> = t.rows.iter().map(|row| row[2].parse().unwrap()).collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn adobe_row_shows_both_methods() {
+        let r = shared();
+        let t = table(r);
+        let adobe = t.rows.iter().find(|row| row[1] == "adobe_cname").unwrap();
+        assert!(
+            adobe[3].contains("URI") && adobe[3].contains("Cookie"),
+            "{:?}",
+            adobe
+        );
+        assert!(adobe[5].contains("vid") && adobe[5].contains("v_user"));
+    }
+
+    #[test]
+    fn all_comparisons_match() {
+        let r = shared();
+        for c in comparisons(r) {
+            assert!(
+                c.matches,
+                "{}: paper {} vs measured {}",
+                c.metric, c.paper, c.measured
+            );
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Table 3 — privacy-policy disclosure of the 130 leaking first parties.
+//!
+//! A keyword classifier over the sites' policy documents assigns each of
+//! the four disclosure classes; the generated corpus comes from
+//! `pii-web::universe::render_policy`, so this is a real (if small) text
+//! classification pipeline, not a lookup of the ground-truth enum.
+
+use crate::report::{count_pct, Comparison, Table};
+use crate::study::StudyResults;
+use pii_web::site::PolicyDisclosure;
+use std::collections::BTreeMap;
+
+/// Classify one policy document.
+pub fn classify(text: &str) -> PolicyDisclosure {
+    let lower = text.to_ascii_lowercase();
+    let mentions_sharing = ["share", "disclose", "provide to", "transfer"]
+        .iter()
+        .any(|kw| lower.contains(kw));
+    let denies = [
+        "do not share",
+        "never share",
+        "do not sell",
+        "not share, sell or rent",
+    ]
+    .iter()
+    .any(|kw| lower.contains(kw));
+    if denies {
+        return PolicyDisclosure::DeniesSharing;
+    }
+    if !mentions_sharing {
+        return PolicyDisclosure::NoDescription;
+    }
+    // Specific = names actual third parties / provides a partner list.
+    let specific = [
+        "following third parties",
+        "list of partners",
+        "facebook (",
+        "criteo (",
+    ]
+    .iter()
+    .any(|kw| lower.contains(kw));
+    if specific {
+        PolicyDisclosure::SharingSpecific
+    } else {
+        PolicyDisclosure::SharingNotSpecific
+    }
+}
+
+/// Classified counts over the detected senders' policies.
+pub fn counts(r: &StudyResults) -> BTreeMap<&'static str, usize> {
+    let senders: std::collections::HashSet<&str> = r.report.senders().into_iter().collect();
+    let mut out: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for site in r.universe.crawlable_sites() {
+        if !senders.contains(site.domain.as_str()) {
+            continue;
+        }
+        let class = classify(&site.policy_text);
+        let label = match class {
+            PolicyDisclosure::SharingNotSpecific => "not_specific",
+            PolicyDisclosure::SharingSpecific => "specific",
+            PolicyDisclosure::NoDescription => "no_description",
+            PolicyDisclosure::DeniesSharing => "denies",
+        };
+        *out.entry(label).or_default() += 1;
+    }
+    out
+}
+
+pub fn table(r: &StudyResults) -> Table {
+    let counts = counts(r);
+    let total: usize = counts.values().sum();
+    let get = |k: &str| counts.get(k).copied().unwrap_or(0);
+    let mut t = Table::new(
+        "Table 3 — privacy policy disclosures of leaking first parties",
+        &["Disclosure", "Number/percentage"],
+    );
+    t.row(&[
+        "Disclose PII sharing — Not specific".to_string(),
+        count_pct(get("not_specific"), total),
+    ]);
+    t.row(&[
+        "Disclose PII sharing — Specific".to_string(),
+        count_pct(get("specific"), total),
+    ]);
+    t.row(&[
+        "No description of PII sharing".to_string(),
+        count_pct(get("no_description"), total),
+    ]);
+    t.row(&[
+        "Explicitly disclose PII NOT shared".to_string(),
+        count_pct(get("denies"), total),
+    ]);
+    t.row(&["Total".to_string(), count_pct(total, total)]);
+    t
+}
+
+pub fn comparisons(r: &StudyResults) -> Vec<Comparison> {
+    let counts = counts(r);
+    let get = |k: &str| counts.get(k).copied().unwrap_or(0);
+    vec![
+        Comparison::counts("Table 3 / not specific", 102, get("not_specific"), 0),
+        Comparison::counts("Table 3 / specific", 9, get("specific"), 0),
+        Comparison::counts("Table 3 / no description", 15, get("no_description"), 0),
+        Comparison::counts("Table 3 / denies sharing", 4, get("denies"), 0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::testutil::shared;
+
+    #[test]
+    fn classifier_handles_each_class() {
+        assert_eq!(
+            classify("We may share your personal information with partners."),
+            PolicyDisclosure::SharingNotSpecific
+        );
+        assert_eq!(
+            classify("We share data with the following third parties: Facebook (ads)."),
+            PolicyDisclosure::SharingSpecific
+        );
+        assert_eq!(
+            classify("We use cookies to remember your cart."),
+            PolicyDisclosure::NoDescription
+        );
+        assert_eq!(
+            classify("We do not share, sell or rent your personal information."),
+            PolicyDisclosure::DeniesSharing
+        );
+    }
+
+    #[test]
+    fn measured_counts_match_table_3_exactly() {
+        let r = shared();
+        let counts = counts(r);
+        assert_eq!(counts["not_specific"], 102);
+        assert_eq!(counts["specific"], 9);
+        assert_eq!(counts["no_description"], 15);
+        assert_eq!(counts["denies"], 4);
+    }
+
+    #[test]
+    fn classifier_agrees_with_ground_truth_everywhere() {
+        let r = shared();
+        for site in r.universe.crawlable_sites() {
+            assert_eq!(
+                classify(&site.policy_text),
+                site.policy,
+                "misclassified {}",
+                site.domain
+            );
+        }
+    }
+
+    #[test]
+    fn table_renders_total_row() {
+        let r = shared();
+        let rendered = table(r).render();
+        assert!(rendered.contains("130/100.0%"));
+    }
+}

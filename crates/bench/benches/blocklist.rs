@@ -1,0 +1,66 @@
+//! Ablation: domain-indexed filter matching vs adblockparser-style linear
+//! scan, over the leak-request URLs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pii_bench::study;
+use pii_blocklist::{lists, RequestInfo};
+use pii_net::http::ResourceKind;
+
+fn bench_blocklist(c: &mut Criterion) {
+    let r = study();
+    let set = lists::combined();
+    // Sample of third-party request facts from the capture.
+    let mut samples: Vec<(String, String, String)> = Vec::new();
+    for crawl in r.dataset.completed().take(40) {
+        for rec in crawl.delivered() {
+            let host = rec.request.url.host.clone();
+            if !r.psl.same_site(&host, &crawl.domain) {
+                samples.push((rec.request.url.to_string(), host, crawl.domain.clone()));
+            }
+        }
+    }
+    eprintln!(
+        "[blocklist] {} rules, {} sample requests",
+        set.len(),
+        samples.len()
+    );
+    let mut group = c.benchmark_group("filter_matching");
+    group.bench_function("indexed", |b| {
+        b.iter(|| {
+            samples
+                .iter()
+                .filter(|(url, host, top)| {
+                    set.matches(&RequestInfo {
+                        url,
+                        host,
+                        top_level_host: top,
+                        is_third_party: true,
+                        kind: ResourceKind::Image,
+                    })
+                    .is_blocked()
+                })
+                .count()
+        });
+    });
+    group.bench_function("linear", |b| {
+        b.iter(|| {
+            samples
+                .iter()
+                .filter(|(url, host, top)| {
+                    set.matches_naive(&RequestInfo {
+                        url,
+                        host,
+                        top_level_host: top,
+                        is_third_party: true,
+                        kind: ResourceKind::Image,
+                    })
+                    .is_blocked()
+                })
+                .count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocklist);
+criterion_main!(benches);

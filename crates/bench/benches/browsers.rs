@@ -1,0 +1,32 @@
+//! E11 — regenerate the §7.1 browser-countermeasure comparison and measure
+//! one browser re-crawl + detection.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pii_analysis::browsers;
+use pii_bench::study;
+use pii_browser::profiles::BrowserKind;
+use pii_core::detect::LeakDetector;
+use pii_crawler::Crawler;
+
+fn bench_browsers(c: &mut Criterion) {
+    let r = study();
+    let results = browsers::evaluate_all(r);
+    eprintln!("{}", browsers::table(r, &results).render());
+    let senders: Vec<String> = r.report.senders().iter().map(|s| s.to_string()).collect();
+    let mut group = c.benchmark_group("browsers");
+    group.sample_size(10);
+    group.bench_function("brave_recrawl_and_detect", |b| {
+        let crawler = Crawler::new(&r.universe);
+        b.iter(|| {
+            let ds = crawler.run_on(BrowserKind::Brave129, Some(&senders));
+            LeakDetector::new(&r.tokens, &r.psl, &r.universe.zones)
+                .detect(&ds)
+                .events
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_browsers);
+criterion_main!(benches);

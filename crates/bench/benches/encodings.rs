@@ -1,0 +1,66 @@
+//! Micro-benchmarks for the codec suite: compression block-type decision,
+//! base-N throughput, and the HTML/DOM substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pii_encodings::{deflate, EncodingKind};
+
+fn bench_codecs(c: &mut Criterion) {
+    // A realistic document: the rendered account page of a leaking site.
+    let universe = pii_web::Universe::generate();
+    let site = universe.sender_sites().next().unwrap();
+    let html = pii_web::html::render_page(site, "/account", Some(&universe.persona));
+    let html_bytes = html.as_bytes();
+
+    let mut group = c.benchmark_group("compressors");
+    group.throughput(Throughput::Bytes(html_bytes.len() as u64));
+    for kind in EncodingKind::COMPRESSION {
+        group.bench_with_input(
+            BenchmarkId::new("compress_html", kind.name()),
+            html_bytes,
+            |b, data| b.iter(|| kind.encode(data).len()),
+        );
+    }
+    let compressed = deflate::compress(html_bytes);
+    eprintln!(
+        "[encodings] deflate: {} -> {} bytes ({:.1}%)",
+        html_bytes.len(),
+        compressed.len(),
+        compressed.len() as f64 * 100.0 / html_bytes.len() as f64
+    );
+    group.bench_function("deflate_decompress_html", |b| {
+        b.iter(|| deflate::decompress(&compressed).unwrap().len())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("base_codecs");
+    let payload = vec![0xa7u8; 4096];
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    for kind in [
+        EncodingKind::Base16,
+        EncodingKind::Base32,
+        EncodingKind::Base58,
+        EncodingKind::Base64,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("encode_4k", kind.name()),
+            &payload,
+            |b, data| b.iter(|| kind.encode(data).len()),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dom");
+    group.throughput(Throughput::Bytes(html_bytes.len() as u64));
+    group.bench_function("parse_account_page", |b| {
+        b.iter(|| pii_browser::dom::parse(&html).len())
+    });
+    let base = pii_net::Url::parse(&format!("https://{}/account", site.domain)).unwrap();
+    let elements = pii_browser::dom::parse(&html);
+    group.bench_function("discover_resources", |b| {
+        b.iter(|| pii_browser::dom::discover(&base, &elements).resources.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

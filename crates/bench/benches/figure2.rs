@@ -1,0 +1,14 @@
+//! E5 — regenerate Figure 2 (top-15 receivers) and measure the ranking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pii_analysis::figure2;
+use pii_bench::study;
+
+fn bench_figure2(c: &mut Criterion) {
+    let r = study();
+    eprintln!("{}", figure2::table(r).render());
+    c.bench_function("figure2_ranking", |b| b.iter(|| figure2::ranking(r).len()));
+}
+
+criterion_group!(benches, bench_figure2);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Micro-benchmarks: digest throughput for every supported hash.
+//!
+//! The candidate-set build (§3.1) is dominated by these primitives, so the
+//! per-algorithm cost explains the `tokens` bench's depth scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pii_hashes::{digest, HashAlgorithm};
+
+fn bench_hashes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_digest");
+    // The realistic input: a short PII string.
+    let email = b"foo@mydom.com";
+    for alg in HashAlgorithm::ALL {
+        group.throughput(Throughput::Bytes(email.len() as u64));
+        group.bench_with_input(BenchmarkId::new("email", alg.name()), email, |b, data| {
+            b.iter(|| digest(alg, data));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hash_digest_4k");
+    let block = vec![0xabu8; 4096];
+    for alg in [
+        HashAlgorithm::Md5,
+        HashAlgorithm::Sha1,
+        HashAlgorithm::Sha256,
+        HashAlgorithm::Sha512,
+        HashAlgorithm::Sha3_256,
+        HashAlgorithm::Blake2b,
+        HashAlgorithm::Whirlpool,
+        HashAlgorithm::Crc32,
+    ] {
+        group.throughput(Throughput::Bytes(block.len() as u64));
+        group.bench_with_input(BenchmarkId::new("4k", alg.name()), &block, |b, data| {
+            b.iter(|| digest(alg, data));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hashes);
+criterion_main!(benches);

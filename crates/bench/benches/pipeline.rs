@@ -1,0 +1,54 @@
+//! E1/E8 — the §3.2 crawl funnel and §4.1 detection pass, end to end.
+//!
+//! Prints the funnel (404 → 307) and headline aggregates once, then
+//! measures universe generation, the full crawl, and the detection pass
+//! separately.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pii_bench::study;
+use pii_browser::profiles::BrowserKind;
+use pii_core::detect::LeakDetector;
+use pii_core::tokens::TokenSetBuilder;
+use pii_crawler::Crawler;
+use pii_web::Universe;
+
+fn bench_pipeline(c: &mut Criterion) {
+    // Print E1 artifacts once.
+    let r = study();
+    let funnel = r.dataset.funnel();
+    eprintln!(
+        "[E1 funnel] total {} | unreachable {} | no-auth {} | blocked {} | completed {} \
+         (email-confirm {}, bot-detection {})",
+        funnel.total,
+        funnel.unreachable,
+        funnel.no_auth_flow,
+        funnel.signup_blocked,
+        funnel.completed,
+        funnel.email_confirmed,
+        funnel.bot_detection
+    );
+    eprintln!("{}", pii_analysis::aggregates::render(r));
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("universe_generate", |b| {
+        b.iter(Universe::generate);
+    });
+    let universe = Universe::generate();
+    group.bench_function("crawl_404_sites", |b| {
+        let crawler = Crawler::new(&universe);
+        b.iter(|| crawler.run(BrowserKind::Firefox88Vanilla));
+    });
+    let crawler = Crawler::new(&universe);
+    let dataset = crawler.run(BrowserKind::Firefox88Vanilla);
+    let tokens = TokenSetBuilder::default().build(&universe.persona);
+    let psl = pii_dns::PublicSuffixList::embedded();
+    group.bench_function("detect_full_dataset", |b| {
+        let detector = LeakDetector::new(&tokens, &psl, &universe.zones);
+        b.iter(|| detector.detect(&dataset).events.len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

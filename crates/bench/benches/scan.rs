@@ -1,0 +1,51 @@
+//! Ablation: Aho–Corasick multi-pattern scan vs per-token `contains` over
+//! the captured URL corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pii_bench::url_corpus;
+use pii_core::scan::{naive_find_all, AhoCorasick};
+use pii_hashes::{hex_digest, HashAlgorithm};
+
+fn patterns() -> Vec<String> {
+    // The realistic shape: hex digests of the persona's PII values.
+    let persona = pii_web::Persona::default_study();
+    let mut out = Vec::new();
+    for (_, value) in persona.all_values() {
+        for alg in [
+            HashAlgorithm::Md5,
+            HashAlgorithm::Sha1,
+            HashAlgorithm::Sha256,
+            HashAlgorithm::Sha512,
+            HashAlgorithm::Ripemd160,
+            HashAlgorithm::Blake2b,
+        ] {
+            out.push(hex_digest(alg, value.as_bytes()));
+        }
+    }
+    out
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let corpus = url_corpus();
+    let haystack = corpus.as_bytes();
+    let patterns = patterns();
+    eprintln!(
+        "[scan] corpus: {} bytes, {} patterns",
+        haystack.len(),
+        patterns.len()
+    );
+    let ac = AhoCorasick::new(&patterns);
+    let mut group = c.benchmark_group("multi_pattern_scan");
+    group.sample_size(20);
+    group.bench_function("aho_corasick", |b| {
+        b.iter(|| ac.find_all(haystack).len());
+    });
+    group.bench_function("naive_contains", |b| {
+        let pats: Vec<&[u8]> = patterns.iter().map(|p| p.as_bytes()).collect();
+        b.iter(|| naive_find_all(&pats, haystack).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan);
+criterion_main!(benches);

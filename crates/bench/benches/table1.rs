@@ -1,0 +1,26 @@
+//! E2/E3/E4 — regenerate Table 1a/1b/1c and measure the breakdown pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pii_analysis::table1;
+use pii_bench::study;
+
+fn bench_table1(c: &mut Criterion) {
+    let r = study();
+    for t in table1::tables(r) {
+        eprintln!("{}", t.render());
+    }
+    let mut group = c.benchmark_group("table1");
+    group.bench_function("by_method", |b| {
+        b.iter(|| table1::table1a(r).combined_senders)
+    });
+    group.bench_function("by_encoding", |b| {
+        b.iter(|| table1::table1b(r).combined_senders)
+    });
+    group.bench_function("by_pii_type", |b| {
+        b.iter(|| table1::table1c(r).senders.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

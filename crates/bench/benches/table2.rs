@@ -1,0 +1,26 @@
+//! E7 — regenerate Table 2 (persistent-tracking providers) and measure the
+//! §5.2 three-stage analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pii_analysis::table2;
+use pii_bench::study;
+use pii_core::tracking::analyze;
+
+fn bench_table2(c: &mut Criterion) {
+    let r = study();
+    eprintln!("{}", table2::table(r).render());
+    eprintln!(
+        "[§5.2] candidates {} | confirmed {} | auth-only {} | single-appearance {} | inconsistent {}",
+        r.tracking.candidates.len(),
+        r.tracking.confirmed().len(),
+        r.tracking.auth_only().len(),
+        r.tracking.single_appearance.len(),
+        r.tracking.inconsistent.len()
+    );
+    c.bench_function("tracking_analysis", |b| {
+        b.iter(|| analyze(&r.report).candidates.len())
+    });
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E10 — regenerate Table 3 (privacy-policy disclosures) and measure the
+//! policy classifier over the whole corpus.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pii_analysis::table3;
+use pii_bench::study;
+
+fn bench_table3(c: &mut Criterion) {
+    let r = study();
+    eprintln!("{}", table3::table(r).render());
+    c.bench_function("policy_classification", |b| {
+        b.iter(|| {
+            r.universe
+                .crawlable_sites()
+                .map(|s| table3::classify(&s.policy_text))
+                .count()
+        })
+    });
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

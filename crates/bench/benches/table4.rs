@@ -1,0 +1,26 @@
+//! E12 — regenerate Table 4 (blocklist coverage) and measure the evaluation
+//! of one list over all leak requests + initiator chains.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pii_analysis::table4;
+use pii_bench::study;
+use pii_blocklist::lists;
+
+fn bench_table4(c: &mut Criterion) {
+    let r = study();
+    eprintln!("{}", table4::table(r).render());
+    eprintln!(
+        "[§7.2] tracking providers missed by the combined lists: {:?}",
+        table4::missed_tracking_providers(r)
+    );
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    let ep = lists::easyprivacy();
+    group.bench_function("evaluate_easyprivacy", |b| {
+        b.iter(|| table4::evaluate(r, "EasyPrivacy", &ep).total_senders)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Ablation: candidate-set chain depth, and precomputed-set lookup vs
+//! on-demand re-hashing (the design choice DESIGN.md §5 calls out).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pii_core::tokens::TokenSetBuilder;
+use pii_hashes::{hex_digest, HashAlgorithm};
+use pii_web::Persona;
+
+fn bench_build_depth(c: &mut Criterion) {
+    let persona = Persona::default_study();
+    let mut group = c.benchmark_group("token_set_build");
+    group.sample_size(10);
+    for depth in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, &d| {
+            let builder = TokenSetBuilder {
+                max_depth: d,
+                ..Default::default()
+            };
+            b.iter(|| builder.build(&persona));
+        });
+    }
+    group.finish();
+
+    // Report the candidate-set sizes once (the recall/cost trade-off).
+    for depth in [1usize, 2, 3] {
+        let builder = TokenSetBuilder {
+            max_depth: depth,
+            ..Default::default()
+        };
+        let set = builder.build(&persona);
+        eprintln!("[tokens] depth {depth}: {} candidate tokens", set.len());
+    }
+}
+
+fn bench_lookup_vs_rehash(c: &mut Criterion) {
+    let persona = Persona::default_study();
+    let set = TokenSetBuilder::default().build(&persona);
+    // A candidate value as found in a query parameter.
+    let candidate = hex_digest(HashAlgorithm::Sha256, persona.email.as_bytes());
+    let mut group = c.benchmark_group("token_match");
+    group.bench_function("precomputed_lookup", |b| {
+        b.iter(|| set.lookup_normalized(&candidate).is_some());
+    });
+    group.bench_function("rehash_all_depth1", |b| {
+        // The naive alternative: hash every PII value with every algorithm
+        // per candidate and compare.
+        b.iter(|| {
+            let mut hit = false;
+            'outer: for (_, value) in persona.all_values() {
+                for alg in HashAlgorithm::ALL {
+                    if hex_digest(alg, value.as_bytes()) == candidate {
+                        hit = true;
+                        break 'outer;
+                    }
+                }
+            }
+            hit
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_depth, bench_lookup_vs_rehash);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Shared fixtures for the benchmark suite.
+//!
+//! Every table/figure of the paper has a bench that (a) prints the
+//! regenerated artifact once and (b) measures the computation that produces
+//! it, so `cargo bench` doubles as the reproduction driver:
+//!
+//! | bench target | artifact |
+//! |---|---|
+//! | `table1`    | Table 1a/1b/1c |
+//! | `figure2`   | Figure 2 |
+//! | `table2`    | Table 2 + §5.2 strata |
+//! | `table3`    | Table 3 |
+//! | `table4`    | Table 4 |
+//! | `browsers`  | §7.1 |
+//! | `pipeline`  | §3.2 crawl + §4.1 detection (E1/E8) |
+//! | `hashes`    | micro: digest throughput |
+//! | `tokens`    | ablation: candidate-set depth & precompute-vs-rehash |
+//! | `scan`      | ablation: Aho–Corasick vs naive multi-pattern scan |
+//! | `blocklist` | ablation: indexed vs linear filter matching |
+
+use pii_analysis::{Study, StudyResults};
+use std::sync::OnceLock;
+
+/// The full study, run once per bench binary.
+pub fn study() -> &'static StudyResults {
+    static S: OnceLock<StudyResults> = OnceLock::new();
+    S.get_or_init(|| Study::paper().run())
+}
+
+/// A long realistic haystack: every delivered third-party request URL from
+/// the capture, concatenated.
+pub fn url_corpus() -> &'static String {
+    static C: OnceLock<String> = OnceLock::new();
+    C.get_or_init(|| {
+        let r = study();
+        let mut out = String::new();
+        for crawl in r.dataset.completed() {
+            for rec in crawl.delivered() {
+                out.push_str(&rec.request.url.to_string());
+                out.push('\n');
+            }
+        }
+        out
+    })
+}

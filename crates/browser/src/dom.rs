@@ -1,0 +1,457 @@
+//! A minimal HTML tokenizer and resource-discovery pass.
+//!
+//! Just enough HTML5-ish parsing for what a measurement browser needs:
+//! start tags with quoted/unquoted attributes, self-closing tags, comments,
+//! doctype, raw-text handling for `<script>`/`<style>` bodies, and document
+//! order. No tree is built — resource discovery and form extraction only
+//! need the flat element sequence.
+
+use pii_net::http::ResourceKind;
+use pii_net::Url;
+
+/// One parsed start tag (or raw-text element with its content).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Lowercased tag name.
+    pub tag: String,
+    /// Attributes in document order, names lowercased.
+    pub attrs: Vec<(String, String)>,
+    /// Raw text content for `<script>`/`<style>` elements.
+    pub text: Option<String>,
+}
+
+impl Element {
+    /// First value of attribute `name` (case-insensitive name match).
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Decode the five named entities [`crate::dom`] emits and numeric ones.
+fn decode_entities(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &s[i..];
+        let known: &[(&str, char)] = &[
+            ("&amp;", '&'),
+            ("&lt;", '<'),
+            ("&gt;", '>'),
+            ("&quot;", '"'),
+            ("&#39;", '\''),
+        ];
+        if let Some((entity, ch)) = known.iter().find(|(e, _)| rest.starts_with(e)) {
+            out.push(*ch);
+            for _ in 0..entity.len() - 1 {
+                chars.next();
+            }
+        } else {
+            out.push('&');
+        }
+    }
+    out
+}
+
+/// Tokenize `html` into its start tags, in document order.
+pub fn parse(html: &str) -> Vec<Element> {
+    let bytes = html.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] != b'<' {
+            i += 1;
+            continue;
+        }
+        // Comment?
+        if html[i..].starts_with("<!--") {
+            i = html[i..]
+                .find("-->")
+                .map(|p| i + p + 3)
+                .unwrap_or(bytes.len());
+            continue;
+        }
+        // Doctype / processing instruction / end tag: skip to '>'.
+        if html[i..].starts_with("<!") || html[i..].starts_with("<?") || html[i..].starts_with("</")
+        {
+            i = html[i..]
+                .find('>')
+                .map(|p| i + p + 1)
+                .unwrap_or(bytes.len());
+            continue;
+        }
+        // Start tag.
+        let tag_start = i + 1;
+        let mut j = tag_start;
+        while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'-') {
+            j += 1;
+        }
+        if j == tag_start {
+            i += 1; // lone '<'
+            continue;
+        }
+        let tag = html[tag_start..j].to_ascii_lowercase();
+        // Attributes until '>'.
+        let mut attrs = Vec::new();
+        while j < bytes.len() && bytes[j] != b'>' {
+            // Skip whitespace and '/'.
+            if bytes[j].is_ascii_whitespace() || bytes[j] == b'/' {
+                j += 1;
+                continue;
+            }
+            // Attribute name.
+            let name_start = j;
+            while j < bytes.len()
+                && !bytes[j].is_ascii_whitespace()
+                && !matches!(bytes[j], b'=' | b'>' | b'/')
+            {
+                j += 1;
+            }
+            let name = html[name_start..j].to_ascii_lowercase();
+            // Optional value.
+            while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            let mut value = String::new();
+            if j < bytes.len() && bytes[j] == b'=' {
+                j += 1;
+                while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                if j < bytes.len() && (bytes[j] == b'"' || bytes[j] == b'\'') {
+                    let quote = bytes[j];
+                    j += 1;
+                    let v_start = j;
+                    while j < bytes.len() && bytes[j] != quote {
+                        j += 1;
+                    }
+                    value = decode_entities(&html[v_start..j]);
+                    j += 1; // closing quote
+                } else {
+                    let v_start = j;
+                    while j < bytes.len() && !bytes[j].is_ascii_whitespace() && bytes[j] != b'>' {
+                        j += 1;
+                    }
+                    value = decode_entities(&html[v_start..j]);
+                }
+            }
+            if !name.is_empty() {
+                attrs.push((name, value));
+            }
+        }
+        i = j.saturating_add(1); // past '>'
+                                 // Raw-text elements capture everything until their end tag.
+        let text = if tag == "script" || tag == "style" {
+            let close = format!("</{tag}");
+            let end = html[i..]
+                .to_ascii_lowercase()
+                .find(&close)
+                .map(|p| i + p)
+                .unwrap_or(bytes.len());
+            let content = html[i..end].to_string();
+            i = html[end..]
+                .find('>')
+                .map(|p| end + p + 1)
+                .unwrap_or(bytes.len());
+            Some(content)
+        } else {
+            None
+        };
+        out.push(Element { tag, attrs, text });
+    }
+    out
+}
+
+/// A form as discovered in markup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveredForm {
+    /// "get" or "post".
+    pub method: String,
+    /// Resolved action URL.
+    pub action: Url,
+    /// Input field names in document order.
+    pub fields: Vec<String>,
+}
+
+/// One fetchable resource, in document order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscoveredResource {
+    pub url: Url,
+    pub kind: ResourceKind,
+}
+
+/// Everything a page load needs from the document.
+#[derive(Debug, Clone, Default)]
+pub struct Discovery {
+    pub resources: Vec<DiscoveredResource>,
+    /// Inline `<script>` bodies, in document order *interleaved* with
+    /// resources via [`Discovery::items`] ordering indices.
+    pub inline_scripts: Vec<(usize, String)>,
+    pub forms: Vec<DiscoveredForm>,
+    /// `<a href>` targets, resolved.
+    pub links: Vec<Url>,
+    /// Resource order indices (position among all discovered items) so the
+    /// engine can execute inline scripts and fetches in document order.
+    pub resource_order: Vec<usize>,
+}
+
+impl Default for DiscoveredForm {
+    fn default() -> Self {
+        DiscoveredForm {
+            method: "get".into(),
+            action: Url::parse("https://invalid.example/").unwrap(),
+            fields: Vec::new(),
+        }
+    }
+}
+
+/// Walk the element stream and resolve all fetchable references against
+/// `base`.
+pub fn discover(base: &Url, elements: &[Element]) -> Discovery {
+    let mut d = Discovery::default();
+    let mut order = 0usize;
+    let mut current_form: Option<DiscoveredForm> = None;
+    for el in elements {
+        match el.tag.as_str() {
+            "link" if el.attr("rel") == Some("stylesheet") => {
+                if let Some(href) = el.attr("href") {
+                    if let Ok(url) = base.join(href) {
+                        d.resources.push(DiscoveredResource {
+                            url,
+                            kind: ResourceKind::Stylesheet,
+                        });
+                        d.resource_order.push(order);
+                        order += 1;
+                    }
+                }
+            }
+            "img" => {
+                if let Some(src) = el.attr("src") {
+                    if let Ok(url) = base.join(src) {
+                        d.resources.push(DiscoveredResource {
+                            url,
+                            kind: ResourceKind::Image,
+                        });
+                        d.resource_order.push(order);
+                        order += 1;
+                    }
+                }
+            }
+            "iframe" => {
+                if let Some(src) = el.attr("src") {
+                    if let Ok(url) = base.join(src) {
+                        d.resources.push(DiscoveredResource {
+                            url,
+                            kind: ResourceKind::Subdocument,
+                        });
+                        d.resource_order.push(order);
+                        order += 1;
+                    }
+                }
+            }
+            "script" => match el.attr("src") {
+                Some(src) => {
+                    if let Ok(url) = base.join(src) {
+                        d.resources.push(DiscoveredResource {
+                            url,
+                            kind: ResourceKind::Script,
+                        });
+                        d.resource_order.push(order);
+                        order += 1;
+                    }
+                }
+                None => {
+                    if let Some(text) = &el.text {
+                        if !text.trim().is_empty() {
+                            d.inline_scripts.push((order, text.clone()));
+                            order += 1;
+                        }
+                    }
+                }
+            },
+            "form" => {
+                // Flat parsing: a <form> begins here; inputs follow until
+                // the next form (good enough for these documents).
+                if let Some(form) = current_form.take() {
+                    d.forms.push(form);
+                }
+                let action = el.attr("action").unwrap_or("/");
+                if let Ok(action) = base.join(action) {
+                    current_form = Some(DiscoveredForm {
+                        method: el.attr("method").unwrap_or("get").to_ascii_lowercase(),
+                        action,
+                        fields: Vec::new(),
+                    });
+                }
+            }
+            "input" => {
+                if let Some(form) = current_form.as_mut() {
+                    if let Some(name) = el.attr("name") {
+                        if el.attr("type") != Some("password") {
+                            form.fields.push(name.to_string());
+                        }
+                    }
+                }
+            }
+            "a" => {
+                if let Some(href) = el.attr("href") {
+                    if let Ok(url) = base.join(href) {
+                        d.links.push(url);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(form) = current_form.take() {
+        d.forms.push(form);
+    }
+    d
+}
+
+/// Extract `document.cookie = "..."` assignments from an inline script —
+/// the tiny slice of JavaScript the simulated sites actually use.
+pub fn cookie_assignments(script: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = script;
+    while let Some(pos) = rest.find("document.cookie") {
+        rest = &rest[pos + "document.cookie".len()..];
+        let Some(eq) = rest.find('=') else { break };
+        let after = rest[eq + 1..].trim_start();
+        let Some(quote) = after.chars().next().filter(|c| *c == '"' || *c == '\'') else {
+            continue;
+        };
+        let body = &after[1..];
+        if let Some(end) = body.find(quote) {
+            out.push(body[..end].to_string());
+            rest = &body[end..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Url {
+        Url::parse("https://shop.com/account").unwrap()
+    }
+
+    #[test]
+    fn parses_tags_and_attributes() {
+        let els = parse(
+            r#"<!doctype html><html><img src="/a.png" alt=x><script src='https://t.net/lib.js' async></script></html>"#,
+        );
+        let img = els.iter().find(|e| e.tag == "img").unwrap();
+        assert_eq!(img.attr("src"), Some("/a.png"));
+        assert_eq!(img.attr("alt"), Some("x"));
+        let script = els.iter().find(|e| e.tag == "script").unwrap();
+        assert_eq!(script.attr("src"), Some("https://t.net/lib.js"));
+        assert_eq!(script.attr("async"), Some(""));
+    }
+
+    #[test]
+    fn skips_comments_and_end_tags() {
+        let els = parse("<!-- <img src=/x.png> --><div></div><p>text</p>");
+        let tags: Vec<&str> = els.iter().map(|e| e.tag.as_str()).collect();
+        assert_eq!(tags, vec!["div", "p"]);
+    }
+
+    #[test]
+    fn captures_inline_script_text() {
+        let els =
+            parse(r#"<script>document.cookie = "a=1";</script><script src="/x.js"></script>"#);
+        assert_eq!(els.len(), 2);
+        assert_eq!(els[0].text.as_deref(), Some("document.cookie = \"a=1\";"));
+        assert_eq!(els[1].attr("src"), Some("/x.js"));
+    }
+
+    #[test]
+    fn entity_decoding_in_attributes() {
+        let els = parse(r#"<img src="/p?a=1&amp;b=2">"#);
+        assert_eq!(els[0].attr("src"), Some("/p?a=1&b=2"));
+    }
+
+    #[test]
+    fn discovers_resources_in_document_order() {
+        let html = r#"
+            <link rel="stylesheet" href="https://cdn.example/a.css">
+            <script src="https://t.net/lib.js"></script>
+            <img src="/logo.png">
+            <iframe src="https://ads.example/frame"></iframe>
+        "#;
+        let d = discover(&base(), &parse(html));
+        let kinds: Vec<ResourceKind> = d.resources.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ResourceKind::Stylesheet,
+                ResourceKind::Script,
+                ResourceKind::Image,
+                ResourceKind::Subdocument
+            ]
+        );
+        assert_eq!(d.resources[2].url.to_string(), "https://shop.com/logo.png");
+    }
+
+    #[test]
+    fn discovers_forms_with_fields() {
+        let html = r#"
+            <form method="get" action="/welcome">
+              <input type="text" name="email">
+              <input type="text" name="username">
+              <input type="password" name="password">
+            </form>
+        "#;
+        let d = discover(&base(), &parse(html));
+        assert_eq!(d.forms.len(), 1);
+        let form = &d.forms[0];
+        assert_eq!(form.method, "get");
+        assert_eq!(form.action.to_string(), "https://shop.com/welcome");
+        assert_eq!(
+            form.fields,
+            vec!["email", "username"],
+            "passwords are not PII fields"
+        );
+    }
+
+    #[test]
+    fn cookie_assignment_extraction() {
+        let script = r#"
+            var x = 1;
+            document.cookie = "v_user=abc123; Domain=shop.com; Path=/";
+            document.cookie = 'second=2';
+        "#;
+        assert_eq!(
+            cookie_assignments(script),
+            vec![
+                "v_user=abc123; Domain=shop.com; Path=/".to_string(),
+                "second=2".to_string()
+            ]
+        );
+        assert!(cookie_assignments("var y = document.cookie;").is_empty());
+    }
+
+    #[test]
+    fn malformed_html_does_not_panic() {
+        for html in [
+            "<",
+            "<<<>>>",
+            "<img src=",
+            "<script>never closed",
+            "<a href='unterminated",
+            "<form><input name=",
+        ] {
+            let _ = discover(&base(), &parse(html));
+        }
+    }
+}

@@ -1,0 +1,792 @@
+//! The page-load engine: fetches a [`Site`]'s HTML document, *parses it*
+//! ([`crate::dom`]), and fetches what the markup references — exactly like
+//! a browser.
+//!
+//! Each page load produces, in document order:
+//!
+//! 1. the **document** request/response (first-party; sets the session
+//!    cookie; the body is the rendered HTML),
+//! 2. whatever the document references: CDN assets, the CAPTCHA widget,
+//!    tracker **library scripts** — and inline scripts execute (the only
+//!    JavaScript the simulated sites use is `document.cookie = …`, which
+//!    materialises the Figure 1.c PII cookie),
+//! 3. per tracker script that loaded, its **identify call** (pixel/beacon)
+//!    with the script as initiator — giving Table 4 its "request initiator
+//!    chains".
+//!
+//! Browser policy is applied at emission time: Brave Shields drop tracker
+//! requests (CNAME-aware), cookie policies decide what rides along and what
+//! a tracker response may store.
+
+use crate::profiles::{BrowserKind, BrowserProfile};
+use pii_dns::{PublicSuffixList, ZoneStore};
+use pii_net::cookie::{Cookie, CookieJar};
+use pii_net::http::{Method, Request, ResourceKind, Response};
+use pii_net::Url;
+use pii_web::persona::{Persona, PiiKind};
+use pii_web::site::{LeakEdge, LeakMethod, Site};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One fetch as the capture pipeline sees it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FetchRecord {
+    pub request: Request,
+    pub response: Response,
+    /// `Some(reason)` when the browser refused to emit the request (Brave
+    /// Shields). Blocked requests never reach the network, but the capture
+    /// keeps them for §7.1 accounting.
+    pub blocked: Option<String>,
+}
+
+impl FetchRecord {
+    pub fn delivered(&self) -> bool {
+        self.blocked.is_none()
+    }
+}
+
+/// Parameters of one page load.
+#[derive(Debug, Clone)]
+pub struct PageContext {
+    /// Full document URL (GET-form submissions carry the PII query here).
+    pub document_url: Url,
+    /// Site-relative path being rendered (`/`, `/signup`, `/welcome`, …).
+    pub path: String,
+    /// Whether the persona's PII has been submitted (tags can read it).
+    pub pii_known: bool,
+    /// POST-form submission body for this navigation, if any.
+    pub form_post: Option<Vec<u8>>,
+}
+
+impl PageContext {
+    /// An ordinary GET navigation.
+    pub fn get(document_url: Url, path: &str, pii_known: bool) -> PageContext {
+        PageContext {
+            document_url,
+            path: path.to_string(),
+            pii_known,
+            form_post: None,
+        }
+    }
+}
+
+/// A simulated browser session on one site.
+pub struct Browser<'a> {
+    pub profile: BrowserProfile,
+    jar: CookieJar,
+    storage: crate::storage::WebStorage,
+    psl: &'a PublicSuffixList,
+    resolver: pii_dns::CachingResolver<'a>,
+    persona: &'a Persona,
+    /// Known tracker domains (for ETP's tracker-scoped cookie blocking).
+    known_trackers: HashSet<String>,
+}
+
+impl<'a> Browser<'a> {
+    pub fn new(
+        kind: BrowserKind,
+        psl: &'a PublicSuffixList,
+        zones: &'a ZoneStore,
+        persona: &'a Persona,
+    ) -> Browser<'a> {
+        Browser::with_profile(kind.profile(), psl, zones, persona)
+    }
+
+    /// Build with an explicit (possibly counterfactual) profile.
+    pub fn with_profile(
+        profile: crate::profiles::BrowserProfile,
+        psl: &'a PublicSuffixList,
+        zones: &'a ZoneStore,
+        persona: &'a Persona,
+    ) -> Browser<'a> {
+        let mut jar = CookieJar::new();
+        jar.partition_third_party = profile.partition_third_party_storage;
+        let known_trackers = pii_web::tracker::full_catalog()
+            .iter()
+            .map(|p| p.domain.to_string())
+            .collect();
+        let storage = crate::storage::WebStorage::new(profile.partition_third_party_storage);
+        Browser {
+            profile,
+            jar,
+            storage,
+            psl,
+            resolver: pii_dns::CachingResolver::new(zones),
+            persona,
+            known_trackers,
+        }
+    }
+
+    /// The browser's localStorage areas (inspected by §7.1 tests).
+    pub fn storage(&self) -> &crate::storage::WebStorage {
+        &self.storage
+    }
+
+    /// DNS footprint of the session so far (queries, cache hits, CNAMEs).
+    pub fn dns_stats(&self) -> pii_dns::ResolverStats {
+        self.resolver.stats()
+    }
+
+    /// The browser's cookie store (captured at the end of a crawl, §3.2).
+    pub fn jar(&self) -> &CookieJar {
+        &self.jar
+    }
+
+    /// Wipe state between sites (each site gets a fresh profile, §3.2).
+    pub fn reset(&mut self) {
+        let partition = self.jar.partition_third_party;
+        self.jar = CookieJar::new();
+        self.jar.partition_third_party = partition;
+        self.storage.clear();
+    }
+
+    /// Can the sign-up flow complete on `site` under this profile?
+    /// Shields breaking the CAPTCHA widget is the one §7.1 failure.
+    pub fn signup_can_complete(&self, site: &Site) -> bool {
+        let Some(host) = captcha_host(site) else {
+            return true;
+        };
+        match &self.profile.shields {
+            Some(shields) => {
+                let res = self.resolver.resolve(host);
+                !shields.blocks(self.psl, host, &res.cname_chain)
+            }
+            None => true,
+        }
+    }
+
+    /// The document URL a form submission navigates to.
+    pub fn form_submit_url(&self, site: &Site) -> Url {
+        let base = Url::parse(&format!("https://{}/welcome", site.domain)).unwrap();
+        if site.form.method == Method::Get {
+            // GET forms serialise every field into the URL — the
+            // precondition for the Figure 1.a referer leak.
+            let mut url = base;
+            for kind in &site.form.fields {
+                url = url.with_query_param(kind.name(), &self.persona.value(*kind));
+            }
+            url
+        } else {
+            base
+        }
+    }
+
+    /// The POST body for a POST-method sign-up form (None for GET forms).
+    pub fn form_post_body(&self, site: &Site) -> Option<Vec<u8>> {
+        if site.form.method != Method::Post {
+            return None;
+        }
+        let body = site
+            .form
+            .fields
+            .iter()
+            .map(|kind| {
+                format!(
+                    "{}={}",
+                    kind.name(),
+                    pii_encodings_form(self.persona.value(*kind).as_bytes())
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("&");
+        Some(body.into_bytes())
+    }
+
+    /// Load one page of `site`, returning every fetch in emission order.
+    pub fn load_page(&mut self, site: &Site, ctx: &PageContext) -> Vec<FetchRecord> {
+        let mut out = Vec::new();
+        let doc_url = ctx.document_url.clone();
+
+        // 1. Document fetch (always first-party). POST form submissions
+        // carry the field data in the body.
+        let doc_method = if ctx.form_post.is_some() {
+            Method::Post
+        } else {
+            Method::Get
+        };
+        let mut doc_req = Request::new(doc_method, doc_url.clone(), ResourceKind::Document);
+        if let Some(body) = &ctx.form_post {
+            doc_req = doc_req
+                .with_body(body.clone())
+                .with_header("Content-Type", "application/x-www-form-urlencoded");
+        }
+        if let Some(header) = self.jar.cookie_header(&doc_url, &site.domain, false) {
+            doc_req.headers.insert("Cookie", header);
+        }
+        doc_req.headers.insert("Host", doc_url.host.clone());
+        doc_req
+            .headers
+            .insert("User-Agent", user_agent(self.profile.kind));
+        // Render the document: the server knows the signed-in user once the
+        // form was submitted.
+        let user = ctx.pii_known.then_some(self.persona);
+        let html = pii_web::html::render_page(site, &ctx.path, user);
+        let mut doc_resp = Response::ok().with_header("Content-Type", "text/html");
+        let session = Cookie::parse_set_cookie(&format!(
+            "session={}-sess; Path=/; SameSite=Lax",
+            site.domain.replace('.', "-")
+        ))
+        .unwrap();
+        doc_resp
+            .headers
+            .insert("Set-Cookie", session.to_set_cookie());
+        self.jar.set(session, &doc_url, &site.domain);
+        doc_resp.body = Some(html.clone().into_bytes());
+        out.push(FetchRecord {
+            request: doc_req,
+            response: doc_resp,
+            blocked: None,
+        });
+
+        // 2. Parse the document and process it in document order: inline
+        // scripts execute (cookie writes), external references fetch, and
+        // tracker library scripts fire their identify beacons.
+        let elements = crate::dom::parse(&html);
+        let discovery = crate::dom::discover(&doc_url, &elements);
+        // Map tracker-script URLs back to their leak edges.
+        let mut edge_by_script: std::collections::HashMap<String, &LeakEdge> = site
+            .edges
+            .iter()
+            .filter(|e| e.method != LeakMethod::Referer)
+            .map(|e| (pii_web::html::edge_script_url(e), e))
+            .collect();
+        // Merge inline scripts and resources by document order.
+        let mut inline_iter = discovery.inline_scripts.iter().peekable();
+        for (pos, resource) in discovery.resource_order.iter().zip(&discovery.resources) {
+            while inline_iter
+                .peek()
+                .is_some_and(|(script_pos, _)| script_pos < pos)
+            {
+                let (_, script) = inline_iter.next().unwrap();
+                self.execute_inline_script(site, &doc_url, script);
+            }
+            let record = self.fetch(
+                site,
+                &doc_url,
+                Request::new(Method::Get, resource.url.clone(), resource.kind),
+                None,
+                None,
+            );
+            let delivered = record.delivered();
+            let script_url = record.request.url.clone();
+            out.push(record);
+            // A tracker library that loaded issues its identify call once
+            // the user's PII exists.
+            if let Some(edge) = edge_by_script.remove(&script_url.to_string()) {
+                if ctx.pii_known && delivered {
+                    out.push(self.leak_call(site, &doc_url, edge, &script_url, &ctx.path));
+                }
+            }
+        }
+        for (_, script) in inline_iter {
+            self.execute_inline_script(site, &doc_url, script);
+        }
+        out
+    }
+
+    /// "Execute" an inline script: the simulated sites only ever assign
+    /// `document.cookie`, so that is the whole interpreter.
+    fn execute_inline_script(&mut self, site: &Site, doc_url: &Url, script: &str) {
+        for assignment in crate::dom::cookie_assignments(script) {
+            if let Some(cookie) = Cookie::parse_set_cookie(&assignment) {
+                self.jar.set(cookie, doc_url, &site.domain);
+            }
+        }
+    }
+
+    /// Build the PII-carrying call for a URI/payload/cookie edge.
+    fn leak_call(
+        &mut self,
+        site: &Site,
+        doc_url: &Url,
+        edge: &LeakEdge,
+        script_url: &Url,
+        page: &str,
+    ) -> FetchRecord {
+        // The primary identifier is the email when the edge carries it;
+        // otherwise the edge's first PII kind (e.g. the lone username-only
+        // receiver of Table 1c).
+        let primary = if edge.pii.contains(&PiiKind::Email) {
+            PiiKind::Email
+        } else {
+            *edge.pii.first().expect("edge leaks at least one PII kind")
+        };
+        let primary_token = edge.chain.apply(&self.persona.value(primary));
+        let mut url =
+            Url::parse(&format!("https://{}{}", edge.request_host, edge.endpoint)).unwrap();
+        let mut body: Option<Vec<u8>> = None;
+        let method;
+        match edge.method {
+            LeakMethod::Uri => {
+                method = Method::Get;
+                url = url.with_query_param("v", "2.9.1");
+                url = url.with_query_param(&edge.param, &primary_token);
+                for extra in &edge.pii {
+                    if *extra != primary {
+                        url = url.with_query_param(
+                            extra_param(*extra),
+                            &edge.chain.apply(&self.persona.value(*extra)),
+                        );
+                    }
+                }
+                url = url.with_query_param("dl", &doc_url.to_string());
+            }
+            LeakMethod::Payload => {
+                method = Method::Post;
+                let mut form =
+                    format!("ev=identify&{}={}", edge.param, encode_form(&primary_token));
+                for extra in &edge.pii {
+                    if *extra != primary {
+                        form.push_str(&format!(
+                            "&{}={}",
+                            extra_param(*extra),
+                            encode_form(&edge.chain.apply(&self.persona.value(*extra)))
+                        ));
+                    }
+                }
+                form.push_str(&format!("&page={}", encode_form(page)));
+                body = Some(form.into_bytes());
+            }
+            LeakMethod::Cookie => {
+                // The PII travels in the Cookie header attached by `fetch`
+                // (first-party cookie, cloaked host); the URL itself is
+                // clean.
+                method = Method::Get;
+                url = url.with_query_param("AQB", "1");
+            }
+            LeakMethod::Referer => unreachable!("referer edges never emit leak calls"),
+        }
+        let mut req = Request::new(method, url, edge.kind);
+        if let Some(b) = body {
+            req = req
+                .with_body(b)
+                .with_header("Content-Type", "application/x-www-form-urlencoded");
+        }
+        self.fetch(site, doc_url, req, Some(script_url), Some(edge))
+    }
+
+    /// Apply browser policy, attach headers, and synthesise the response.
+    fn fetch(
+        &mut self,
+        site: &Site,
+        doc_url: &Url,
+        mut req: Request,
+        initiator: Option<&Url>,
+        edge: Option<&LeakEdge>,
+    ) -> FetchRecord {
+        let host = req.url.host.clone();
+        let resolution = self.resolver.resolve(&host);
+        let is_third_party = !self.psl.same_site(&host, &site.domain);
+        // Brave Shields: drop tracker requests before they exist on the wire.
+        if let Some(shields) = &self.profile.shields {
+            if shields.blocks(self.psl, &host, &resolution.cname_chain) {
+                req.initiator = initiator.cloned();
+                return FetchRecord {
+                    request: req,
+                    response: Response::new(0),
+                    blocked: Some(format!("shields: {host}")),
+                };
+            }
+        }
+        req.initiator = Some(initiator.unwrap_or(doc_url).clone());
+        req.headers.insert("Host", host.clone());
+        // Referer: the 2021 capture sends the full URL (badly coded sites
+        // pin `Referrer-Policy: unsafe-url`); the counterfactual profile
+        // truncates cross-origin referers to the origin.
+        let referer = if self.profile.enforce_strict_referrer && is_third_party {
+            format!("{}/", doc_url.origin())
+        } else {
+            doc_url.to_string()
+        };
+        req.headers.insert("Referer", referer);
+        req.headers
+            .insert("User-Agent", user_agent(self.profile.kind));
+
+        // Cookie attachment. First-party-looking hosts (incl. CNAME-cloaked
+        // subdomains!) always get the site's cookies; genuine third parties
+        // go through the profile's policy.
+        let tracker_rd = self
+            .psl
+            .registrable_domain(&host)
+            .unwrap_or_else(|| host.clone());
+        let cname_tracker = resolution
+            .cname_chain
+            .iter()
+            .filter_map(|c| self.psl.registrable_domain(c))
+            .find(|rd| self.known_trackers.contains(rd));
+        let is_known_tracker = self.known_trackers.contains(&tracker_rd) || cname_tracker.is_some();
+        let cookies_allowed =
+            !is_third_party || self.profile.third_party_cookies_allowed(is_known_tracker);
+        if cookies_allowed {
+            if let Some(header) = self
+                .jar
+                .cookie_header(&req.url, &site.domain, is_third_party)
+            {
+                req.headers.insert("Cookie", header);
+            }
+        }
+
+        // Response: trackers try to set their own identifier cookie, and
+        // fall back to localStorage when the browser refuses it — exactly
+        // the stateful-tracking arms race §2.1 describes.
+        let mut response = Response::ok();
+        if is_third_party && edge.is_some() {
+            let uid = format!("tp-{}", tracker_rd.replace('.', "-"));
+            let set = format!("uid={uid}; Path=/; SameSite=None; Secure");
+            response.headers.insert("Set-Cookie", set.clone());
+            if cookies_allowed {
+                if let Some(cookie) = Cookie::parse_set_cookie(&set) {
+                    self.jar.set(cookie, &req.url, &site.domain);
+                }
+            } else {
+                self.storage
+                    .set_item(&req.url.origin(), &site.domain, "uid", &uid);
+            }
+        }
+        FetchRecord {
+            request: req,
+            response,
+            blocked: None,
+        }
+    }
+}
+
+/// CAPTCHA widget host for bot-detection sites (re-exported from
+/// `pii-web::site`, where the markup renderer also needs it).
+pub use pii_web::site::captcha_host;
+
+fn user_agent(kind: BrowserKind) -> &'static str {
+    match kind {
+        BrowserKind::Firefox88Vanilla => {
+            "Mozilla/5.0 (X11; Linux x86_64; rv:88.0) Gecko/20100101 Firefox/88.0"
+        }
+        BrowserKind::Chrome93 => "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 Chrome/93.0",
+        BrowserKind::Opera79 => "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 OPR/79.0",
+        BrowserKind::Safari14 => {
+            "Mozilla/5.0 (Macintosh) AppleWebKit/605.1.15 Version/14.0 Safari/605.1.15"
+        }
+        BrowserKind::Firefox92Etp => {
+            "Mozilla/5.0 (X11; Linux x86_64; rv:92.0) Gecko/20100101 Firefox/92.0"
+        }
+        BrowserKind::Brave129 => {
+            "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 Chrome/93.0 Brave/1.29"
+        }
+    }
+}
+
+fn encode_form(s: &str) -> String {
+    pii_encodings_form(s.as_bytes())
+}
+
+// Minimal local form-encoder (the full one lives in pii-encodings; this
+// avoids a dependency cycle concern and covers the same byte classes).
+fn pii_encodings_form(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len());
+    for &b in data {
+        if b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~') {
+            out.push(b as char);
+        } else if b == b' ' {
+            out.push('+');
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+/// Parameter names used when an edge exfiltrates more than the email.
+fn extra_param(kind: PiiKind) -> &'static str {
+    match kind {
+        PiiKind::Name => "udff[fn]",
+        PiiKind::Username => "udff[un]",
+        PiiKind::Phone => "udff[ph]",
+        other => other.name(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pii_web::Universe;
+
+    fn world() -> (Universe, PublicSuffixList) {
+        (Universe::generate(), PublicSuffixList::embedded())
+    }
+
+    fn ctx(site: &Site, path: &str, pii: bool) -> PageContext {
+        PageContext::get(
+            Url::parse(&format!("https://{}{}", site.domain, path)).unwrap(),
+            path,
+            pii,
+        )
+    }
+
+    fn find_sender<'u>(u: &'u Universe, receiver: &str, method: LeakMethod) -> &'u Site {
+        u.sender_sites()
+            .find(|s| {
+                s.edges
+                    .iter()
+                    .any(|e| e.receiver == receiver && e.method == method)
+            })
+            .unwrap_or_else(|| panic!("no sender for {receiver}"))
+    }
+
+    #[test]
+    fn uri_leak_appears_after_pii_submission_only() {
+        let (u, psl) = world();
+        let site = find_sender(&u, "facebook.com", LeakMethod::Uri);
+        let mut b = Browser::new(BrowserKind::Firefox88Vanilla, &psl, &u.zones, &u.persona);
+        // Pre-submit: tag script loads, but no PII call.
+        let pre = b.load_page(site, &ctx(site, "/", false));
+        assert!(pre.iter().all(|f| f
+            .request
+            .url
+            .query
+            .as_deref()
+            .map_or(true, |q| !q.contains("udff"))));
+        // Post-submit account page: the sha256 email token is in a URL.
+        let post = b.load_page(site, &ctx(site, "/account", true));
+        let sha = pii_hashes::hex_digest(pii_hashes::HashAlgorithm::Sha256, b"foo@mydom.com");
+        let md5 = pii_hashes::hex_digest(pii_hashes::HashAlgorithm::Md5, b"foo@mydom.com");
+        assert!(
+            post.iter().any(|f| {
+                f.request.url.host == "facebook.com"
+                    && f.request
+                        .url
+                        .query
+                        .as_deref()
+                        .map_or(false, |q| q.contains(&sha) || q.contains(&md5))
+            }),
+            "facebook leak call missing"
+        );
+    }
+
+    #[test]
+    fn payload_leak_rides_in_post_body() {
+        let (u, psl) = world();
+        let site = find_sender(&u, "bluecore.com", LeakMethod::Payload);
+        let mut b = Browser::new(BrowserKind::Firefox88Vanilla, &psl, &u.zones, &u.persona);
+        let records = b.load_page(site, &ctx(site, "/account", true));
+        let b64 = pii_encodings::base64::encode(b"foo@mydom.com");
+        let hit = records
+            .iter()
+            .find(|f| f.request.url.host == "bluecore.com" && f.request.method == Method::Post);
+        let hit = hit.expect("bluecore beacon missing");
+        let body = hit.request.body_text().unwrap();
+        // Form-encoded base64 contains %3D for '='.
+        assert!(
+            body.contains(&b64.replace('=', "%3D")) || body.contains(&b64),
+            "payload should carry base64 email: {body}"
+        );
+    }
+
+    #[test]
+    fn cookie_leak_travels_to_cloaked_host() {
+        let (u, psl) = world();
+        let site = find_sender(&u, "adobe_cname", LeakMethod::Cookie);
+        let mut b = Browser::new(BrowserKind::Firefox88Vanilla, &psl, &u.zones, &u.persona);
+        let records = b.load_page(site, &ctx(site, "/account", true));
+        let cloaked_host = format!("metrics.{}", site.domain);
+        let sha = pii_hashes::hex_digest(pii_hashes::HashAlgorithm::Sha256, b"foo@mydom.com");
+        let hit = records
+            .iter()
+            .find(|f| f.request.url.host == cloaked_host && f.request.url.path == "/b/ss")
+            .expect("cloaked adobe call missing");
+        let cookie = hit.request.headers.get("Cookie").expect("cookie header");
+        assert!(
+            cookie.contains(&sha),
+            "PII cookie should ride along: {cookie}"
+        );
+    }
+
+    #[test]
+    fn referer_leak_carries_form_data() {
+        let (u, psl) = world();
+        let site = find_sender(&u, "taboola.com", LeakMethod::Referer);
+        let mut b = Browser::new(BrowserKind::Firefox88Vanilla, &psl, &u.zones, &u.persona);
+        assert_eq!(site.form.method, Method::Get);
+        let submit_url = b.form_submit_url(site);
+        assert!(submit_url
+            .query
+            .as_deref()
+            .unwrap()
+            .contains("foo%40mydom.com"));
+        let records = b.load_page(
+            site,
+            &PageContext::get(submit_url.clone(), "/welcome", true),
+        );
+        let hit = records
+            .iter()
+            .find(|f| f.request.url.host == "taboola.com")
+            .expect("taboola embed missing");
+        let referer = hit.request.headers.get("Referer").unwrap();
+        assert!(referer.contains("foo%40mydom.com"), "referer: {referer}");
+    }
+
+    #[test]
+    fn brave_blocks_facebook_but_not_zendesk() {
+        let (u, psl) = world();
+        let fb_site = find_sender(&u, "facebook.com", LeakMethod::Uri);
+        let mut brave = Browser::new(BrowserKind::Brave129, &psl, &u.zones, &u.persona);
+        let records = brave.load_page(fb_site, &ctx(fb_site, "/account", true));
+        let fb = records
+            .iter()
+            .filter(|f| f.request.url.host == "facebook.com")
+            .collect::<Vec<_>>();
+        assert!(!fb.is_empty());
+        assert!(
+            fb.iter().all(|f| !f.delivered()),
+            "shields should block facebook"
+        );
+
+        let zd_site = find_sender(&u, "zendesk.com", LeakMethod::Uri);
+        let mut brave2 = Browser::new(BrowserKind::Brave129, &psl, &u.zones, &u.persona);
+        let records = brave2.load_page(zd_site, &ctx(zd_site, "/account", true));
+        assert!(
+            records
+                .iter()
+                .any(|f| f.request.url.host == "zendesk.com" && f.delivered()),
+            "zendesk is on the miss list and must get through"
+        );
+    }
+
+    #[test]
+    fn brave_blocks_cloaked_adobe_via_cname_uncloaking() {
+        let (u, psl) = world();
+        let site = find_sender(&u, "adobe_cname", LeakMethod::Cookie);
+        let mut brave = Browser::new(BrowserKind::Brave129, &psl, &u.zones, &u.persona);
+        let records = brave.load_page(site, &ctx(site, "/account", true));
+        let cloaked_host = format!("metrics.{}", site.domain);
+        let cloaked: Vec<_> = records
+            .iter()
+            .filter(|f| f.request.url.host == cloaked_host)
+            .collect();
+        assert!(!cloaked.is_empty());
+        assert!(cloaked.iter().all(|f| !f.delivered()));
+    }
+
+    #[test]
+    fn safari_blocks_third_party_cookies_but_not_leaks() {
+        let (u, psl) = world();
+        let site = find_sender(&u, "facebook.com", LeakMethod::Uri);
+        let mut safari = Browser::new(BrowserKind::Safari14, &psl, &u.zones, &u.persona);
+        let records = safari.load_page(site, &ctx(site, "/account", true));
+        let fb: Vec<_> = records
+            .iter()
+            .filter(|f| f.request.url.host == "facebook.com" && f.delivered())
+            .collect();
+        assert!(!fb.is_empty(), "ITP does not block requests");
+        // The tracker's own uid cookie was refused…
+        assert!(fb.iter().all(|f| f.request.headers.get("Cookie").is_none()));
+        // …but the URI leak is intact.
+        let sha = pii_hashes::hex_digest(pii_hashes::HashAlgorithm::Sha256, b"foo@mydom.com");
+        let md5 = pii_hashes::hex_digest(pii_hashes::HashAlgorithm::Md5, b"foo@mydom.com");
+        assert!(fb.iter().any(|f| {
+            f.request
+                .url
+                .query
+                .as_deref()
+                .map_or(false, |q| q.contains(&sha) || q.contains(&md5))
+        }));
+    }
+
+    #[test]
+    fn nykaa_signup_fails_only_under_brave() {
+        let (u, psl) = world();
+        let nykaa = u.site("nykaa.com").unwrap();
+        for kind in BrowserKind::ALL {
+            let b = Browser::new(kind, &psl, &u.zones, &u.persona);
+            let ok = b.signup_can_complete(nykaa);
+            assert_eq!(
+                ok,
+                kind != BrowserKind::Brave129,
+                "{} on nykaa.com",
+                kind.name()
+            );
+        }
+        // Other bot-detection sites complete everywhere.
+        let other_bot = u
+            .crawlable_sites()
+            .find(|s| {
+                s.domain != "nykaa.com"
+                    && matches!(
+                        s.outcome,
+                        pii_web::site::SiteOutcome::Ok {
+                            bot_detection: true,
+                            ..
+                        }
+                    )
+            })
+            .unwrap();
+        let brave = Browser::new(BrowserKind::Brave129, &psl, &u.zones, &u.persona);
+        assert!(brave.signup_can_complete(other_bot));
+    }
+
+    #[test]
+    fn initiator_chain_links_leak_to_script_to_document() {
+        let (u, psl) = world();
+        let site = find_sender(&u, "criteo.com", LeakMethod::Uri);
+        let mut b = Browser::new(BrowserKind::Firefox88Vanilla, &psl, &u.zones, &u.persona);
+        let records = b.load_page(site, &ctx(site, "/account", true));
+        let leak = records
+            .iter()
+            .find(|f| {
+                f.request.url.host == "criteo.com"
+                    && f.request
+                        .url
+                        .query
+                        .as_deref()
+                        .map_or(false, |q| q.contains("p0=") || q.contains("p1="))
+            })
+            .expect("criteo leak");
+        let initiator = leak.request.initiator.as_ref().unwrap();
+        assert!(
+            initiator.path.ends_with("lib.js"),
+            "initiator should be the tag script"
+        );
+    }
+
+    #[test]
+    fn itp_pushes_trackers_into_partitioned_storage() {
+        // Under Safari, the tracker's uid cookie is refused, so it falls
+        // back to localStorage — which ITP partitions per top-level site,
+        // so the identifier cannot join two shops.
+        let (u, psl) = world();
+        let sites: Vec<&Site> = u
+            .sender_sites()
+            .filter(|s| s.edges.iter().any(|e| e.receiver == "facebook.com"))
+            .take(2)
+            .collect();
+        let mut safari = Browser::new(BrowserKind::Safari14, &psl, &u.zones, &u.persona);
+        for site in &sites {
+            safari.load_page(site, &ctx(site, "/account", true));
+        }
+        let storage = safari.storage();
+        // Facebook has one storage area per shop, each holding its uid.
+        let a = storage.get_item("https://facebook.com", &sites[0].domain, "uid");
+        let b = storage.get_item("https://facebook.com", &sites[1].domain, "uid");
+        assert_eq!(a, Some("tp-facebook-com"));
+        assert_eq!(b, Some("tp-facebook-com"));
+        // Partitioned: area count grows with top-level sites.
+        assert!(storage.area_count() >= 2);
+        // A vanilla browser keeps the cookie instead and writes no storage.
+        let mut chrome = Browser::new(BrowserKind::Chrome93, &psl, &u.zones, &u.persona);
+        chrome.load_page(sites[0], &ctx(sites[0], "/account", true));
+        assert_eq!(chrome.storage().area_count(), 0);
+    }
+
+    #[test]
+    fn session_cookie_returns_on_next_page() {
+        let (u, psl) = world();
+        let site = u.crawlable_sites().next().unwrap();
+        let mut b = Browser::new(BrowserKind::Chrome93, &psl, &u.zones, &u.persona);
+        b.load_page(site, &ctx(site, "/", false));
+        let second = b.load_page(site, &ctx(site, "/signup", false));
+        let doc = &second[0];
+        assert!(doc
+            .request
+            .headers
+            .get("Cookie")
+            .map_or(false, |c| c.contains("session=")));
+    }
+}

@@ -1,0 +1,21 @@
+//! # pii-browser
+//!
+//! A simulated browser engine: it interprets a `pii-web` [`pii_web::Site`]
+//! page by page and produces the HTTP traffic a real browser would emit —
+//! document requests, subresource fetches with `Referer` headers, cookie
+//! handling through the RFC 6265 jar, tracker-tag execution, and CNAME
+//! resolution.
+//!
+//! [`profiles`] models the six browsers of §7.1 (vanilla settings):
+//! Firefox 88 (the capture browser), Chrome 93, Opera 79, Safari 14 with
+//! ITP, Firefox 92 with ETP, and Brave 1.29 with Shields — including
+//! Shields' CNAME uncloaking, its eight documented misses, and the
+//! `nykaa.com` CAPTCHA breakage.
+
+pub mod dom;
+pub mod engine;
+pub mod profiles;
+pub mod storage;
+
+pub use engine::{Browser, FetchRecord, PageContext};
+pub use profiles::{BrowserKind, BrowserProfile};

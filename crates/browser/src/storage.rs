@@ -1,0 +1,113 @@
+//! `localStorage`-style per-origin storage with optional third-party
+//! partitioning.
+//!
+//! §7.1's browser matrix distinguishes cookie blocking from *storage
+//! partitioning* (Safari's ITP, Brave): when a tracker's cookie is refused
+//! it falls back to `localStorage` to keep its identifier. Partitioning
+//! keys that storage by top-level site, severing the cross-site join — but,
+//! as the paper shows, none of it matters once the identifier is the PII
+//! itself.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-origin key/value storage.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WebStorage {
+    /// (origin, partition) → key → value.
+    areas: HashMap<(String, String), HashMap<String, String>>,
+    /// Key third-party storage by top-level site.
+    pub partitioned: bool,
+}
+
+impl WebStorage {
+    pub fn new(partitioned: bool) -> Self {
+        WebStorage {
+            areas: HashMap::new(),
+            partitioned,
+        }
+    }
+
+    fn area_key(&self, origin: &str, top_level: &str) -> (String, String) {
+        let partition = if self.partitioned {
+            top_level.to_ascii_lowercase()
+        } else {
+            String::new()
+        };
+        (origin.to_ascii_lowercase(), partition)
+    }
+
+    /// `localStorage.setItem` as seen from `origin` embedded under
+    /// `top_level`.
+    pub fn set_item(&mut self, origin: &str, top_level: &str, key: &str, value: &str) {
+        self.areas
+            .entry(self.area_key(origin, top_level))
+            .or_default()
+            .insert(key.to_string(), value.to_string());
+    }
+
+    /// `localStorage.getItem`.
+    pub fn get_item(&self, origin: &str, top_level: &str, key: &str) -> Option<&str> {
+        self.areas
+            .get(&self.area_key(origin, top_level))
+            .and_then(|area| area.get(key))
+            .map(String::as_str)
+    }
+
+    /// Number of distinct storage areas in use.
+    pub fn area_count(&self) -> usize {
+        self.areas.len()
+    }
+
+    /// Wipe everything (fresh profile between sites).
+    pub fn clear(&mut self) {
+        self.areas.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpartitioned_storage_is_shared_across_sites() {
+        let mut s = WebStorage::new(false);
+        s.set_item("https://tracker.net", "site-a.com", "uid", "x1");
+        // The tracker reads the same value while embedded elsewhere: the
+        // classic cross-site identifier.
+        assert_eq!(
+            s.get_item("https://tracker.net", "site-b.com", "uid"),
+            Some("x1")
+        );
+        assert_eq!(s.area_count(), 1);
+    }
+
+    #[test]
+    fn partitioned_storage_severs_the_join() {
+        let mut s = WebStorage::new(true);
+        s.set_item("https://tracker.net", "site-a.com", "uid", "x1");
+        assert_eq!(
+            s.get_item("https://tracker.net", "site-a.com", "uid"),
+            Some("x1")
+        );
+        assert_eq!(s.get_item("https://tracker.net", "site-b.com", "uid"), None);
+        s.set_item("https://tracker.net", "site-b.com", "uid", "x2");
+        assert_eq!(s.area_count(), 2, "one area per top-level site");
+    }
+
+    #[test]
+    fn origins_are_isolated_regardless() {
+        let mut s = WebStorage::new(false);
+        s.set_item("https://a.net", "site.com", "k", "1");
+        assert_eq!(s.get_item("https://b.net", "site.com", "k"), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = WebStorage::new(false);
+        s.set_item("https://a.net", "site.com", "k", "1");
+        s.clear();
+        assert_eq!(s.area_count(), 0);
+        assert_eq!(s.get_item("https://a.net", "site.com", "k"), None);
+    }
+}

@@ -1,0 +1,368 @@
+//! PII-leakage detection over captured traffic (§4.1).
+//!
+//! For every delivered request of every completed crawl:
+//!
+//! 1. classify the request host against the visited site — first-party,
+//!    third-party (Public Suffix List), or CNAME-cloaked third party (zone
+//!    resolution × cloaking blocklist);
+//! 2. for third parties, search the four channels for candidate tokens:
+//!    request URI (query parameter values, decoded, plus path segments),
+//!    `Referer` header (the *referer's* query values — Figure 1.a),
+//!    `Cookie` header values, and the payload body (form-decoded values);
+//! 3. record a [`LeakEvent`] per (channel, parameter, token) hit.
+//!
+//! The detector sees nothing but wire data and the candidate set — it has
+//! no access to the universe's ground-truth edges, which is what makes the
+//! end-to-end comparison in `pii-analysis` a real measurement.
+
+use crate::tokens::TokenSet;
+use pii_crawler::{CrawlDataset, SiteCrawl};
+use pii_dns::{classify_party, CloakingDetector, Party, PublicSuffixList, ZoneStore};
+use pii_web::obfuscate::Obfuscation;
+use pii_web::persona::PiiKind;
+use pii_web::site::LeakMethod;
+use serde::{Deserialize, Serialize};
+
+/// One detected leak: a PII token found in one channel of one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeakEvent {
+    /// The first-party site whose crawl produced the request.
+    pub sender: String,
+    /// Registrable domain the PII went to. For CNAME-cloaked requests this
+    /// is the *unmasked* provider domain (e.g. `omtrdc.net`).
+    pub receiver_domain: String,
+    /// Host exactly as addressed on the wire.
+    pub request_host: String,
+    /// Full request URL.
+    pub url: String,
+    /// Page path the leak fired from (derived from the Referer header) —
+    /// §5.2's subpage-persistence test keys on this.
+    pub page_path: String,
+    pub method: LeakMethod,
+    /// Parameter/cookie name that carried the token (empty for path and
+    /// referer hits).
+    pub param: String,
+    pub pii: PiiKind,
+    /// The obfuscation chain of the matched token.
+    #[serde(skip)]
+    pub chain: Obfuscation,
+    /// Table 1b bucket of the chain.
+    pub bucket: String,
+    /// Whether the receiver was hidden behind CNAME cloaking.
+    pub cloaked: bool,
+    /// Index of the request within its site crawl (for joining back).
+    pub request_index: usize,
+}
+
+/// The full detection output for one dataset.
+#[derive(Debug, Clone, Default)]
+pub struct DetectionReport {
+    pub events: Vec<LeakEvent>,
+    /// Requests inspected (delivered, third-party or cloaked).
+    pub third_party_requests: usize,
+    /// Total delivered requests inspected.
+    pub total_requests: usize,
+}
+
+impl DetectionReport {
+    /// Distinct leaking senders.
+    pub fn senders(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.events.iter().map(|e| e.sender.as_str()).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Distinct receiver domains.
+    pub fn receivers(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self
+            .events
+            .iter()
+            .map(|e| e.receiver_domain.as_str())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Distinct (sender, request) pairs that contained leaked PII — the
+    /// paper's "1,522 requests that contain leaked PII".
+    pub fn leaking_request_count(&self) -> usize {
+        let mut v: Vec<(&str, usize)> = self
+            .events
+            .iter()
+            .map(|e| (e.sender.as_str(), e.request_index))
+            .collect();
+        v.sort();
+        v.dedup();
+        v.len()
+    }
+
+    /// Events for one sender.
+    pub fn events_for<'s>(&'s self, sender: &'s str) -> impl Iterator<Item = &'s LeakEvent> + 's {
+        self.events.iter().filter(move |e| e.sender == sender)
+    }
+}
+
+/// The §4.1 detector.
+pub struct LeakDetector<'a> {
+    tokens: &'a TokenSet,
+    psl: &'a PublicSuffixList,
+    zones: &'a ZoneStore,
+    cloaking: CloakingDetector,
+}
+
+impl<'a> LeakDetector<'a> {
+    pub fn new(tokens: &'a TokenSet, psl: &'a PublicSuffixList, zones: &'a ZoneStore) -> Self {
+        LeakDetector {
+            tokens,
+            psl,
+            zones,
+            cloaking: CloakingDetector::embedded(),
+        }
+    }
+
+    /// Run detection over a whole dataset.
+    pub fn detect(&self, dataset: &CrawlDataset) -> DetectionReport {
+        let mut report = DetectionReport::default();
+        for crawl in dataset.completed() {
+            self.detect_site(crawl, &mut report);
+        }
+        report
+    }
+
+    /// Run detection over one site's capture.
+    pub fn detect_site(&self, crawl: &SiteCrawl, report: &mut DetectionReport) {
+        for (index, record) in crawl.records.iter().enumerate() {
+            if !record.delivered() {
+                continue;
+            }
+            report.total_requests += 1;
+            let request = &record.request;
+            let host = &request.url.host;
+            let party = classify_party(self.psl, self.zones, &self.cloaking, &crawl.domain, host);
+            let (receiver_domain, cloaked) = match party {
+                Party::First => continue,
+                Party::Third => (
+                    self.psl
+                        .registrable_domain(host)
+                        .unwrap_or_else(|| host.clone()),
+                    false,
+                ),
+                Party::CnameCloaked => {
+                    let resolution = self.zones.resolve(host);
+                    let hit = self
+                        .cloaking
+                        .detect(self.psl, host, &resolution)
+                        .expect("classify_party said cloaked");
+                    (hit.provider_domain, true)
+                }
+            };
+            report.third_party_requests += 1;
+            let page_path = request
+                .referer()
+                .map(|r| r.path.clone())
+                .unwrap_or_else(|| "/".to_string());
+            let mut emit = |method: LeakMethod, param: &str, token: &str| {
+                if let Some(info) = self.tokens.lookup_normalized(token) {
+                    report.events.push(LeakEvent {
+                        sender: crawl.domain.clone(),
+                        receiver_domain: receiver_domain.clone(),
+                        request_host: host.clone(),
+                        url: request.url.to_string(),
+                        page_path: page_path.clone(),
+                        method,
+                        param: param.to_string(),
+                        pii: info.pii,
+                        chain: info.chain.clone(),
+                        bucket: info.bucket().to_string(),
+                        cloaked,
+                        request_index: index,
+                    });
+                }
+            };
+
+            // Channel 1: request URI — decoded query values and path segments.
+            // Trackers occasionally double-encode (the value is encoded once
+            // by the tag and again by the URL serializer), so one extra
+            // decode round is tried when a value still contains escapes.
+            for (key, value) in request.url.query_pairs() {
+                emit(LeakMethod::Uri, &key, &value);
+                if value.contains('%') {
+                    let again = pii_encodings::percent::decode_lossy(&value);
+                    emit(LeakMethod::Uri, &key, &String::from_utf8_lossy(&again));
+                }
+            }
+            for segment in request.url.path.split('/') {
+                if !segment.is_empty() {
+                    emit(LeakMethod::Uri, "", segment);
+                }
+            }
+
+            // Channel 2: Referer header — the referring document's query.
+            if let Some(referer) = request.referer() {
+                for (key, value) in referer.query_pairs() {
+                    emit(LeakMethod::Referer, &key, &value);
+                }
+            }
+
+            // Channel 3: Cookie header values.
+            for (name, value) in request.cookie_pairs() {
+                // Cookie values are frequently percent-encoded.
+                let decoded = pii_encodings::percent::decode_lossy(&value);
+                let decoded = String::from_utf8_lossy(&decoded);
+                emit(LeakMethod::Cookie, &name, &decoded);
+                if *decoded != *value {
+                    emit(LeakMethod::Cookie, &name, &value);
+                }
+            }
+
+            // Channel 4: payload body — form-encoded pairs, else raw tokens.
+            if let Some(body) = request.body_text() {
+                for pair in body.split('&') {
+                    let (key, value) = pair.split_once('=').unwrap_or(("", pair));
+                    let decoded = pii_encodings::percent::decode_form_lossy(value);
+                    emit(LeakMethod::Payload, key, &String::from_utf8_lossy(&decoded));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::TokenSetBuilder;
+    use pii_browser::profiles::BrowserKind;
+    use pii_crawler::Crawler;
+    use pii_web::Universe;
+
+    struct World {
+        universe: Universe,
+        psl: PublicSuffixList,
+        dataset: CrawlDataset,
+        tokens: TokenSet,
+    }
+
+    fn world() -> World {
+        let universe = Universe::generate();
+        let psl = PublicSuffixList::embedded();
+        let dataset = Crawler::new(&universe).run(BrowserKind::Firefox88Vanilla);
+        let tokens = TokenSetBuilder::default().build(&universe.persona);
+        World {
+            universe,
+            psl,
+            dataset,
+            tokens,
+        }
+    }
+
+    #[test]
+    fn detects_the_ground_truth_senders_exactly() {
+        let w = world();
+        let detector = LeakDetector::new(&w.tokens, &w.psl, &w.universe.zones);
+        let report = detector.detect(&w.dataset);
+        let detected: std::collections::HashSet<&str> = report.senders().into_iter().collect();
+        let truth: std::collections::HashSet<&str> = w
+            .universe
+            .sender_sites()
+            .map(|s| s.domain.as_str())
+            .collect();
+        assert_eq!(detected, truth, "detected senders must equal ground truth");
+        assert_eq!(detected.len(), 130);
+    }
+
+    #[test]
+    fn receiver_count_matches_ground_truth() {
+        let w = world();
+        let detector = LeakDetector::new(&w.tokens, &w.psl, &w.universe.zones);
+        let report = detector.detect(&w.dataset);
+        assert_eq!(report.receivers().len(), 100);
+    }
+
+    #[test]
+    fn every_method_is_observed() {
+        let w = world();
+        let detector = LeakDetector::new(&w.tokens, &w.psl, &w.universe.zones);
+        let report = detector.detect(&w.dataset);
+        for method in LeakMethod::ALL {
+            assert!(
+                report.events.iter().any(|e| e.method == method),
+                "no {method:?} events detected"
+            );
+        }
+    }
+
+    #[test]
+    fn cloaked_adobe_is_unmasked() {
+        let w = world();
+        let detector = LeakDetector::new(&w.tokens, &w.psl, &w.universe.zones);
+        let report = detector.detect(&w.dataset);
+        let cloaked: Vec<&LeakEvent> = report.events.iter().filter(|e| e.cloaked).collect();
+        assert!(!cloaked.is_empty());
+        assert!(cloaked.iter().all(|e| e.receiver_domain == "omtrdc.net"));
+        assert!(cloaked
+            .iter()
+            .all(|e| e.request_host.starts_with("metrics.")));
+    }
+
+    #[test]
+    fn leaking_request_count_is_in_paper_range() {
+        let w = world();
+        let detector = LeakDetector::new(&w.tokens, &w.psl, &w.universe.zones);
+        let report = detector.detect(&w.dataset);
+        let n = report.leaking_request_count();
+        assert!(
+            (1300..=1800).contains(&n),
+            "leaking requests = {n} (paper: 1,522)"
+        );
+    }
+
+    #[test]
+    fn buckets_cover_table_1b_rows() {
+        let w = world();
+        let detector = LeakDetector::new(&w.tokens, &w.psl, &w.universe.zones);
+        let report = detector.detect(&w.dataset);
+        for bucket in [
+            "plaintext",
+            "base64",
+            "md5",
+            "sha1",
+            "sha256",
+            "sha256_of_md5",
+        ] {
+            assert!(
+                report.events.iter().any(|e| e.bucket == bucket),
+                "bucket {bucket} never detected"
+            );
+        }
+    }
+
+    #[test]
+    fn no_leaks_from_non_sender_sites() {
+        let w = world();
+        let detector = LeakDetector::new(&w.tokens, &w.psl, &w.universe.zones);
+        let report = detector.detect(&w.dataset);
+        let senders: std::collections::HashSet<&str> = report.senders().into_iter().collect();
+        for site in w.universe.crawlable_sites() {
+            if !site.is_sender() {
+                assert!(
+                    !senders.contains(site.domain.as_str()),
+                    "false positive on {}",
+                    site.domain
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn brave_crawl_detects_only_the_missed_receivers() {
+        let w = world();
+        let brave = Crawler::new(&w.universe).run(BrowserKind::Brave129);
+        let detector = LeakDetector::new(&w.tokens, &w.psl, &w.universe.zones);
+        let report = detector.detect(&brave);
+        let receivers: std::collections::HashSet<&str> = report.receivers().into_iter().collect();
+        assert_eq!(receivers.len(), 8, "§7.1: Brave misses exactly 8 receivers");
+        assert_eq!(report.senders().len(), 9, "§7.1: ~93.1% sender reduction");
+    }
+}

@@ -1,0 +1,32 @@
+//! # pii-core
+//!
+//! The paper's primary contribution: detection of PII leakage to third
+//! parties in authentication-flow traffic, and identification of the
+//! persistent PII-leakage-based tracking technique.
+//!
+//! * [`tokens`] — §3.1: pre-compute the candidate token set by applying
+//!   every supported encoding/hash (and chains of up to three) to each
+//!   persona PII value, so obfuscated leaks are findable by exact lookup.
+//! * [`scan`] — token scanning strategies, including a from-scratch
+//!   Aho–Corasick automaton for the exhaustive-substring ablation.
+//! * [`detect`] — §4.1: classify each captured request as first-party /
+//!   third-party / CNAME-cloaked, then search the four leak channels
+//!   (Referer header, request URI, cookie, payload body) for candidate
+//!   tokens.
+//! * [`tracking`] — §5: extract per-receiver `trackid` parameters, find
+//!   receivers that obtain the *same identifier from more than one sender*,
+//!   and confirm persistence by requiring the identifier on product
+//!   subpages.
+//! * [`wire_input`] — run the same detector over raw HTTP/1.1 messages
+//!   (mitmproxy-style external captures).
+
+pub mod detect;
+pub mod scan;
+pub mod tokens;
+pub mod tracking;
+pub mod wire_input;
+
+pub use detect::{DetectionReport, LeakDetector, LeakEvent};
+pub use scan::AhoCorasick;
+pub use tokens::{TokenInfo, TokenSet, TokenSetBuilder};
+pub use tracking::{TrackingAnalysis, TrackingProvider};

@@ -1,0 +1,235 @@
+//! Token scanning strategies.
+//!
+//! The detector's primary strategy is *structured lookup*: URLs, cookies and
+//! form bodies decompose into delimited values that the [`crate::tokens`]
+//! map resolves in O(1) per value. The alternative — scanning raw bytes for
+//! any of ~100k candidate substrings — needs a multi-pattern automaton;
+//! [`AhoCorasick`] is a from-scratch implementation used for the exhaustive
+//! ablation (`bench_scan`) and for haystacks with no structure to exploit.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// A match: pattern index and byte offset of its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    pub pattern: usize,
+    pub start: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Node {
+    children: HashMap<u8, usize>,
+    fail: usize,
+    /// Pattern indices ending at this node.
+    output: Vec<usize>,
+}
+
+/// Classic Aho–Corasick automaton over bytes.
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    nodes: Vec<Node>,
+    pattern_lens: Vec<usize>,
+}
+
+impl AhoCorasick {
+    /// Build from a pattern list. Empty patterns are rejected.
+    pub fn new<I, S>(patterns: I) -> AhoCorasick
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<[u8]>,
+    {
+        let mut nodes = vec![Node::default()];
+        let mut pattern_lens = Vec::new();
+        for (pi, pattern) in patterns.into_iter().enumerate() {
+            let bytes = pattern.as_ref();
+            assert!(!bytes.is_empty(), "empty pattern");
+            pattern_lens.push(bytes.len());
+            let mut cur = 0usize;
+            for &b in bytes {
+                cur = match nodes[cur].children.get(&b) {
+                    Some(&next) => next,
+                    None => {
+                        nodes.push(Node::default());
+                        let next = nodes.len() - 1;
+                        nodes[cur].children.insert(b, next);
+                        next
+                    }
+                };
+            }
+            nodes[cur].output.push(pi);
+        }
+        // BFS to set failure links.
+        let mut queue = VecDeque::new();
+        let root_children: Vec<(u8, usize)> =
+            nodes[0].children.iter().map(|(&b, &n)| (b, n)).collect();
+        for (_, child) in root_children {
+            nodes[child].fail = 0;
+            queue.push_back(child);
+        }
+        while let Some(cur) = queue.pop_front() {
+            let children: Vec<(u8, usize)> =
+                nodes[cur].children.iter().map(|(&b, &n)| (b, n)).collect();
+            for (b, child) in children {
+                // Walk failure links of the parent to find the child's.
+                let mut f = nodes[cur].fail;
+                loop {
+                    if let Some(&next) = nodes[f].children.get(&b) {
+                        if next != child {
+                            nodes[child].fail = next;
+                            break;
+                        }
+                    }
+                    if f == 0 {
+                        nodes[child].fail = 0;
+                        break;
+                    }
+                    f = nodes[f].fail;
+                }
+                let fail_output = nodes[nodes[child].fail].output.clone();
+                nodes[child].output.extend(fail_output);
+                queue.push_back(child);
+            }
+        }
+        AhoCorasick {
+            nodes,
+            pattern_lens,
+        }
+    }
+
+    /// All matches in `haystack`.
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        let mut state = 0usize;
+        for (i, &b) in haystack.iter().enumerate() {
+            loop {
+                if let Some(&next) = self.nodes[state].children.get(&b) {
+                    state = next;
+                    break;
+                }
+                if state == 0 {
+                    break;
+                }
+                state = self.nodes[state].fail;
+            }
+            for &pi in &self.nodes[state].output {
+                out.push(Match {
+                    pattern: pi,
+                    start: i + 1 - self.pattern_lens[pi],
+                });
+            }
+        }
+        out
+    }
+
+    /// Does any pattern occur?
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        let mut state = 0usize;
+        for &b in haystack {
+            loop {
+                if let Some(&next) = self.nodes[state].children.get(&b) {
+                    state = next;
+                    break;
+                }
+                if state == 0 {
+                    break;
+                }
+                state = self.nodes[state].fail;
+            }
+            if !self.nodes[state].output.is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_lens.len()
+    }
+}
+
+/// Naive multi-pattern scan: the ablation baseline.
+pub fn naive_find_all(patterns: &[&[u8]], haystack: &[u8]) -> Vec<Match> {
+    let mut out = Vec::new();
+    for (pi, pat) in patterns.iter().enumerate() {
+        if pat.is_empty() || pat.len() > haystack.len() {
+            continue;
+        }
+        for start in 0..=haystack.len() - pat.len() {
+            if &haystack[start..start + pat.len()] == *pat {
+                out.push(Match { pattern: pi, start });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_single_pattern() {
+        let ac = AhoCorasick::new(["mydom"]);
+        let m = ac.find_all(b"email=foo@mydom.com");
+        assert_eq!(
+            m,
+            vec![Match {
+                pattern: 0,
+                start: 10
+            }]
+        );
+    }
+
+    #[test]
+    fn finds_overlapping_patterns() {
+        let ac = AhoCorasick::new(["he", "she", "his", "hers"]);
+        let matches = ac.find_all(b"ushers");
+        let found: Vec<usize> = matches.iter().map(|m| m.pattern).collect();
+        assert!(found.contains(&0), "he");
+        assert!(found.contains(&1), "she");
+        assert!(found.contains(&3), "hers");
+        assert!(!found.contains(&2), "his");
+    }
+
+    #[test]
+    fn agrees_with_naive_scan() {
+        let patterns = ["abc", "bca", "cab", "aa", "abcabc"];
+        let ac = AhoCorasick::new(patterns);
+        let haystack = b"aabcabcabcaacab";
+        let mut fast = ac.find_all(haystack);
+        let pat_bytes: Vec<&[u8]> = patterns.iter().map(|p| p.as_bytes()).collect();
+        let mut slow = naive_find_all(&pat_bytes, haystack);
+        fast.sort_by_key(|m| (m.pattern, m.start));
+        slow.sort_by_key(|m| (m.pattern, m.start));
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn is_match_short_circuits() {
+        let ac = AhoCorasick::new(["needle"]);
+        assert!(ac.is_match(b"hay needle hay"));
+        assert!(!ac.is_match(b"just hay"));
+        assert!(!ac.is_match(b""));
+    }
+
+    #[test]
+    fn binary_patterns_work() {
+        let ac = AhoCorasick::new([&[0xff, 0x00, 0xfe][..]]);
+        assert!(ac.is_match(&[1, 2, 0xff, 0x00, 0xfe, 3]));
+    }
+
+    #[test]
+    fn many_hash_like_patterns() {
+        // Shape of the real workload: hex digests sharing prefixes.
+        let patterns: Vec<String> = (0..500)
+            .map(|i| format!("{:064x}", (i as u128) * 0x9e3779b97f4a7c15))
+            .collect();
+        let ac = AhoCorasick::new(&patterns);
+        assert_eq!(ac.pattern_count(), 500);
+        let haystack = format!("x={}&y=1", patterns[250]);
+        let matches = ac.find_all(haystack.as_bytes());
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].pattern, 250);
+    }
+}

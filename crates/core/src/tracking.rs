@@ -1,0 +1,358 @@
+//! Persistent-tracking identification (§5.2).
+//!
+//! The three-stage filter over detected leak events:
+//!
+//! 1. **trackid extraction** — for each receiver, find URI/payload/cookie
+//!    parameter names whose value is a PII token ("the parameter name that
+//!    assigns PII information as a parameter value");
+//! 2. **cross-site check** — keep receivers that obtain the *same ID value*
+//!    through the *same parameter* from **more than one** first-party
+//!    sender (34 receivers in the paper);
+//! 3. **persistence check** — keep receivers whose ID also shows up in
+//!    requests fired from a product *subpage*, i.e. the tag follows the
+//!    user beyond the authentication flow (20 receivers in the paper:
+//!    Table 2).
+
+use crate::detect::{DetectionReport, LeakEvent};
+use pii_web::site::LeakMethod;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One confirmed (or candidate) tracking provider — a Table 2 row.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrackingProvider {
+    pub receiver_domain: String,
+    /// Distinct first-party senders the same ID arrived from.
+    pub senders: BTreeSet<String>,
+    /// The trackid parameter names observed (e.g. `udff[em]`, `p0`).
+    pub params: BTreeSet<String>,
+    /// Leak methods used.
+    pub methods: BTreeSet<LeakMethod>,
+    /// Encoding buckets of the ID (Table 2's "Encoding form").
+    pub encodings: BTreeSet<String>,
+    /// Whether the ID appears on subpage loads (stage 3).
+    pub persistent: bool,
+}
+
+impl TrackingProvider {
+    pub fn sender_count(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+/// Output of the §5.2 analysis.
+#[derive(Debug, Clone, Default)]
+pub struct TrackingAnalysis {
+    /// Stage-2 survivors: same ID from >1 sender (paper: 34).
+    pub candidates: Vec<TrackingProvider>,
+    /// Receivers seen from exactly one sender (paper: 58).
+    pub single_appearance: Vec<String>,
+    /// Multi-sender receivers with no shared ID value (excluded at stage 2).
+    pub inconsistent: Vec<String>,
+}
+
+impl TrackingAnalysis {
+    /// Stage-3 survivors: the confirmed persistent trackers (paper: 20).
+    pub fn confirmed(&self) -> Vec<&TrackingProvider> {
+        self.candidates.iter().filter(|p| p.persistent).collect()
+    }
+
+    /// Candidates that failed the subpage test.
+    pub fn auth_only(&self) -> Vec<&TrackingProvider> {
+        self.candidates.iter().filter(|p| !p.persistent).collect()
+    }
+}
+
+/// Pages that count as "subpages" for the persistence test (the crawl's
+/// product-link click).
+fn is_subpage(path: &str) -> bool {
+    path.starts_with("/products")
+}
+
+/// The browsing history a tracking provider can reconstruct from the leaked
+/// identifier — §5.1's harm, made concrete: every (site, page) where the
+/// provider received the persona's ID, in other words the user's
+/// cross-site click-stream as seen from the tracker's server logs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BrowsingProfile {
+    pub receiver_domain: String,
+    /// (first-party site, page path) pairs, deduplicated and ordered.
+    pub visits: BTreeSet<(String, String)>,
+}
+
+impl BrowsingProfile {
+    /// Number of distinct sites the provider can link to this user.
+    pub fn sites(&self) -> usize {
+        self.visits
+            .iter()
+            .map(|(site, _)| site.as_str())
+            .collect::<BTreeSet<_>>()
+            .len()
+    }
+}
+
+/// Reconstruct the browsing profile `receiver` could compile from the
+/// detected leaks. This uses only what the *tracker* would see: requests to
+/// its own servers that carried the ID, with the page taken from the
+/// Referer header — no first-party cooperation required, which is exactly
+/// why PII leakage replaces the third-party cookie.
+pub fn browsing_profile(report: &DetectionReport, receiver: &str) -> BrowsingProfile {
+    let mut profile = BrowsingProfile {
+        receiver_domain: receiver.to_string(),
+        ..Default::default()
+    };
+    for e in &report.events {
+        if e.receiver_domain == receiver && !e.param.is_empty() {
+            profile
+                .visits
+                .insert((e.sender.clone(), e.page_path.clone()));
+        }
+    }
+    profile
+}
+
+/// Run the §5.2 pipeline over a detection report.
+pub fn analyze(report: &DetectionReport) -> TrackingAnalysis {
+    // Group events by receiver.
+    let mut by_receiver: BTreeMap<&str, Vec<&LeakEvent>> = BTreeMap::new();
+    for event in &report.events {
+        by_receiver
+            .entry(event.receiver_domain.as_str())
+            .or_default()
+            .push(event);
+    }
+
+    let mut analysis = TrackingAnalysis::default();
+    for (receiver, events) in by_receiver {
+        let all_senders: BTreeSet<&str> = events.iter().map(|e| e.sender.as_str()).collect();
+        if all_senders.len() <= 1 {
+            analysis.single_appearance.push(receiver.to_string());
+            continue;
+        }
+        // Stage 1 + 2: group by (param, exact chain). Identical chains over
+        // the fixed persona produce identical ID *values*, so the chain
+        // label is a faithful proxy for the value without the detector
+        // having to retain raw tokens.
+        let mut id_groups: BTreeMap<(&str, String), BTreeSet<&str>> = BTreeMap::new();
+        for e in events.iter().filter(|e| !e.param.is_empty()) {
+            if e.method == LeakMethod::Referer {
+                // Referer hits carry the first party's own form fields, not
+                // a receiver-chosen identifier parameter.
+                continue;
+            }
+            id_groups
+                .entry((e.param.as_str(), e.chain.label()))
+                .or_default()
+                .insert(e.sender.as_str());
+        }
+        let shared: Vec<(&(&str, String), &BTreeSet<&str>)> = id_groups
+            .iter()
+            .filter(|(_, senders)| senders.len() > 1)
+            .collect();
+        if shared.is_empty() {
+            analysis.inconsistent.push(receiver.to_string());
+            continue;
+        }
+        // Stage 3: does any shared ID appear on a subpage?
+        let shared_keys: BTreeSet<(&str, String)> =
+            shared.iter().map(|(k, _)| (*k).clone()).collect();
+        let persistent = events.iter().any(|e| {
+            !e.param.is_empty()
+                && shared_keys.contains(&(e.param.as_str(), e.chain.label()))
+                && is_subpage(&e.page_path)
+        });
+        let senders: BTreeSet<String> = shared
+            .iter()
+            .flat_map(|(_, s)| s.iter().map(|x| x.to_string()))
+            .collect();
+        let in_shared =
+            |e: &&&LeakEvent| shared_keys.contains(&(e.param.as_str(), e.chain.label()));
+        analysis.candidates.push(TrackingProvider {
+            receiver_domain: receiver.to_string(),
+            senders,
+            params: shared_keys.iter().map(|(p, _)| p.to_string()).collect(),
+            methods: events.iter().filter(in_shared).map(|e| e.method).collect(),
+            encodings: events
+                .iter()
+                .filter(in_shared)
+                .map(|e| e.bucket.clone())
+                .collect(),
+            persistent,
+        });
+    }
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::LeakDetector;
+    use crate::tokens::TokenSetBuilder;
+    use pii_browser::profiles::BrowserKind;
+    use pii_crawler::Crawler;
+    use pii_dns::PublicSuffixList;
+    use pii_web::Universe;
+
+    fn run_analysis() -> (Universe, TrackingAnalysis) {
+        let universe = Universe::generate();
+        let psl = PublicSuffixList::embedded();
+        let dataset = Crawler::new(&universe).run(BrowserKind::Firefox88Vanilla);
+        let tokens = TokenSetBuilder::default().build(&universe.persona);
+        let detector = LeakDetector::new(&tokens, &psl, &universe.zones);
+        let report = detector.detect(&dataset);
+        (universe, analyze(&report))
+    }
+
+    #[test]
+    fn twenty_confirmed_persistent_trackers() {
+        let (_u, analysis) = run_analysis();
+        let confirmed = analysis.confirmed();
+        assert_eq!(confirmed.len(), 20, "§5.2: 20 tracking providers");
+        let domains: Vec<&str> = confirmed
+            .iter()
+            .map(|p| p.receiver_domain.as_str())
+            .collect();
+        for expected in [
+            "facebook.com",
+            "criteo.com",
+            "pinterest.com",
+            "snapchat.com",
+            "cquotient.com",
+            "bluecore.com",
+            "klaviyo.com",
+            "oracleinfinity.io",
+            "rlcdn.com",
+            "omtrdc.net", // Table 2's adobe_cname, unmasked
+            "castle.io",
+            "custora.com",
+            "dotomi.com",
+            "inside-graph.com",
+            "krxd.net",
+            "pxf.io",
+            "taboola.com",
+            "thebrighttag.com",
+            "yahoo.com",
+            "zendesk.com",
+        ] {
+            assert!(domains.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn thirty_four_cross_site_candidates() {
+        let (_u, analysis) = run_analysis();
+        assert_eq!(
+            analysis.candidates.len(),
+            34,
+            "§5.2: 34 receivers get the same ID from more than one sender"
+        );
+        assert_eq!(analysis.auth_only().len(), 14);
+    }
+
+    #[test]
+    fn fifty_eight_single_appearance_receivers() {
+        let (_u, analysis) = run_analysis();
+        assert_eq!(
+            analysis.single_appearance.len(),
+            58,
+            "§5.2's stated drawback"
+        );
+    }
+
+    #[test]
+    fn inconsistent_receivers_are_excluded() {
+        let (_u, analysis) = run_analysis();
+        assert_eq!(analysis.inconsistent.len(), 8);
+        assert!(analysis
+            .inconsistent
+            .contains(&"doubleclick.net".to_string()));
+    }
+
+    #[test]
+    fn trackid_parameters_match_table_2() {
+        let (_u, analysis) = run_analysis();
+        let find = |domain: &str| {
+            analysis
+                .candidates
+                .iter()
+                .find(|p| p.receiver_domain == domain)
+                .unwrap_or_else(|| panic!("{domain} missing"))
+        };
+        assert!(find("facebook.com").params.contains("udff[em]"));
+        assert!(find("criteo.com").params.contains("p0"));
+        assert!(find("pinterest.com").params.contains("pd"));
+        assert!(find("snapchat.com").params.contains("u_hem"));
+        assert!(find("krxd.net").params.contains("_kua_email_sha256"));
+        assert!(
+            find("omtrdc.net").params.contains("v_user"),
+            "adobe cookie name"
+        );
+    }
+
+    #[test]
+    fn facebook_has_the_most_senders() {
+        let (_u, analysis) = run_analysis();
+        let max = analysis
+            .candidates
+            .iter()
+            .max_by_key(|p| p.sender_count())
+            .unwrap();
+        assert_eq!(max.receiver_domain, "facebook.com");
+        assert_eq!(max.sender_count(), 74);
+    }
+
+    #[test]
+    fn criteo_mixes_four_encoding_forms() {
+        let (_u, analysis) = run_analysis();
+        let criteo = analysis
+            .candidates
+            .iter()
+            .find(|p| p.receiver_domain == "criteo.com")
+            .unwrap();
+        for bucket in ["md5", "sha256", "plaintext", "sha256_of_md5"] {
+            assert!(
+                criteo.encodings.contains(bucket),
+                "criteo missing {bucket}: {:?}",
+                criteo.encodings
+            );
+        }
+    }
+
+    #[test]
+    fn facebook_reconstructs_a_cross_site_clickstream() {
+        // §5.1: "it can be used to identify user information on multiple
+        // sites" — the profile facebook can build spans its 74 senders and
+        // includes product pages, not just auth flows.
+        let universe = Universe::generate();
+        let psl = PublicSuffixList::embedded();
+        let dataset = Crawler::new(&universe).run(BrowserKind::Firefox88Vanilla);
+        let tokens = TokenSetBuilder::default().build(&universe.persona);
+        let report = LeakDetector::new(&tokens, &psl, &universe.zones).detect(&dataset);
+        let profile = browsing_profile(&report, "facebook.com");
+        assert_eq!(profile.sites(), 74);
+        assert!(
+            profile
+                .visits
+                .iter()
+                .any(|(_, page)| page.starts_with("/products")),
+            "the clickstream reaches beyond the auth flow"
+        );
+        // An auth-only receiver's profile never leaves the auth pages.
+        let ga = browsing_profile(&report, "google-analytics.com");
+        assert!(ga
+            .visits
+            .iter()
+            .all(|(_, page)| matches!(page.as_str(), "/welcome" | "/signin" | "/account")));
+    }
+
+    #[test]
+    fn auth_only_trackers_fail_the_subpage_test() {
+        let (_u, analysis) = run_analysis();
+        let ga = analysis
+            .candidates
+            .iter()
+            .find(|p| p.receiver_domain == "google-analytics.com")
+            .expect("google-analytics is a stage-2 candidate");
+        assert!(!ga.persistent, "auth-only tags never appear on subpages");
+    }
+}

@@ -1,0 +1,120 @@
+//! Capture data model — the HAR-like dataset the detector consumes.
+
+use pii_browser::engine::FetchRecord;
+use pii_browser::profiles::BrowserKind;
+use pii_net::cookie::Cookie;
+use serde::{Deserialize, Serialize};
+
+/// How the crawl of one site ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrawlOutcome {
+    /// Full authentication flow completed.
+    Completed {
+        email_confirmed: bool,
+        bot_detection_passed: bool,
+    },
+    /// DNS/connection failure (the 22 unreachable sites).
+    Unreachable,
+    /// No sign-up/sign-in form found (19 sites).
+    NoAuthFlow,
+    /// Sign-up rejected by site policy (56 sites; reason text mirrors
+    /// footnote 2).
+    SignupBlocked(String),
+    /// The browser itself broke the flow (Brave Shields vs. the nykaa.com
+    /// CAPTCHA, §7.1).
+    SignupFailed(String),
+}
+
+impl CrawlOutcome {
+    pub fn completed(&self) -> bool {
+        matches!(self, CrawlOutcome::Completed { .. })
+    }
+}
+
+/// Everything captured while crawling one site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteCrawl {
+    pub domain: String,
+    pub outcome: CrawlOutcome,
+    /// Every fetch in emission order, including browser-blocked ones.
+    pub records: Vec<FetchRecord>,
+    /// Copy of the browser cookie store at the end of the visit.
+    pub stored_cookies: Vec<Cookie>,
+}
+
+impl SiteCrawl {
+    /// Requests that actually reached the network.
+    pub fn delivered(&self) -> impl Iterator<Item = &FetchRecord> {
+        self.records.iter().filter(|r| r.delivered())
+    }
+
+    /// Requests the browser refused to emit.
+    pub fn blocked(&self) -> impl Iterator<Item = &FetchRecord> {
+        self.records.iter().filter(|r| !r.delivered())
+    }
+}
+
+/// A full crawl over the site universe with one browser profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrawlDataset {
+    pub browser: BrowserKind,
+    pub crawls: Vec<SiteCrawl>,
+}
+
+impl CrawlDataset {
+    /// Sites whose authentication flow completed.
+    pub fn completed(&self) -> impl Iterator<Item = &SiteCrawl> {
+        self.crawls.iter().filter(|c| c.outcome.completed())
+    }
+
+    /// §3.2 funnel summary: (total, unreachable, no-auth, blocked, failed,
+    /// completed).
+    pub fn funnel(&self) -> FunnelStats {
+        let mut stats = FunnelStats::default();
+        stats.total = self.crawls.len();
+        for c in &self.crawls {
+            match &c.outcome {
+                CrawlOutcome::Completed {
+                    email_confirmed,
+                    bot_detection_passed,
+                } => {
+                    stats.completed += 1;
+                    if *email_confirmed {
+                        stats.email_confirmed += 1;
+                    }
+                    if *bot_detection_passed {
+                        stats.bot_detection += 1;
+                    }
+                }
+                CrawlOutcome::Unreachable => stats.unreachable += 1,
+                CrawlOutcome::NoAuthFlow => stats.no_auth_flow += 1,
+                CrawlOutcome::SignupBlocked(_) => stats.signup_blocked += 1,
+                CrawlOutcome::SignupFailed(_) => stats.signup_failed += 1,
+            }
+        }
+        stats
+    }
+
+    /// Total delivered requests across the dataset.
+    pub fn delivered_request_count(&self) -> usize {
+        self.crawls.iter().map(|c| c.delivered().count()).sum()
+    }
+
+    /// Find one site's crawl.
+    pub fn site(&self, domain: &str) -> Option<&SiteCrawl> {
+        self.crawls.iter().find(|c| c.domain == domain)
+    }
+}
+
+/// §3.2 funnel counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunnelStats {
+    pub total: usize,
+    pub completed: usize,
+    pub unreachable: usize,
+    pub no_auth_flow: usize,
+    pub signup_blocked: usize,
+    pub signup_failed: usize,
+    pub email_confirmed: usize,
+    pub bot_detection: usize,
+}

@@ -1,0 +1,296 @@
+//! The authentication-flow driver.
+
+use crate::capture::{CrawlDataset, CrawlOutcome, SiteCrawl};
+use parking_lot::Mutex;
+use pii_browser::engine::{Browser, PageContext};
+use pii_browser::profiles::BrowserKind;
+use pii_dns::PublicSuffixList;
+use pii_net::Url;
+use pii_web::site::{BlockReason, Site, SiteOutcome};
+use pii_web::Universe;
+
+/// Drives browsers through the site universe.
+pub struct Crawler<'a> {
+    universe: &'a Universe,
+    psl: PublicSuffixList,
+    /// Worker threads for the crawl fan-out.
+    pub workers: usize,
+}
+
+impl<'a> Crawler<'a> {
+    pub fn new(universe: &'a Universe) -> Crawler<'a> {
+        Crawler {
+            universe,
+            psl: PublicSuffixList::embedded(),
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+        }
+    }
+
+    /// Crawl every site with the given browser profile.
+    pub fn run(&self, kind: BrowserKind) -> CrawlDataset {
+        self.run_on(kind, None)
+    }
+
+    /// Crawl a subset of sites (e.g. the 130 leaking senders for §7.1's
+    /// browser-comparison pass).
+    pub fn run_on(&self, kind: BrowserKind, filter: Option<&[String]>) -> CrawlDataset {
+        self.run_with_profile(kind.profile(), filter)
+    }
+
+    /// Crawl with an explicit (possibly counterfactual) browser profile —
+    /// used by `pii-analysis::counterfactual` for the strict-referrer
+    /// what-if experiment.
+    pub fn run_with_profile(
+        &self,
+        profile: pii_browser::profiles::BrowserProfile,
+        filter: Option<&[String]>,
+    ) -> CrawlDataset {
+        let sites: Vec<&Site> = self
+            .universe
+            .sites
+            .iter()
+            .filter(|s| filter.is_none_or(|f| f.contains(&s.domain)))
+            .collect();
+        let results: Mutex<Vec<(usize, SiteCrawl)>> = Mutex::new(Vec::with_capacity(sites.len()));
+        let next: Mutex<usize> = Mutex::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.workers.max(1) {
+                scope.spawn(|_| {
+                    let mut browser = Browser::with_profile(
+                        profile.clone(),
+                        &self.psl,
+                        &self.universe.zones,
+                        &self.universe.persona,
+                    );
+                    loop {
+                        let index = {
+                            let mut guard = next.lock();
+                            let i = *guard;
+                            if i >= sites.len() {
+                                break;
+                            }
+                            *guard += 1;
+                            i
+                        };
+                        let crawl = crawl_site(&mut browser, sites[index]);
+                        results.lock().push((index, crawl));
+                    }
+                });
+            }
+        })
+        .expect("crawl worker panicked");
+        let mut results = results.into_inner();
+        results.sort_by_key(|(i, _)| *i);
+        CrawlDataset {
+            browser: profile.kind,
+            crawls: results.into_iter().map(|(_, c)| c).collect(),
+        }
+    }
+}
+
+/// Run the full §3.2 flow against one site.
+fn crawl_site(browser: &mut Browser, site: &Site) -> SiteCrawl {
+    browser.reset();
+    let mut records = Vec::new();
+    let page =
+        |path: &str| -> Url { Url::parse(&format!("https://{}{}", site.domain, path)).unwrap() };
+
+    let outcome = match &site.outcome {
+        SiteOutcome::Unreachable => CrawlOutcome::Unreachable,
+        SiteOutcome::NoAuthFlow => {
+            // Browse the homepage, find no form, move on.
+            records.extend(browser.load_page(site, &PageContext::get(page("/"), "/", false)));
+            CrawlOutcome::NoAuthFlow
+        }
+        SiteOutcome::SignupBlocked(reason) => {
+            records.extend(browser.load_page(site, &PageContext::get(page("/"), "/", false)));
+            records.extend(
+                browser.load_page(site, &PageContext::get(page("/signup"), "/signup", false)),
+            );
+            CrawlOutcome::SignupBlocked(
+                match reason {
+                    BlockReason::PhoneVerification => "phone verification required",
+                    BlockReason::IdentityDocuments => "identity documents required",
+                    BlockReason::GeoBlocked => "account creation blocked for global customers",
+                }
+                .to_string(),
+            )
+        }
+        SiteOutcome::Ok {
+            email_confirmation,
+            bot_detection,
+        } => {
+            // 1–2: homepage and sign-up form.
+            records.extend(browser.load_page(site, &PageContext::get(page("/"), "/", false)));
+            records.extend(
+                browser.load_page(site, &PageContext::get(page("/signup"), "/signup", false)),
+            );
+            if !browser.signup_can_complete(site) {
+                // Brave Shields vs. nykaa.com's CAPTCHA.
+                CrawlOutcome::SignupFailed("shields broke CAPTCHA verification".to_string())
+            } else {
+                // 3: submit the filled form.
+                let submit_url = browser.form_submit_url(site);
+                records.extend(browser.load_page(
+                    site,
+                    &PageContext {
+                        document_url: submit_url,
+                        path: "/welcome".into(),
+                        pii_known: true,
+                        form_post: browser.form_post_body(site),
+                    },
+                ));
+                // 4: email confirmation when required ("we open another
+                // browser and got the email confirmation link").
+                if *email_confirmation {
+                    let confirm = page("/confirm").with_query_param("token", "c0nf1rm");
+                    records.extend(
+                        browser.load_page(site, &PageContext::get(confirm, "/confirm", true)),
+                    );
+                }
+                // 5: sign in with the created account.
+                records.extend(
+                    browser.load_page(site, &PageContext::get(page("/signin"), "/signin", true)),
+                );
+                // 6: reload logged-in.
+                records.extend(
+                    browser.load_page(site, &PageContext::get(page("/account"), "/account", true)),
+                );
+                // 7: click a product link (subpage).
+                records.extend(browser.load_page(
+                    site,
+                    &PageContext::get(page("/products/1"), "/products/1", true),
+                ));
+                CrawlOutcome::Completed {
+                    email_confirmed: *email_confirmation,
+                    bot_detection_passed: *bot_detection,
+                }
+            }
+        }
+    };
+
+    SiteCrawl {
+        domain: site.domain.clone(),
+        outcome,
+        records,
+        stored_cookies: browser.jar().all().into_iter().cloned().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::FunnelStats;
+
+    fn dataset() -> (Universe, CrawlDataset) {
+        let u = Universe::generate();
+        let crawler = Crawler::new(&u);
+        let ds = crawler.run(BrowserKind::Firefox88Vanilla);
+        (u, ds)
+    }
+
+    #[test]
+    fn funnel_reproduces_section_3_2() {
+        let (_u, ds) = dataset();
+        let f = ds.funnel();
+        assert_eq!(
+            f,
+            FunnelStats {
+                total: 404,
+                completed: 307,
+                unreachable: 22,
+                no_auth_flow: 19,
+                signup_blocked: 56,
+                signup_failed: 0,
+                email_confirmed: 68,
+                bot_detection: 43,
+            }
+        );
+    }
+
+    #[test]
+    fn crawl_is_deterministic_despite_threads() {
+        let u = Universe::generate();
+        let crawler = Crawler::new(&u);
+        let a = crawler.run(BrowserKind::Firefox88Vanilla);
+        let b = crawler.run(BrowserKind::Firefox88Vanilla);
+        assert_eq!(a.crawls.len(), b.crawls.len());
+        for (x, y) in a.crawls.iter().zip(&b.crawls) {
+            assert_eq!(x.domain, y.domain);
+            assert_eq!(x.records.len(), y.records.len(), "{}", x.domain);
+            for (rx, ry) in x.records.iter().zip(&y.records) {
+                assert_eq!(rx.request, ry.request, "{}", x.domain);
+            }
+        }
+    }
+
+    #[test]
+    fn completed_crawls_have_full_flow_traffic() {
+        let (u, ds) = dataset();
+        let sender = u.sender_sites().next().unwrap();
+        let crawl = ds.site(&sender.domain).unwrap();
+        assert!(crawl.outcome.completed());
+        // At least: 6 document loads + subresources.
+        let documents = crawl
+            .records
+            .iter()
+            .filter(|r| r.request.kind == pii_net::http::ResourceKind::Document)
+            .count();
+        assert!(documents >= 6, "expected ≥6 documents, got {documents}");
+        assert!(!crawl.stored_cookies.is_empty());
+    }
+
+    #[test]
+    fn unreachable_sites_produce_no_traffic() {
+        let (u, ds) = dataset();
+        let dead = u
+            .sites
+            .iter()
+            .find(|s| s.outcome == SiteOutcome::Unreachable)
+            .unwrap();
+        let crawl = ds.site(&dead.domain).unwrap();
+        assert_eq!(crawl.outcome, CrawlOutcome::Unreachable);
+        assert!(crawl.records.is_empty());
+    }
+
+    #[test]
+    fn brave_fails_exactly_nykaa() {
+        let u = Universe::generate();
+        let crawler = Crawler::new(&u);
+        let ds = crawler.run(BrowserKind::Brave129);
+        let failed: Vec<&str> = ds
+            .crawls
+            .iter()
+            .filter(|c| matches!(c.outcome, CrawlOutcome::SignupFailed(_)))
+            .map(|c| c.domain.as_str())
+            .collect();
+        assert_eq!(failed, vec!["nykaa.com"]);
+        assert_eq!(ds.funnel().completed, 306);
+    }
+
+    #[test]
+    fn filtered_crawl_only_visits_requested_sites() {
+        let u = Universe::generate();
+        let crawler = Crawler::new(&u);
+        let targets: Vec<String> = u.sender_sites().take(5).map(|s| s.domain.clone()).collect();
+        let ds = crawler.run_on(BrowserKind::Chrome93, Some(&targets));
+        assert_eq!(ds.crawls.len(), 5);
+        for c in &ds.crawls {
+            assert!(targets.contains(&c.domain));
+        }
+    }
+
+    #[test]
+    fn dataset_round_trips_through_json() {
+        let u = Universe::generate();
+        let crawler = Crawler::new(&u);
+        let targets: Vec<String> = u.sender_sites().take(2).map(|s| s.domain.clone()).collect();
+        let ds = crawler.run_on(BrowserKind::Firefox88Vanilla, Some(&targets));
+        let json = serde_json::to_string(&ds).unwrap();
+        let back: CrawlDataset = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.crawls.len(), ds.crawls.len());
+        assert_eq!(back.delivered_request_count(), ds.delivered_request_count());
+    }
+}

@@ -1,0 +1,28 @@
+//! # pii-crawler
+//!
+//! The §3.2 measurement pipeline: drive the simulated browser through every
+//! site's authentication flow like the paper's human operator did, and
+//! capture "HTTP requests (URLs, headers, and payload body — if any), HTTP
+//! responses (URLs and headers), and cookies (both those set/sent and a copy
+//! of stored browser cookies)".
+//!
+//! The flow per crawlable site:
+//!
+//! 1. visit the homepage,
+//! 2. open the sign-up form and fill it with the persona,
+//! 3. submit (GET forms navigate with the PII in the URL),
+//! 4. follow the email-confirmation link when the site requires it,
+//! 5. sign in with the created account,
+//! 6. reload the site logged-in,
+//! 7. click through to a product subpage.
+//!
+//! [`Crawler::run`] fans sites out over worker threads (crossbeam scoped
+//! threads + a parking_lot-protected sink); everything is deterministic
+//! because the browser engine is.
+
+pub mod capture;
+pub mod flow;
+pub mod har;
+
+pub use capture::{CrawlDataset, CrawlOutcome, SiteCrawl};
+pub use flow::Crawler;

@@ -1,0 +1,269 @@
+//! Public Suffix List engine.
+//!
+//! Full PSL semantics — normal rules, wildcard rules (`*.ck`), exception
+//! rules (`!www.ck`), longest-match-wins, unknown-TLD fallback — over an
+//! embedded snapshot of the suffixes that occur in the simulated web (plus
+//! the exotic ones needed to exercise the algorithm). The parser accepts the
+//! upstream file format, so a user can load the real list with
+//! [`PublicSuffixList::parse`].
+
+use std::collections::HashSet;
+
+/// Embedded snapshot in upstream `public_suffix_list.dat` format.
+const EMBEDDED: &str = r"
+// ===BEGIN ICANN DOMAINS===
+com
+net
+org
+io
+info
+biz
+app
+dev
+shop
+store
+site
+xyz
+online
+co
+jp
+co.jp
+ne.jp
+or.jp
+uk
+co.uk
+org.uk
+ac.uk
+de
+fr
+ru
+com.ru
+in
+co.in
+br
+com.br
+au
+com.au
+cn
+com.cn
+us
+ca
+it
+es
+nl
+se
+ch
+kr
+co.kr
+mx
+com.mx
+tr
+com.tr
+// wildcard + exception rules (exercise full PSL semantics)
+ck
+*.ck
+!www.ck
+// ===END ICANN DOMAINS===
+// ===BEGIN PRIVATE DOMAINS===
+herokuapp.com
+github.io
+// ===END PRIVATE DOMAINS===
+";
+
+/// A parsed Public Suffix List.
+#[derive(Debug, Clone)]
+pub struct PublicSuffixList {
+    rules: HashSet<String>,
+    wildcards: HashSet<String>,
+    exceptions: HashSet<String>,
+}
+
+impl PublicSuffixList {
+    /// Parse the upstream file format (comments start with `//`).
+    pub fn parse(text: &str) -> Self {
+        let mut rules = HashSet::new();
+        let mut wildcards = HashSet::new();
+        let mut exceptions = HashSet::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with("//") {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('!') {
+                exceptions.insert(rest.to_ascii_lowercase());
+            } else if let Some(rest) = line.strip_prefix("*.") {
+                wildcards.insert(rest.to_ascii_lowercase());
+            } else {
+                rules.insert(line.to_ascii_lowercase());
+            }
+        }
+        PublicSuffixList {
+            rules,
+            wildcards,
+            exceptions,
+        }
+    }
+
+    /// The embedded snapshot used throughout the simulation.
+    pub fn embedded() -> Self {
+        Self::parse(EMBEDDED)
+    }
+
+    /// Length (in labels) of the public suffix of `host`, or 0 when no rule
+    /// matches (the PSL prescribes treating the last label as the suffix
+    /// then — see [`PublicSuffixList::public_suffix`]).
+    fn suffix_label_count(&self, labels: &[&str]) -> usize {
+        let mut best = 0usize;
+        for start in 0..labels.len() {
+            let candidate = labels[start..].join(".");
+            if self.exceptions.contains(&candidate) {
+                // Exception rule: the suffix is one label shorter.
+                return labels.len() - start - 1;
+            }
+            if self.rules.contains(&candidate) {
+                best = best.max(labels.len() - start);
+            }
+            // Wildcard `*.foo` matches `<anything>.foo`.
+            if start + 1 < labels.len() {
+                let parent = labels[start + 1..].join(".");
+                if self.wildcards.contains(&parent) {
+                    best = best.max(labels.len() - start);
+                }
+            }
+        }
+        best
+    }
+
+    /// The public suffix (eTLD) of `host`.
+    pub fn public_suffix(&self, host: &str) -> String {
+        let host = host.trim_end_matches('.').to_ascii_lowercase();
+        let labels: Vec<&str> = host.split('.').collect();
+        let n = self.suffix_label_count(&labels);
+        if n == 0 {
+            // Unknown TLD: the prevailing rule is "*": last label.
+            labels.last().copied().unwrap_or("").to_string()
+        } else {
+            labels[labels.len() - n..].join(".")
+        }
+    }
+
+    /// The registrable domain (eTLD+1) of `host`, or `None` when the host
+    /// *is* a public suffix.
+    pub fn registrable_domain(&self, host: &str) -> Option<String> {
+        let host = host.trim_end_matches('.').to_ascii_lowercase();
+        let labels: Vec<&str> = host.split('.').collect();
+        let n = match self.suffix_label_count(&labels) {
+            0 => 1, // unknown TLD fallback
+            n => n,
+        };
+        if labels.len() <= n {
+            return None;
+        }
+        Some(labels[labels.len() - n - 1..].join("."))
+    }
+
+    /// Whether two hosts belong to the same site (same registrable domain).
+    pub fn same_site(&self, a: &str, b: &str) -> bool {
+        match (self.registrable_domain(a), self.registrable_domain(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psl() -> PublicSuffixList {
+        PublicSuffixList::embedded()
+    }
+
+    #[test]
+    fn simple_tld() {
+        assert_eq!(psl().public_suffix("shop.example.com"), "com");
+        assert_eq!(
+            psl().registrable_domain("shop.example.com").as_deref(),
+            Some("example.com")
+        );
+        assert_eq!(
+            psl().registrable_domain("example.com").as_deref(),
+            Some("example.com")
+        );
+    }
+
+    #[test]
+    fn cc_second_level() {
+        assert_eq!(psl().public_suffix("www.shop.co.jp"), "co.jp");
+        assert_eq!(
+            psl().registrable_domain("www.shop.co.jp").as_deref(),
+            Some("shop.co.jp")
+        );
+    }
+
+    #[test]
+    fn bare_suffix_has_no_registrable_domain() {
+        assert_eq!(psl().registrable_domain("com"), None);
+        assert_eq!(psl().registrable_domain("co.uk"), None);
+    }
+
+    #[test]
+    fn wildcard_rule() {
+        // *.ck: anything.ck is a suffix, so x.anything.ck registers.
+        assert_eq!(psl().public_suffix("foo.bar.ck"), "bar.ck");
+        assert_eq!(
+            psl().registrable_domain("x.foo.bar.ck").as_deref(),
+            Some("foo.bar.ck")
+        );
+        assert_eq!(psl().registrable_domain("bar.ck"), None);
+    }
+
+    #[test]
+    fn exception_rule() {
+        // !www.ck: www.ck is registrable despite *.ck.
+        assert_eq!(
+            psl().registrable_domain("www.ck").as_deref(),
+            Some("www.ck")
+        );
+        assert_eq!(
+            psl().registrable_domain("sub.www.ck").as_deref(),
+            Some("www.ck")
+        );
+    }
+
+    #[test]
+    fn private_domain_rules() {
+        // herokuapp.com is a suffix: each app is its own site — this is why
+        // Brave missing herokuapp.com matters in §7.1.
+        assert_eq!(
+            psl().registrable_domain("myapp.herokuapp.com").as_deref(),
+            Some("myapp.herokuapp.com")
+        );
+        assert!(!psl().same_site("a.herokuapp.com", "b.herokuapp.com"));
+    }
+
+    #[test]
+    fn unknown_tld_falls_back_to_last_label() {
+        assert_eq!(psl().public_suffix("host.weirdtld"), "weirdtld");
+        assert_eq!(
+            psl().registrable_domain("a.b.weirdtld").as_deref(),
+            Some("b.weirdtld")
+        );
+    }
+
+    #[test]
+    fn same_site_classification() {
+        let p = psl();
+        assert!(p.same_site("www.shop.com", "api.shop.com"));
+        assert!(!p.same_site("shop.com", "tracker.net"));
+        assert!(!p.same_site("a.co.uk", "co.uk"));
+    }
+
+    #[test]
+    fn case_and_trailing_dot_normalised() {
+        assert_eq!(
+            psl().registrable_domain("WWW.Example.COM.").as_deref(),
+            Some("example.com")
+        );
+    }
+}

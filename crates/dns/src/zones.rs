@@ -1,0 +1,164 @@
+//! Simulated DNS: zone store and CNAME-chain-following resolver.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A DNS resource record (the simulation needs only A and CNAME).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Record {
+    /// An address record; the value is an opaque address string.
+    A(String),
+    /// An alias to another name.
+    Cname(String),
+}
+
+impl Record {
+    pub fn a(addr: &str) -> Record {
+        Record::A(addr.to_string())
+    }
+
+    pub fn cname(target: &str) -> Record {
+        Record::Cname(target.to_ascii_lowercase())
+    }
+}
+
+/// Result of resolving a name: the CNAME chain walked (excluding the query
+/// name itself) and the final address, if any.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Resolution {
+    /// CNAME targets in the order encountered.
+    pub cname_chain: Vec<String>,
+    /// Terminal A record, or `None` (NXDOMAIN / dangling CNAME).
+    pub address: Option<String>,
+}
+
+impl Resolution {
+    /// True when the name resolved through at least one CNAME.
+    pub fn is_aliased(&self) -> bool {
+        !self.cname_chain.is_empty()
+    }
+}
+
+/// The authoritative store for the entire simulated internet.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ZoneStore {
+    records: HashMap<String, Record>,
+}
+
+impl ZoneStore {
+    pub fn new() -> Self {
+        ZoneStore::default()
+    }
+
+    /// Insert or replace the record for `name`.
+    pub fn insert(&mut self, name: &str, record: Record) {
+        self.records.insert(name.to_ascii_lowercase(), record);
+    }
+
+    /// Look up the record for exactly `name`.
+    pub fn lookup(&self, name: &str) -> Option<&Record> {
+        self.records.get(&name.to_ascii_lowercase())
+    }
+
+    /// Resolve `name`, following CNAMEs (bounded at 16 hops, as resolvers
+    /// do, so a zone misconfiguration cannot loop forever).
+    ///
+    /// Unregistered names get a synthetic address: the simulated web treats
+    /// every syntactically valid host as reachable unless the universe marks
+    /// it unreachable, matching how the crawler experiences the real web.
+    pub fn resolve(&self, name: &str) -> Resolution {
+        let mut chain = Vec::new();
+        let mut current = name.to_ascii_lowercase();
+        for _ in 0..16 {
+            match self.records.get(&current) {
+                Some(Record::Cname(target)) => {
+                    chain.push(target.clone());
+                    current = target.clone();
+                }
+                Some(Record::A(addr)) => {
+                    return Resolution {
+                        cname_chain: chain,
+                        address: Some(addr.clone()),
+                    };
+                }
+                None => {
+                    return Resolution {
+                        cname_chain: chain,
+                        address: Some(format!("synthetic:{current}")),
+                    };
+                }
+            }
+        }
+        Resolution {
+            cname_chain: chain,
+            address: None,
+        }
+    }
+
+    /// Iterate over all (name, record) pairs (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Record)> {
+        self.records.iter().map(|(n, r)| (n.as_str(), r))
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_a_record() {
+        let mut z = ZoneStore::new();
+        z.insert("Example.COM", Record::a("198.51.100.1"));
+        let r = z.resolve("example.com");
+        assert_eq!(r.address.as_deref(), Some("198.51.100.1"));
+        assert!(!r.is_aliased());
+    }
+
+    #[test]
+    fn cname_chain_is_followed() {
+        let mut z = ZoneStore::new();
+        z.insert("metrics.shop.com", Record::cname("shop.com.eulerian.net"));
+        z.insert("shop.com.eulerian.net", Record::cname("edge.eulerian.net"));
+        z.insert("edge.eulerian.net", Record::a("203.0.113.5"));
+        let r = z.resolve("metrics.shop.com");
+        assert_eq!(
+            r.cname_chain,
+            vec!["shop.com.eulerian.net", "edge.eulerian.net"]
+        );
+        assert_eq!(r.address.as_deref(), Some("203.0.113.5"));
+    }
+
+    #[test]
+    fn unknown_names_get_synthetic_addresses() {
+        let z = ZoneStore::new();
+        let r = z.resolve("anything.example.net");
+        assert_eq!(r.address.as_deref(), Some("synthetic:anything.example.net"));
+    }
+
+    #[test]
+    fn dangling_cname_resolves_to_synthetic_tail() {
+        let mut z = ZoneStore::new();
+        z.insert("a.com", Record::cname("gone.invalid"));
+        let r = z.resolve("a.com");
+        assert_eq!(r.cname_chain, vec!["gone.invalid"]);
+        assert!(r.address.is_some());
+    }
+
+    #[test]
+    fn cname_loop_terminates() {
+        let mut z = ZoneStore::new();
+        z.insert("a.com", Record::cname("b.com"));
+        z.insert("b.com", Record::cname("a.com"));
+        let r = z.resolve("a.com");
+        assert_eq!(r.address, None);
+        assert!(r.cname_chain.len() <= 16);
+    }
+}

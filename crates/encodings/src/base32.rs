@@ -1,0 +1,132 @@
+//! Base32 (RFC 4648 §6) and Base32hex (§7), with `=` padding.
+
+use crate::DecodeError;
+
+const STD: &[u8; 32] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ234567";
+const HEX: &[u8; 32] = b"0123456789ABCDEFGHIJKLMNOPQRSTUV";
+
+fn encode_with(alphabet: &[u8; 32], data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(5) * 8);
+    for chunk in data.chunks(5) {
+        let mut acc = 0u64;
+        for (i, &b) in chunk.iter().enumerate() {
+            acc |= (b as u64) << (32 - 8 * i);
+        }
+        let symbols = match chunk.len() {
+            1 => 2,
+            2 => 4,
+            3 => 5,
+            4 => 7,
+            _ => 8,
+        };
+        for i in 0..8 {
+            if i < symbols {
+                out.push(alphabet[((acc >> (35 - 5 * i)) & 31) as usize] as char);
+            } else {
+                out.push('=');
+            }
+        }
+    }
+    out
+}
+
+fn decode_with(alphabet: &[u8; 32], data: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    let mut rev = [255u8; 256];
+    for (i, &c) in alphabet.iter().enumerate() {
+        rev[c as usize] = i as u8;
+    }
+    let mut end = data.len();
+    while end > 0 && data[end - 1] == b'=' {
+        end -= 1;
+    }
+    let body = &data[..end];
+    // Valid unpadded lengths mod 8: 0, 2, 4, 5, 7.
+    if matches!(body.len() % 8, 1 | 3 | 6) {
+        return Err(DecodeError::InvalidLength);
+    }
+    let mut out = Vec::with_capacity(body.len() * 5 / 8);
+    let mut acc = 0u64;
+    let mut bits = 0u32;
+    for (i, &c) in body.iter().enumerate() {
+        let v = rev[c as usize];
+        if v == 255 {
+            return Err(DecodeError::InvalidByte(i));
+        }
+        acc = (acc << 5) | v as u64;
+        bits += 5;
+        if bits >= 8 {
+            bits -= 8;
+            out.push((acc >> bits) as u8);
+        }
+    }
+    if bits > 0 && acc & ((1 << bits) - 1) != 0 {
+        return Err(DecodeError::InvalidPadding);
+    }
+    Ok(out)
+}
+
+/// RFC 4648 Base32 with padding.
+pub fn encode(data: &[u8]) -> String {
+    encode_with(STD, data)
+}
+
+/// Decode RFC 4648 Base32; padding optional.
+pub fn decode(data: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    decode_with(STD, data)
+}
+
+/// RFC 4648 Base32hex with padding.
+pub fn encode_hex_alphabet(data: &[u8]) -> String {
+    encode_with(HEX, data)
+}
+
+/// Decode Base32hex; padding optional.
+pub fn decode_hex_alphabet(data: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    decode_with(HEX, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_base32_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "MY======");
+        assert_eq!(encode(b"fo"), "MZXQ====");
+        assert_eq!(encode(b"foo"), "MZXW6===");
+        assert_eq!(encode(b"foob"), "MZXW6YQ=");
+        assert_eq!(encode(b"fooba"), "MZXW6YTB");
+        assert_eq!(encode(b"foobar"), "MZXW6YTBOI======");
+    }
+
+    #[test]
+    fn rfc4648_base32hex_vectors() {
+        assert_eq!(encode_hex_alphabet(b""), "");
+        assert_eq!(encode_hex_alphabet(b"f"), "CO======");
+        assert_eq!(encode_hex_alphabet(b"fo"), "CPNG====");
+        assert_eq!(encode_hex_alphabet(b"foo"), "CPNMU===");
+        assert_eq!(encode_hex_alphabet(b"foob"), "CPNMUOG=");
+        assert_eq!(encode_hex_alphabet(b"fooba"), "CPNMUOJ1");
+        assert_eq!(encode_hex_alphabet(b"foobar"), "CPNMUOJ1E8======");
+    }
+
+    #[test]
+    fn decode_roundtrip_and_unpadded() {
+        assert_eq!(decode(b"MZXW6YQ=").unwrap(), b"foob");
+        assert_eq!(decode(b"MZXW6YQ").unwrap(), b"foob");
+        assert_eq!(decode_hex_alphabet(b"CPNMUOG").unwrap(), b"foob");
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(decode(b"M").is_err(), "1 mod 8 impossible");
+        assert!(decode(b"MZXW6Y1=").is_err(), "1 not in std alphabet");
+        assert!(decode_hex_alphabet(b"CPNG").is_ok());
+        assert!(decode_hex_alphabet(b"cpng").is_err(), "lowercase rejected");
+        assert!(
+            decode_hex_alphabet(b"CPNW").is_err(),
+            "non-canonical trailing bits rejected"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Base64 (RFC 4648 §4) and URL-safe Base64 without padding (§5).
+
+use crate::DecodeError;
+
+const STD: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+const URL: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+fn encode_with(alphabet: &[u8; 64], data: &[u8], pad: bool) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let n = (b0 << 16) | (b1 << 8) | b2;
+        out.push(alphabet[(n >> 18) as usize & 63] as char);
+        out.push(alphabet[(n >> 12) as usize & 63] as char);
+        if chunk.len() > 1 {
+            out.push(alphabet[(n >> 6) as usize & 63] as char);
+        } else if pad {
+            out.push('=');
+        }
+        if chunk.len() > 2 {
+            out.push(alphabet[n as usize & 63] as char);
+        } else if pad {
+            out.push('=');
+        }
+    }
+    out
+}
+
+fn decode_with(
+    alphabet: &[u8; 64],
+    data: &[u8],
+    require_pad: bool,
+) -> Result<Vec<u8>, DecodeError> {
+    let mut rev = [255u8; 256];
+    for (i, &c) in alphabet.iter().enumerate() {
+        rev[c as usize] = i as u8;
+    }
+    // Strip trailing padding.
+    let mut end = data.len();
+    let mut pad = 0;
+    while end > 0 && data[end - 1] == b'=' {
+        end -= 1;
+        pad += 1;
+    }
+    if pad > 2 {
+        return Err(DecodeError::InvalidPadding);
+    }
+    let body = &data[..end];
+    if require_pad && !(body.len() + pad).is_multiple_of(4) {
+        return Err(DecodeError::InvalidLength);
+    }
+    if body.len() % 4 == 1 {
+        return Err(DecodeError::InvalidLength);
+    }
+    let mut out = Vec::with_capacity(body.len() * 3 / 4);
+    let mut acc = 0u32;
+    let mut bits = 0u32;
+    for (i, &c) in body.iter().enumerate() {
+        let v = rev[c as usize];
+        if v == 255 {
+            return Err(DecodeError::InvalidByte(i));
+        }
+        acc = (acc << 6) | v as u32;
+        bits += 6;
+        if bits >= 8 {
+            bits -= 8;
+            out.push((acc >> bits) as u8);
+        }
+    }
+    // Leftover bits must be zero (canonical encoding).
+    if bits > 0 && acc & ((1 << bits) - 1) != 0 {
+        return Err(DecodeError::InvalidPadding);
+    }
+    Ok(out)
+}
+
+/// Standard Base64 with `=` padding.
+pub fn encode(data: &[u8]) -> String {
+    encode_with(STD, data, true)
+}
+
+/// Decode standard Base64; tolerates missing padding.
+pub fn decode(data: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    decode_with(STD, data, false)
+}
+
+/// URL-safe Base64 without padding (the form seen in tracker query strings).
+pub fn encode_url(data: &[u8]) -> String {
+    encode_with(URL, data, false)
+}
+
+/// Decode URL-safe Base64 (padding optional).
+pub fn decode_url(data: &[u8]) -> Result<Vec<u8>, DecodeError> {
+    decode_with(URL, data, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn decodes_with_and_without_padding() {
+        assert_eq!(decode(b"Zm9vYg==").unwrap(), b"foob");
+        assert_eq!(decode(b"Zm9vYg").unwrap(), b"foob");
+    }
+
+    #[test]
+    fn url_safe_alphabet_differs() {
+        // 0xfb 0xff encodes to chars that hit + and / in the std alphabet.
+        let data = [0xfbu8, 0xef, 0xbe];
+        assert!(encode(&data).contains('+') || encode(&data).contains('/'));
+        let url = encode_url(&data);
+        assert!(!url.contains('+') && !url.contains('/') && !url.contains('='));
+        assert_eq!(decode_url(url.as_bytes()).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(decode(b"Zm9v!").is_err());
+        assert!(decode(b"A").is_err(), "length 1 mod 4 impossible");
+        assert!(decode(b"====").is_err());
+        // Non-canonical trailing bits: "Zh" would decode to f + nonzero bits.
+        assert!(decode(b"Zh").is_err());
+    }
+
+    #[test]
+    fn email_fixture() {
+        assert_eq!(encode(b"foo@mydom.com"), "Zm9vQG15ZG9tLmNvbQ==");
+    }
+}

@@ -1,0 +1,123 @@
+//! Percent-encoding (RFC 3986) and `application/x-www-form-urlencoded`.
+//!
+//! `pii-net` uses these for URL parsing; the leak detector uses
+//! [`decode_lossy`] to unwrap query strings before token matching, because
+//! trackers URL-encode the `@` in plaintext email parameters.
+
+/// Bytes that never need escaping in a query component ("unreserved").
+fn is_unreserved(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b'~')
+}
+
+/// Percent-encode arbitrary bytes for use in a URL query component.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len());
+    for &b in data {
+        if is_unreserved(b) {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push(
+                char::from_digit((b >> 4) as u32, 16)
+                    .unwrap()
+                    .to_ascii_uppercase(),
+            );
+            out.push(
+                char::from_digit((b & 15) as u32, 16)
+                    .unwrap()
+                    .to_ascii_uppercase(),
+            );
+        }
+    }
+    out
+}
+
+/// Form-encode: like [`encode`] but spaces become `+`.
+pub fn encode_form(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len());
+    for &b in data {
+        if b == b' ' {
+            out.push('+');
+        } else if is_unreserved(b) {
+            out.push(b as char);
+        } else {
+            out.push('%');
+            out.push(
+                char::from_digit((b >> 4) as u32, 16)
+                    .unwrap()
+                    .to_ascii_uppercase(),
+            );
+            out.push(
+                char::from_digit((b & 15) as u32, 16)
+                    .unwrap()
+                    .to_ascii_uppercase(),
+            );
+        }
+    }
+    out
+}
+
+/// Decode percent-escapes, passing malformed escapes through verbatim (the
+/// behaviour browsers exhibit, and what a robust scanner needs).
+pub fn decode_lossy(s: &str) -> Vec<u8> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            if let (Some(hi), Some(lo)) = (
+                bytes.get(i + 1).and_then(|&c| (c as char).to_digit(16)),
+                bytes.get(i + 2).and_then(|&c| (c as char).to_digit(16)),
+            ) {
+                out.push(((hi << 4) | lo) as u8);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i]);
+        i += 1;
+    }
+    out
+}
+
+/// Form-decode: `+` means space, then percent-decode.
+pub fn decode_form_lossy(s: &str) -> Vec<u8> {
+    decode_lossy(&s.replace('+', " "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_reserved_characters() {
+        assert_eq!(encode(b"foo@mydom.com"), "foo%40mydom.com");
+        assert_eq!(encode(b"a b&c=d"), "a%20b%26c%3Dd");
+        assert_eq!(encode(b"safe-chars_.~AZ09"), "safe-chars_.~AZ09");
+    }
+
+    #[test]
+    fn form_encoding_uses_plus() {
+        assert_eq!(encode_form(b"Alice Doe"), "Alice+Doe");
+        assert_eq!(decode_form_lossy("Alice+Doe"), b"Alice Doe");
+    }
+
+    #[test]
+    fn decode_roundtrips() {
+        let data = b"foo@mydom.com & \xff\x00 stuff";
+        assert_eq!(decode_lossy(&encode(data)), data);
+    }
+
+    #[test]
+    fn malformed_escapes_pass_through() {
+        assert_eq!(decode_lossy("100%"), b"100%");
+        assert_eq!(decode_lossy("%zz"), b"%zz");
+        assert_eq!(decode_lossy("%4"), b"%4");
+        assert_eq!(decode_lossy("%40"), b"@");
+    }
+
+    #[test]
+    fn lowercase_escapes_accepted() {
+        assert_eq!(decode_lossy("%3a%3A"), b"::");
+    }
+}

@@ -1,0 +1,38 @@
+//! ROT13 — the only self-inverse "encoding" in the paper's appendix.
+//!
+//! Non-alphabetic bytes pass through unchanged, so an email address keeps
+//! its `@` and `.` landmarks — which is exactly why ROT13'd PII is still a
+//! findable token.
+
+/// Apply ROT13 (it is its own inverse).
+pub fn apply(data: &[u8]) -> Vec<u8> {
+    data.iter()
+        .map(|&b| match b {
+            b'a'..=b'z' => b'a' + (b - b'a' + 13) % 26,
+            b'A'..=b'Z' => b'A' + (b - b'A' + 13) % 26,
+            other => other,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_pairs() {
+        assert_eq!(apply(b"Hello"), b"Uryyb");
+        assert_eq!(apply(b"foo@mydom.com"), b"sbb@zlqbz.pbz");
+    }
+
+    #[test]
+    fn involution() {
+        let data = b"The Quick Brown Fox! 123 foo@mydom.com";
+        assert_eq!(apply(&apply(data)), data);
+    }
+
+    #[test]
+    fn non_alpha_untouched() {
+        assert_eq!(apply(b"123 !@#\xff\x00"), b"123 !@#\xff\x00");
+    }
+}

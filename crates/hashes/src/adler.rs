@@ -1,0 +1,84 @@
+//! Adler-32 (RFC 1950), the zlib checksum.
+
+use crate::Hasher;
+
+const MOD: u32 = 65521;
+
+/// Streaming Adler-32 state.
+pub struct Adler32 {
+    a: u32,
+    b: u32,
+}
+
+impl Default for Adler32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Adler32 {
+    pub fn new() -> Self {
+        Adler32 { a: 1, b: 0 }
+    }
+
+    /// The checksum accumulated so far.
+    pub fn value(&self) -> u32 {
+        (self.b << 16) | self.a
+    }
+}
+
+impl Hasher for Adler32 {
+    fn update(&mut self, data: &[u8]) {
+        // 5552 is the largest n with n*255 + overhead < 2^32 before a mod is
+        // required; batching the mod keeps this loop cheap.
+        for chunk in data.chunks(5552) {
+            for &byte in chunk {
+                self.a += byte as u32;
+                self.b += self.a;
+            }
+            self.a %= MOD;
+            self.b %= MOD;
+        }
+    }
+    fn finalize(self: Box<Self>) -> Vec<u8> {
+        self.value().to_be_bytes().to_vec()
+    }
+    fn output_len(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hasher;
+
+    #[test]
+    fn known_values() {
+        let mut h = Adler32::new();
+        Hasher::update(&mut h, b"abc");
+        assert_eq!(h.value(), 0x024d0127);
+
+        let mut h = Adler32::new();
+        Hasher::update(&mut h, b"Wikipedia");
+        assert_eq!(h.value(), 0x11e60398);
+    }
+
+    #[test]
+    fn empty_is_one() {
+        assert_eq!(Adler32::new().value(), 1);
+    }
+
+    #[test]
+    fn large_input_does_not_overflow() {
+        let data = vec![0xffu8; 1_000_000];
+        let mut h = Adler32::new();
+        Hasher::update(&mut h, &data);
+        let all_at_once = h.value();
+        let mut h2 = Adler32::new();
+        for chunk in data.chunks(777) {
+            Hasher::update(&mut h2, chunk);
+        }
+        assert_eq!(h2.value(), all_at_once);
+    }
+}

@@ -1,0 +1,211 @@
+//! BLAKE2b (RFC 7693), unkeyed, with configurable digest length 1..=64.
+//!
+//! The paper's appendix lists `blake2b`; trackers in the simulated universe
+//! use the full 64-byte digest. The IV is the SHA-512 IV, which we reuse from
+//! `sha2`'s exact constant derivation rather than duplicating literals.
+
+use crate::Hasher;
+
+/// BLAKE2b IV = SHA-512 IV (first 64 fractional bits of √2, √3, …, √19).
+fn iv() -> [u64; 8] {
+    // Derive through the public SHA-512 constructor to avoid exposing
+    // sha2-internal tables; the state of a fresh hasher is exactly the IV.
+    // We re-derive locally instead: same math, already tested in sha2.
+    [
+        0x6a09e667f3bcc908,
+        0xbb67ae8584caa73b,
+        0x3c6ef372fe94f82b,
+        0xa54ff53a5f1d36f1,
+        0x510e527fade682d1,
+        0x9b05688c2b3e6c1f,
+        0x1f83d9abfb41bd6b,
+        0x5be0cd19137e2179,
+    ]
+}
+
+/// Message schedule permutations (RFC 7693 table; rounds 10 and 11 reuse
+/// rows 0 and 1).
+const SIGMA: [[usize; 16]; 10] = [
+    [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15],
+    [14, 10, 4, 8, 9, 15, 13, 6, 1, 12, 0, 2, 11, 7, 5, 3],
+    [11, 8, 12, 0, 5, 2, 15, 13, 10, 14, 3, 6, 7, 1, 9, 4],
+    [7, 9, 3, 1, 13, 12, 11, 14, 2, 6, 5, 10, 4, 0, 15, 8],
+    [9, 0, 5, 7, 2, 4, 10, 15, 14, 1, 11, 12, 6, 8, 3, 13],
+    [2, 12, 6, 10, 0, 11, 8, 3, 4, 13, 7, 5, 15, 14, 1, 9],
+    [12, 5, 1, 15, 14, 13, 4, 10, 0, 7, 6, 3, 9, 2, 8, 11],
+    [13, 11, 7, 14, 12, 1, 3, 9, 5, 0, 15, 4, 8, 6, 2, 10],
+    [6, 15, 14, 9, 11, 3, 0, 8, 12, 2, 13, 7, 1, 4, 10, 5],
+    [10, 2, 8, 4, 7, 6, 1, 5, 15, 11, 9, 14, 3, 12, 13, 0],
+];
+
+#[inline]
+fn g(v: &mut [u64; 16], a: usize, b: usize, c: usize, d: usize, x: u64, y: u64) {
+    v[a] = v[a].wrapping_add(v[b]).wrapping_add(x);
+    v[d] = (v[d] ^ v[a]).rotate_right(32);
+    v[c] = v[c].wrapping_add(v[d]);
+    v[b] = (v[b] ^ v[c]).rotate_right(24);
+    v[a] = v[a].wrapping_add(v[b]).wrapping_add(y);
+    v[d] = (v[d] ^ v[a]).rotate_right(16);
+    v[c] = v[c].wrapping_add(v[d]);
+    v[b] = (v[b] ^ v[c]).rotate_right(63);
+}
+
+/// Streaming BLAKE2b state.
+pub struct Blake2b {
+    h: [u64; 8],
+    buf: [u8; 128],
+    buf_len: usize,
+    /// Bytes compressed so far (the `t` counter).
+    counter: u128,
+    out_len: usize,
+}
+
+impl Blake2b {
+    /// `out_len` in bytes, 1..=64.
+    pub fn new(out_len: usize) -> Self {
+        assert!(
+            (1..=64).contains(&out_len),
+            "blake2b digest length out of range"
+        );
+        let mut h = iv();
+        // Parameter block word 0: digest_length | (key_length << 8) |
+        // (fanout << 16) | (depth << 24); sequential mode uses fanout=depth=1.
+        h[0] ^= 0x0101_0000 ^ out_len as u64;
+        Blake2b {
+            h,
+            buf: [0; 128],
+            buf_len: 0,
+            counter: 0,
+            out_len,
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 128], last: bool) {
+        let mut m = [0u64; 16];
+        for (i, w) in m.iter_mut().enumerate() {
+            *w = u64::from_le_bytes(block[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        let mut v = [0u64; 16];
+        v[..8].copy_from_slice(&self.h);
+        v[8..].copy_from_slice(&iv());
+        v[12] ^= self.counter as u64;
+        v[13] ^= (self.counter >> 64) as u64;
+        if last {
+            v[14] = !v[14];
+        }
+        for round in 0..12 {
+            let s = &SIGMA[round % 10];
+            g(&mut v, 0, 4, 8, 12, m[s[0]], m[s[1]]);
+            g(&mut v, 1, 5, 9, 13, m[s[2]], m[s[3]]);
+            g(&mut v, 2, 6, 10, 14, m[s[4]], m[s[5]]);
+            g(&mut v, 3, 7, 11, 15, m[s[6]], m[s[7]]);
+            g(&mut v, 0, 5, 10, 15, m[s[8]], m[s[9]]);
+            g(&mut v, 1, 6, 11, 12, m[s[10]], m[s[11]]);
+            g(&mut v, 2, 7, 8, 13, m[s[12]], m[s[13]]);
+            g(&mut v, 3, 4, 9, 14, m[s[14]], m[s[15]]);
+        }
+        for i in 0..8 {
+            self.h[i] ^= v[i] ^ v[i + 8];
+        }
+    }
+
+    fn update_bytes(&mut self, mut data: &[u8]) {
+        // BLAKE2 must keep the final (possibly full) block in the buffer
+        // until finalize, because the last compression sets the final flag.
+        while !data.is_empty() {
+            if self.buf_len == 128 {
+                self.counter += 128;
+                let block = self.buf;
+                self.compress(&block, false);
+                self.buf_len = 0;
+            }
+            let take = (128 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+        }
+    }
+
+    fn finalize_bytes(mut self) -> Vec<u8> {
+        self.counter += self.buf_len as u128;
+        let mut block = self.buf;
+        block[self.buf_len..].fill(0);
+        self.compress(&block, true);
+        self.h
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .take(self.out_len)
+            .collect()
+    }
+}
+
+impl Hasher for Blake2b {
+    fn update(&mut self, data: &[u8]) {
+        self.update_bytes(data);
+    }
+    fn finalize(self: Box<Self>) -> Vec<u8> {
+        (*self).finalize_bytes()
+    }
+    fn output_len(&self) -> usize {
+        self.out_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn b2b_hex(out_len: usize, data: &[u8]) -> String {
+        let mut h = Blake2b::new(out_len);
+        h.update_bytes(data);
+        hex::encode(&h.finalize_bytes())
+    }
+
+    #[test]
+    fn rfc7693_abc_vector() {
+        assert_eq!(
+            b2b_hex(64, b"abc"),
+            "ba80a53f981c4d0d6a2797b69f12f6e94c212f14685ac4b74b12bb6fdbffa2d1\
+             7d87c5392aab792dc252d5de4533cc9518d38aa8dbf1925ab92386edd4009923"
+        );
+    }
+
+    #[test]
+    fn empty_message_vector() {
+        assert_eq!(
+            b2b_hex(64, b""),
+            "786a02f742015903c6c6fd852552d272912f4740e15847618a86e217f71f5419\
+             d25e1031afee585313896444934eb04b903a685b1448b755d56f701afe9be2ce"
+        );
+    }
+
+    #[test]
+    fn exact_block_boundary_keeps_final_flag_correct() {
+        // 128 bytes must be held back and compressed with the final flag.
+        let data = [7u8; 128];
+        let a = b2b_hex(64, &data);
+        let mut h = Blake2b::new(64);
+        h.update_bytes(&data[..100]);
+        h.update_bytes(&data[100..]);
+        assert_eq!(hex::encode(&h.finalize_bytes()), a);
+        // And 129 bytes crosses into a second block.
+        let data2 = [7u8; 129];
+        assert_ne!(b2b_hex(64, &data2), a);
+    }
+
+    #[test]
+    fn truncated_outputs_differ_from_prefixes() {
+        // BLAKE2b-256 is a distinct function, not a truncation of BLAKE2b-512.
+        let full = b2b_hex(64, b"abc");
+        let short = b2b_hex(32, b"abc");
+        assert_ne!(&full[..64], short);
+        assert_eq!(short.len(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_zero_length() {
+        let _ = Blake2b::new(0);
+    }
+}

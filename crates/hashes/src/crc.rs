@@ -1,0 +1,157 @@
+//! CRC-16/ARC and CRC-32 (IEEE 802.3), both reflected, table-driven.
+
+use crate::Hasher;
+use std::sync::OnceLock;
+
+fn crc32_table() -> &'static [u32; 256] {
+    static T: OnceLock<[u32; 256]> = OnceLock::new();
+    T.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xedb88320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+fn crc16_table() -> &'static [u16; 256] {
+    static T: OnceLock<[u16; 256]> = OnceLock::new();
+    T.get_or_init(|| {
+        let mut t = [0u16; 256];
+        for (i, entry) in t.iter_mut().enumerate() {
+            let mut c = i as u16;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xa001 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *entry = c;
+        }
+        t
+    })
+}
+
+/// Streaming CRC-32 (IEEE). Digest is the big-endian checksum so the hex
+/// rendering matches the conventional printed form.
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    pub fn new() -> Self {
+        Crc32 { state: 0xffff_ffff }
+    }
+
+    /// The checksum value accumulated so far.
+    pub fn value(&self) -> u32 {
+        !self.state
+    }
+}
+
+impl Hasher for Crc32 {
+    fn update(&mut self, data: &[u8]) {
+        let t = crc32_table();
+        for &b in data {
+            self.state = t[((self.state ^ b as u32) & 0xff) as usize] ^ (self.state >> 8);
+        }
+    }
+    fn finalize(self: Box<Self>) -> Vec<u8> {
+        self.value().to_be_bytes().to_vec()
+    }
+    fn output_len(&self) -> usize {
+        4
+    }
+}
+
+/// Streaming CRC-16/ARC.
+pub struct Crc16 {
+    state: u16,
+}
+
+impl Default for Crc16 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc16 {
+    pub fn new() -> Self {
+        Crc16 { state: 0 }
+    }
+
+    /// The checksum value accumulated so far.
+    pub fn value(&self) -> u16 {
+        self.state
+    }
+}
+
+impl Hasher for Crc16 {
+    fn update(&mut self, data: &[u8]) {
+        let t = crc16_table();
+        for &b in data {
+            self.state = t[((self.state ^ b as u16) & 0xff) as usize] ^ (self.state >> 8);
+        }
+    }
+    fn finalize(self: Box<Self>) -> Vec<u8> {
+        self.value().to_be_bytes().to_vec()
+    }
+    fn output_len(&self) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Hasher;
+
+    #[test]
+    fn crc32_check_value() {
+        let mut h = Crc32::new();
+        Hasher::update(&mut h, b"123456789");
+        assert_eq!(h.value(), 0xcbf43926);
+    }
+
+    #[test]
+    fn crc32_empty_is_zero() {
+        assert_eq!(Crc32::new().value(), 0);
+    }
+
+    #[test]
+    fn crc16_arc_check_value() {
+        let mut h = Crc16::new();
+        Hasher::update(&mut h, b"123456789");
+        assert_eq!(h.value(), 0xbb3d);
+    }
+
+    #[test]
+    fn crc32_streams() {
+        let mut a = Crc32::new();
+        Hasher::update(&mut a, b"12345");
+        Hasher::update(&mut a, b"6789");
+        assert_eq!(a.value(), 0xcbf43926);
+    }
+
+    #[test]
+    fn digest_bytes_are_big_endian() {
+        let mut h = Box::new(Crc32::new());
+        h.update(b"123456789");
+        assert_eq!(h.finalize(), vec![0xcb, 0xf4, 0x39, 0x26]);
+    }
+}

@@ -1,0 +1,63 @@
+//! Lowercase hex encoding/decoding for digest rendering.
+//!
+//! Kept in this crate (rather than `pii-encodings`) so the hash crate has no
+//! dependencies; `pii-encodings` re-exports it as the `base16` codec.
+
+const TABLE: &[u8; 16] = b"0123456789abcdef";
+
+/// Encode bytes as lowercase hex.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decode a hex string (either case). Returns `None` on odd length or a
+/// non-hex character.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push(((hi << 4) | lo) as u8);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_known_bytes() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(encode(&[0x00, 0xff, 0x10]), "00ff10");
+        assert_eq!(encode(b"\xde\xad\xbe\xef"), "deadbeef");
+    }
+
+    #[test]
+    fn decodes_either_case() {
+        assert_eq!(decode("DEADbeef"), Some(vec![0xde, 0xad, 0xbe, 0xef]));
+        assert_eq!(decode(""), Some(vec![]));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(decode("abc"), None, "odd length");
+        assert_eq!(decode("zz"), None, "non-hex char");
+        assert_eq!(decode("0g"), None, "non-hex second nibble");
+    }
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0u16..=255).map(|b| b as u8).collect();
+        assert_eq!(decode(&encode(&data)), Some(data));
+    }
+}

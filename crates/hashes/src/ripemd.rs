@@ -1,0 +1,480 @@
+//! RIPEMD-128 / -160 / -256 / -320.
+//!
+//! All four variants share the two-line structure: a "left" and a "right"
+//! line process each 64-byte block with different message orders, shifts and
+//! constants. 128/160 combine the lines into one state at the end of each
+//! block; 256/320 keep two parallel states and exchange one register between
+//! the lines after every round (which is why their outputs are wider but not
+//! stronger).
+
+use crate::Hasher;
+
+/// Message word order, left line (5 rounds × 16).
+const R_L: [usize; 80] = [
+    0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, //
+    7, 4, 13, 1, 10, 6, 15, 3, 12, 0, 9, 5, 2, 14, 11, 8, //
+    3, 10, 14, 4, 9, 15, 8, 1, 2, 7, 0, 6, 13, 11, 5, 12, //
+    1, 9, 11, 10, 0, 8, 12, 4, 13, 3, 7, 15, 14, 5, 6, 2, //
+    4, 0, 5, 9, 7, 12, 2, 10, 14, 1, 3, 8, 11, 6, 15, 13,
+];
+
+/// Message word order, right line.
+const R_R: [usize; 80] = [
+    5, 14, 7, 0, 9, 2, 11, 4, 13, 6, 15, 8, 1, 10, 3, 12, //
+    6, 11, 3, 7, 0, 13, 5, 10, 14, 15, 8, 12, 4, 9, 1, 2, //
+    15, 5, 1, 3, 7, 14, 6, 9, 11, 8, 12, 2, 10, 0, 4, 13, //
+    8, 6, 4, 1, 3, 11, 15, 0, 5, 12, 2, 13, 9, 7, 10, 14, //
+    12, 15, 10, 4, 1, 5, 8, 7, 6, 2, 13, 14, 0, 3, 9, 11,
+];
+
+/// Rotate amounts, left line.
+const S_L: [u32; 80] = [
+    11, 14, 15, 12, 5, 8, 7, 9, 11, 13, 14, 15, 6, 7, 9, 8, //
+    7, 6, 8, 13, 11, 9, 7, 15, 7, 12, 15, 9, 11, 7, 13, 12, //
+    11, 13, 6, 7, 14, 9, 13, 15, 14, 8, 13, 6, 5, 12, 7, 5, //
+    11, 12, 14, 15, 14, 15, 9, 8, 9, 14, 5, 6, 8, 6, 5, 12, //
+    9, 15, 5, 11, 6, 8, 13, 12, 5, 12, 13, 14, 11, 8, 5, 6,
+];
+
+/// Rotate amounts, right line.
+const S_R: [u32; 80] = [
+    8, 9, 9, 11, 13, 15, 15, 5, 7, 7, 8, 11, 14, 14, 12, 6, //
+    9, 13, 15, 7, 12, 8, 9, 11, 7, 7, 12, 7, 6, 15, 13, 11, //
+    9, 7, 15, 11, 8, 6, 6, 14, 12, 13, 5, 14, 13, 13, 7, 5, //
+    15, 5, 8, 11, 14, 14, 6, 14, 6, 9, 12, 9, 12, 5, 15, 8, //
+    8, 5, 12, 9, 12, 5, 14, 6, 8, 13, 6, 5, 15, 13, 11, 11,
+];
+
+const K_L: [u32; 5] = [0x00000000, 0x5a827999, 0x6ed9eba1, 0x8f1bbcdc, 0xa953fd4e];
+const K_R160: [u32; 5] = [0x50a28be6, 0x5c4dd124, 0x6d703ef3, 0x7a6d76e9, 0x00000000];
+const K_R128: [u32; 4] = [0x50a28be6, 0x5c4dd124, 0x6d703ef3, 0x00000000];
+
+/// Round function family; index 0..=4.
+fn f(j: usize, x: u32, y: u32, z: u32) -> u32 {
+    match j {
+        0 => x ^ y ^ z,
+        1 => (x & y) | (!x & z),
+        2 => (x | !y) ^ z,
+        3 => (x & z) | (y & !z),
+        _ => x ^ (y | !z),
+    }
+}
+
+fn load_words(block: &[u8; 64]) -> [u32; 16] {
+    let mut x = [0u32; 16];
+    for (i, w) in x.iter_mut().enumerate() {
+        *w = u32::from_le_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+    }
+    x
+}
+
+/// One step of the 5-register (160/320) line.
+#[inline]
+fn step5(
+    regs: &mut [u32; 5],
+    j: usize,
+    order: &[usize; 80],
+    shifts: &[u32; 80],
+    k: u32,
+    x: &[u32; 16],
+) {
+    let [a, b, c, d, e] = *regs;
+    let t = a
+        .wrapping_add(f(j / 16, b, c, d))
+        .wrapping_add(x[order[j]])
+        .wrapping_add(k)
+        .rotate_left(shifts[j])
+        .wrapping_add(e);
+    *regs = [e, t, b, c.rotate_left(10), d];
+}
+
+/// One step of the 4-register (128/256) line.
+#[inline]
+fn step4(
+    regs: &mut [u32; 4],
+    j: usize,
+    order: &[usize; 80],
+    shifts: &[u32; 80],
+    k: u32,
+    x: &[u32; 16],
+    rev: bool,
+) {
+    let [a, b, c, d] = *regs;
+    let fj = if rev { 3 - j / 16 } else { j / 16 };
+    let t = a
+        .wrapping_add(f(fj, b, c, d))
+        .wrapping_add(x[order[j]])
+        .wrapping_add(k)
+        .rotate_left(shifts[j]);
+    *regs = [d, t, b, c];
+}
+
+/// Shared Merkle–Damgård buffering with the MD5-style little-endian length.
+struct MdBuffer {
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl MdBuffer {
+    fn new() -> Self {
+        MdBuffer {
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    fn update(&mut self, mut data: &[u8], mut compress: impl FnMut(&[u8; 64])) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let block: [u8; 64] = data[..64].try_into().unwrap();
+            compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    fn finalize(&mut self, mut compress: impl FnMut(&[u8; 64])) {
+        let bit_len = self.total_len.wrapping_mul(8);
+        let mut pad = vec![0x80u8];
+        let rem = (self.buf_len + 1) % 64;
+        let zeros = if rem <= 56 { 56 - rem } else { 120 - rem };
+        pad.extend(std::iter::repeat_n(0u8, zeros));
+        pad.extend_from_slice(&bit_len.to_le_bytes());
+        // Replay through update; total_len is no longer read.
+        self.update(&pad.clone(), &mut compress);
+        debug_assert_eq!(self.buf_len, 0);
+    }
+}
+
+macro_rules! ripemd_hasher {
+    ($name:ident, $out:expr) => {
+        impl Hasher for $name {
+            fn update(&mut self, data: &[u8]) {
+                self.update_bytes(data);
+            }
+            fn finalize(self: Box<Self>) -> Vec<u8> {
+                (*self).finalize_bytes()
+            }
+            fn output_len(&self) -> usize {
+                $out
+            }
+        }
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new()
+            }
+        }
+    };
+}
+
+// --- RIPEMD-160 -------------------------------------------------------------
+
+/// Streaming RIPEMD-160 state.
+pub struct Ripemd160 {
+    h: [u32; 5],
+    md: MdBuffer,
+}
+
+impl Ripemd160 {
+    pub fn new() -> Self {
+        Ripemd160 {
+            h: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0],
+            md: MdBuffer::new(),
+        }
+    }
+
+    fn compress(h: &mut [u32; 5], block: &[u8; 64]) {
+        let x = load_words(block);
+        let mut left = *h;
+        let mut right = *h;
+        for j in 0..80 {
+            step5(&mut left, j, &R_L, &S_L, K_L[j / 16], &x);
+            // Right line runs the rounds in reverse function order.
+            let [a, b, c, d, e] = right;
+            let t = a
+                .wrapping_add(f(4 - j / 16, b, c, d))
+                .wrapping_add(x[R_R[j]])
+                .wrapping_add(K_R160[j / 16])
+                .rotate_left(S_R[j])
+                .wrapping_add(e);
+            right = [e, t, b, c.rotate_left(10), d];
+        }
+        let t = h[1].wrapping_add(left[2]).wrapping_add(right[3]);
+        h[1] = h[2].wrapping_add(left[3]).wrapping_add(right[4]);
+        h[2] = h[3].wrapping_add(left[4]).wrapping_add(right[0]);
+        h[3] = h[4].wrapping_add(left[0]).wrapping_add(right[1]);
+        h[4] = h[0].wrapping_add(left[1]).wrapping_add(right[2]);
+        h[0] = t;
+    }
+
+    fn update_bytes(&mut self, data: &[u8]) {
+        let h = &mut self.h;
+        self.md.update(data, |b| Self::compress(h, b));
+    }
+
+    fn finalize_bytes(mut self) -> Vec<u8> {
+        let h = &mut self.h;
+        self.md.finalize(|b| Self::compress(h, b));
+        self.h.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+}
+
+ripemd_hasher!(Ripemd160, 20);
+
+// --- RIPEMD-128 -------------------------------------------------------------
+
+/// Streaming RIPEMD-128 state.
+pub struct Ripemd128 {
+    h: [u32; 4],
+    md: MdBuffer,
+}
+
+impl Ripemd128 {
+    pub fn new() -> Self {
+        Ripemd128 {
+            h: [0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476],
+            md: MdBuffer::new(),
+        }
+    }
+
+    fn compress(h: &mut [u32; 4], block: &[u8; 64]) {
+        let x = load_words(block);
+        let mut left = *h;
+        let mut right = *h;
+        for j in 0..64 {
+            step4(&mut left, j, &R_L, &S_L, K_L[j / 16], &x, false);
+            step4(&mut right, j, &R_R, &S_R, K_R128[j / 16], &x, true);
+        }
+        let t = h[1].wrapping_add(left[2]).wrapping_add(right[3]);
+        h[1] = h[2].wrapping_add(left[3]).wrapping_add(right[0]);
+        h[2] = h[3].wrapping_add(left[0]).wrapping_add(right[1]);
+        h[3] = h[0].wrapping_add(left[1]).wrapping_add(right[2]);
+        h[0] = t;
+    }
+
+    fn update_bytes(&mut self, data: &[u8]) {
+        let h = &mut self.h;
+        self.md.update(data, |b| Self::compress(h, b));
+    }
+
+    fn finalize_bytes(mut self) -> Vec<u8> {
+        let h = &mut self.h;
+        self.md.finalize(|b| Self::compress(h, b));
+        self.h.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+}
+
+ripemd_hasher!(Ripemd128, 16);
+
+// --- RIPEMD-256 -------------------------------------------------------------
+
+/// Streaming RIPEMD-256 state (parallel-line variant of RIPEMD-128).
+pub struct Ripemd256 {
+    h: [u32; 8],
+    md: MdBuffer,
+}
+
+impl Ripemd256 {
+    pub fn new() -> Self {
+        Ripemd256 {
+            h: [
+                0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, //
+                0x76543210, 0xfedcba98, 0x89abcdef, 0x01234567,
+            ],
+            md: MdBuffer::new(),
+        }
+    }
+
+    fn compress(h: &mut [u32; 8], block: &[u8; 64]) {
+        let x = load_words(block);
+        let mut left: [u32; 4] = h[..4].try_into().unwrap();
+        let mut right: [u32; 4] = h[4..].try_into().unwrap();
+        for round in 0..4 {
+            for j in round * 16..(round + 1) * 16 {
+                step4(&mut left, j, &R_L, &S_L, K_L[round], &x, false);
+                step4(&mut right, j, &R_R, &S_R, K_R128[round], &x, true);
+            }
+            // Exchange one register between the lines after each round,
+            // in A, B, C, D order per the RIPEMD-256 spec.
+            let idx = [0usize, 1, 2, 3][round];
+            std::mem::swap(&mut left[idx], &mut right[idx]);
+        }
+        for (i, v) in left.into_iter().chain(right).enumerate() {
+            h[i] = h[i].wrapping_add(v);
+        }
+    }
+
+    fn update_bytes(&mut self, data: &[u8]) {
+        let h = &mut self.h;
+        self.md.update(data, |b| Self::compress(h, b));
+    }
+
+    fn finalize_bytes(mut self) -> Vec<u8> {
+        let h = &mut self.h;
+        self.md.finalize(|b| Self::compress(h, b));
+        self.h.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+}
+
+ripemd_hasher!(Ripemd256, 32);
+
+// --- RIPEMD-320 -------------------------------------------------------------
+
+/// Streaming RIPEMD-320 state (parallel-line variant of RIPEMD-160).
+pub struct Ripemd320 {
+    h: [u32; 10],
+    md: MdBuffer,
+}
+
+impl Ripemd320 {
+    pub fn new() -> Self {
+        Ripemd320 {
+            h: [
+                0x67452301, 0xefcdab89, 0x98badcfe, 0x10325476, 0xc3d2e1f0, //
+                0x76543210, 0xfedcba98, 0x89abcdef, 0x01234567, 0x3c2d1e0f,
+            ],
+            md: MdBuffer::new(),
+        }
+    }
+
+    fn compress(h: &mut [u32; 10], block: &[u8; 64]) {
+        let x = load_words(block);
+        let mut left: [u32; 5] = h[..5].try_into().unwrap();
+        let mut right: [u32; 5] = h[5..].try_into().unwrap();
+        for round in 0..5 {
+            for j in round * 16..(round + 1) * 16 {
+                step5(&mut left, j, &R_L, &S_L, K_L[round], &x);
+                let [a, b, c, d, e] = right;
+                let t = a
+                    .wrapping_add(f(4 - round, b, c, d))
+                    .wrapping_add(x[R_R[j]])
+                    .wrapping_add(K_R160[round])
+                    .rotate_left(S_R[j])
+                    .wrapping_add(e);
+                right = [e, t, b, c.rotate_left(10), d];
+            }
+            // Swap order per the RIPEMD-320 spec: B, D, A, C, E.
+            let idx = [1usize, 3, 0, 2, 4][round];
+            std::mem::swap(&mut left[idx], &mut right[idx]);
+        }
+        for (i, v) in left.into_iter().chain(right).enumerate() {
+            h[i] = h[i].wrapping_add(v);
+        }
+    }
+
+    fn update_bytes(&mut self, data: &[u8]) {
+        let h = &mut self.h;
+        self.md.update(data, |b| Self::compress(h, b));
+    }
+
+    fn finalize_bytes(mut self) -> Vec<u8> {
+        let h = &mut self.h;
+        self.md.finalize(|b| Self::compress(h, b));
+        self.h.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+}
+
+ripemd_hasher!(Ripemd320, 40);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn rmd160(data: &[u8]) -> String {
+        let mut h = Ripemd160::new();
+        h.update_bytes(data);
+        hex::encode(&h.finalize_bytes())
+    }
+
+    fn rmd128(data: &[u8]) -> String {
+        let mut h = Ripemd128::new();
+        h.update_bytes(data);
+        hex::encode(&h.finalize_bytes())
+    }
+
+    fn rmd256(data: &[u8]) -> String {
+        let mut h = Ripemd256::new();
+        h.update_bytes(data);
+        hex::encode(&h.finalize_bytes())
+    }
+
+    fn rmd320(data: &[u8]) -> String {
+        let mut h = Ripemd320::new();
+        h.update_bytes(data);
+        hex::encode(&h.finalize_bytes())
+    }
+
+    #[test]
+    fn ripemd160_vectors() {
+        assert_eq!(rmd160(b""), "9c1185a5c5e9fc54612808977ee8f548b2258d31");
+        assert_eq!(rmd160(b"a"), "0bdc9d2d256b3ee9daae347be6f4dc835a467ffe");
+        assert_eq!(rmd160(b"abc"), "8eb208f7e05d987a9b044a8e98c6b087f15a0bfc");
+        assert_eq!(
+            rmd160(b"message digest"),
+            "5d0689ef49d2fae572b881b123a85ffa21595f36"
+        );
+        assert_eq!(
+            rmd160(b"abcdefghijklmnopqrstuvwxyz"),
+            "f71c27109c692c1b56bbdceb5b9d2865b3708dbc"
+        );
+    }
+
+    #[test]
+    fn ripemd128_vectors() {
+        assert_eq!(rmd128(b""), "cdf26213a150dc3ecb610f18f6b38b46");
+        assert_eq!(rmd128(b"a"), "86be7afa339d0fc7cfc785e72f578d33");
+        assert_eq!(rmd128(b"abc"), "c14a12199c66e4ba84636b0f69144c77");
+    }
+
+    #[test]
+    fn ripemd256_vectors() {
+        assert_eq!(
+            rmd256(b""),
+            "02ba4c4e5f8ecd1877fc52d64d30e37a2d9774fb1e5d026380ae0168e3c5522d"
+        );
+        assert_eq!(
+            rmd256(b"abc"),
+            "afbd6e228b9d8cbbcef5ca2d03e6dba10ac0bc7dcbe4680e1e42d2e975459b65"
+        );
+    }
+
+    #[test]
+    fn ripemd320_vectors() {
+        assert_eq!(
+            rmd320(b""),
+            "22d65d5661536cdc75c1fdf5c6de7b41b9f27325ebc61e8557177d705a0ec880151c3a32a00899b8"
+        );
+        assert_eq!(
+            rmd320(b"abc"),
+            "de4c01b3054f8930a79d09ae738e92301e5a17085beffdc1b8d116713e74f82fa942d64cdbc4682d"
+        );
+    }
+
+    #[test]
+    fn long_input_spans_blocks() {
+        let data = vec![b'x'; 200];
+        let oneshot = rmd160(&data);
+        let mut h = Ripemd160::new();
+        for chunk in data.chunks(33) {
+            h.update_bytes(chunk);
+        }
+        assert_eq!(hex::encode(&h.finalize_bytes()), oneshot);
+    }
+}

@@ -1,0 +1,493 @@
+//! SHA-224 / SHA-256 / SHA-384 / SHA-512 (FIPS 180-4).
+//!
+//! The round constants and initial hash values are *derived*, not
+//! transcribed: FIPS 180-4 defines them as the leading fractional bits of the
+//! square/cube roots of the first primes. We compute them with exact integer
+//! arithmetic (binary search over a tiny multi-limb multiply) at first use,
+//! and the published test vectors pin the derivation. This keeps 288 magic
+//! constants out of the source while remaining bit-exact.
+
+use crate::Hasher;
+use std::cmp::Ordering;
+use std::sync::OnceLock;
+
+// --- exact constant derivation -------------------------------------------
+
+/// Multiply two little-endian u64-limb numbers (schoolbook).
+fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + (ai as u128) * (bj as u128) + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry > 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Compare little-endian limb numbers of possibly different lengths.
+fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {
+    let n = a.len().max(b.len());
+    for i in (0..n).rev() {
+        let x = a.get(i).copied().unwrap_or(0);
+        let y = b.get(i).copied().unwrap_or(0);
+        match x.cmp(&y) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    Ordering::Equal
+}
+
+fn u128_limbs(x: u128) -> Vec<u64> {
+    vec![x as u64, (x >> 64) as u64]
+}
+
+/// `floor(sqrt(p) * 2^64) mod 2^64` — the first 64 fractional bits of √p
+/// (p is small and not a perfect square, so the integer part drops out).
+fn sqrt_frac64(p: u64) -> u64 {
+    // Binary search x with x^2 <= p << 128.
+    let target = vec![0u64, 0, p]; // p * 2^128
+    let (mut lo, mut hi) = (0u128, 1u128 << 70);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        let sq = mul_limbs(&u128_limbs(mid), &u128_limbs(mid));
+        if cmp_limbs(&sq, &target) != Ordering::Greater {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u64
+}
+
+/// `floor(cbrt(p) * 2^64) mod 2^64` — the first 64 fractional bits of ∛p.
+fn cbrt_frac64(p: u64) -> u64 {
+    let target = vec![0u64, 0, 0, p]; // p * 2^192
+    let (mut lo, mut hi) = (0u128, 1u128 << 68);
+    while lo + 1 < hi {
+        let mid = lo + (hi - lo) / 2;
+        let sq = mul_limbs(&u128_limbs(mid), &u128_limbs(mid));
+        let cube = mul_limbs(&sq, &u128_limbs(mid));
+        if cmp_limbs(&cube, &target) != Ordering::Greater {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo as u64
+}
+
+/// First `n` primes by trial sieve.
+fn primes(n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n);
+    let mut cand = 2u64;
+    while out.len() < n {
+        if out.iter().all(|&p| !cand.is_multiple_of(p)) {
+            out.push(cand);
+        }
+        cand += 1;
+    }
+    out
+}
+
+struct Consts {
+    k256: [u32; 64],
+    h256: [u32; 8],
+    h224: [u32; 8],
+    k512: [u64; 80],
+    h512: [u64; 8],
+    h384: [u64; 8],
+}
+
+fn consts() -> &'static Consts {
+    static C: OnceLock<Consts> = OnceLock::new();
+    C.get_or_init(|| {
+        let ps = primes(80);
+        let mut k256 = [0u32; 64];
+        let mut k512 = [0u64; 80];
+        for i in 0..80 {
+            let f = cbrt_frac64(ps[i]);
+            k512[i] = f;
+            if i < 64 {
+                k256[i] = (f >> 32) as u32;
+            }
+        }
+        let mut h256 = [0u32; 8];
+        let mut h224 = [0u32; 8];
+        let mut h512 = [0u64; 8];
+        let mut h384 = [0u64; 8];
+        for i in 0..8 {
+            let first = sqrt_frac64(ps[i]);
+            let ninth = sqrt_frac64(ps[i + 8]);
+            h256[i] = (first >> 32) as u32;
+            h512[i] = first;
+            // SHA-224 uses the *second* 32 bits of √(9th..16th primes);
+            // SHA-384 uses the full 64 fractional bits of the same primes.
+            h224[i] = ninth as u32;
+            h384[i] = ninth;
+        }
+        Consts {
+            k256,
+            h256,
+            h224,
+            k512,
+            h512,
+            h384,
+        }
+    })
+}
+
+// --- 32-bit core (SHA-224/256) --------------------------------------------
+
+/// Streaming SHA-224/SHA-256 state (shared 32-bit compression core).
+pub struct Sha256Core {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+    out_len: usize,
+}
+
+impl Sha256Core {
+    pub fn new_256() -> Self {
+        Sha256Core {
+            state: consts().h256,
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+            out_len: 32,
+        }
+    }
+
+    pub fn new_224() -> Self {
+        Sha256Core {
+            state: consts().h224,
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+            out_len: 28,
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let k = &consts().k256;
+        let mut w = [0u32; 64];
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u32::from_be_bytes(block[i * 4..i * 4 + 4].try_into().unwrap());
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+
+    fn update_bytes(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        if self.buf_len > 0 {
+            let take = (64 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let block: [u8; 64] = data[..64].try_into().unwrap();
+            self.compress(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    fn finalize_bytes(mut self) -> Vec<u8> {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update_bytes(&[0x80]);
+        while self.buf_len != 56 {
+            self.update_bytes(&[0]);
+        }
+        self.update_bytes(&bit_len.to_be_bytes());
+        let mut out = Vec::with_capacity(32);
+        for word in self.state {
+            out.extend_from_slice(&word.to_be_bytes());
+        }
+        out.truncate(self.out_len);
+        out
+    }
+}
+
+impl Hasher for Sha256Core {
+    fn update(&mut self, data: &[u8]) {
+        self.update_bytes(data);
+    }
+    fn finalize(self: Box<Self>) -> Vec<u8> {
+        (*self).finalize_bytes()
+    }
+    fn output_len(&self) -> usize {
+        self.out_len
+    }
+}
+
+// --- 64-bit core (SHA-384/512) --------------------------------------------
+
+/// Streaming SHA-384/SHA-512 state (shared 64-bit compression core).
+pub struct Sha512Core {
+    state: [u64; 8],
+    buf: [u8; 128],
+    buf_len: usize,
+    total_len: u128,
+    out_len: usize,
+}
+
+impl Sha512Core {
+    pub fn new_512() -> Self {
+        Sha512Core {
+            state: consts().h512,
+            buf: [0; 128],
+            buf_len: 0,
+            total_len: 0,
+            out_len: 64,
+        }
+    }
+
+    pub fn new_384() -> Self {
+        Sha512Core {
+            state: consts().h384,
+            buf: [0; 128],
+            buf_len: 0,
+            total_len: 0,
+            out_len: 48,
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 128]) {
+        let k = &consts().k512;
+        let mut w = [0u64; 80];
+        for (i, word) in w.iter_mut().take(16).enumerate() {
+            *word = u64::from_be_bytes(block[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        for i in 16..80 {
+            let s0 = w[i - 15].rotate_right(1) ^ w[i - 15].rotate_right(8) ^ (w[i - 15] >> 7);
+            let s1 = w[i - 2].rotate_right(19) ^ w[i - 2].rotate_right(61) ^ (w[i - 2] >> 6);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..80 {
+            let s1 = e.rotate_right(14) ^ e.rotate_right(18) ^ e.rotate_right(41);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(k[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(28) ^ a.rotate_right(34) ^ a.rotate_right(39);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+
+    fn update_bytes(&mut self, mut data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u128);
+        if self.buf_len > 0 {
+            let take = (128 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 128 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 128 {
+            let block: [u8; 128] = data[..128].try_into().unwrap();
+            self.compress(&block);
+            data = &data[128..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    fn finalize_bytes(mut self) -> Vec<u8> {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update_bytes(&[0x80]);
+        while self.buf_len != 112 {
+            self.update_bytes(&[0]);
+        }
+        self.update_bytes(&bit_len.to_be_bytes());
+        let mut out = Vec::with_capacity(64);
+        for word in self.state {
+            out.extend_from_slice(&word.to_be_bytes());
+        }
+        out.truncate(self.out_len);
+        out
+    }
+}
+
+impl Hasher for Sha512Core {
+    fn update(&mut self, data: &[u8]) {
+        self.update_bytes(data);
+    }
+    fn finalize(self: Box<Self>) -> Vec<u8> {
+        (*self).finalize_bytes()
+    }
+    fn output_len(&self) -> usize {
+        self.out_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn hex_of(mut core: Sha256Core, data: &[u8]) -> String {
+        core.update_bytes(data);
+        hex::encode(&core.finalize_bytes())
+    }
+
+    fn hex_of64(mut core: Sha512Core, data: &[u8]) -> String {
+        core.update_bytes(data);
+        hex::encode(&core.finalize_bytes())
+    }
+
+    #[test]
+    fn derived_constants_match_fips() {
+        let c = consts();
+        assert_eq!(c.k256[0], 0x428a2f98);
+        assert_eq!(c.h256[0], 0x6a09e667);
+        assert_eq!(c.h224[0], 0xc1059ed8);
+        assert_eq!(c.k512[0], 0x428a2f98d728ae22);
+        assert_eq!(c.h512[0], 0x6a09e667f3bcc908);
+        assert_eq!(c.h384[0], 0xcbbb9d5dc1059ed8);
+    }
+
+    #[test]
+    fn sha256_vectors() {
+        assert_eq!(
+            hex_of(Sha256Core::new_256(), b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            hex_of(Sha256Core::new_256(), b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            hex_of(
+                Sha256Core::new_256(),
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            ),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha224_vectors() {
+        assert_eq!(
+            hex_of(Sha256Core::new_224(), b""),
+            "d14a028c2a3a2bc9476102bb288234c415a2b01f828ea62ac5b3e42f"
+        );
+        assert_eq!(
+            hex_of(Sha256Core::new_224(), b"abc"),
+            "23097d223405d8228642a477bda255b32aadbce4bda0b3f7e36c9da7"
+        );
+    }
+
+    #[test]
+    fn sha512_vectors() {
+        assert_eq!(
+            hex_of64(Sha512Core::new_512(), b""),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce\
+             47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e"
+        );
+        assert_eq!(
+            hex_of64(Sha512Core::new_512(), b"abc"),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a\
+             2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f"
+        );
+    }
+
+    #[test]
+    fn sha384_vectors() {
+        assert_eq!(
+            hex_of64(Sha512Core::new_384(), b"abc"),
+            "cb00753f45a35e8bb5a03d699ac65007272c32ab0eded1631a8b605a43ff5bed\
+             8086072ba1e7cc2358baeca134c825a7"
+        );
+        assert_eq!(
+            hex_of64(Sha512Core::new_384(), b""),
+            "38b060a751ac96384cd9327eb1b1e36a21fdb71114be07434c0cc7bf63f6e1da\
+             274edebfe76f65fbd51ad2f14898b95b"
+        );
+    }
+
+    #[test]
+    fn sha256_two_block_message_across_updates() {
+        let data = vec![0x61u8; 130];
+        let oneshot = hex_of(Sha256Core::new_256(), &data);
+        let mut h = Sha256Core::new_256();
+        h.update_bytes(&data[..64]);
+        h.update_bytes(&data[64..64]);
+        h.update_bytes(&data[64..]);
+        assert_eq!(hex::encode(&h.finalize_bytes()), oneshot);
+    }
+}

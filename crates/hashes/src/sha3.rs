@@ -1,0 +1,234 @@
+//! SHA-3 (FIPS 202) — Keccak-f[1600] sponge with the four standard output
+//! sizes (224/256/384/512).
+//!
+//! The round constants are generated from the LFSR defined in the standard
+//! (`rc(t) = x^t mod x^8+x^6+x^5+x^4+1` over GF(2)) and the rotation offsets
+//! from the (x,y) → (y, 2x+3y) walk, so the only literal in this file is the
+//! Keccak permutation structure itself.
+
+use crate::Hasher;
+use std::sync::OnceLock;
+
+const ROUNDS: usize = 24;
+
+fn round_constants() -> &'static [u64; ROUNDS] {
+    static RC: OnceLock<[u64; ROUNDS]> = OnceLock::new();
+    RC.get_or_init(|| {
+        // LFSR from FIPS 202 algorithm 5: bit t of the sequence.
+        let mut r: u16 = 1;
+        let mut bit = || {
+            let out = (r & 1) as u64;
+            r <<= 1;
+            if r & 0x100 != 0 {
+                r ^= 0x171; // x^8 + x^6 + x^5 + x^4 + 1
+            }
+            out
+        };
+        let mut rc = [0u64; ROUNDS];
+        for round in rc.iter_mut() {
+            let mut c = 0u64;
+            for j in 0..7 {
+                if bit() == 1 {
+                    c |= 1u64 << ((1usize << j) - 1);
+                }
+            }
+            *round = c;
+        }
+        rc
+    })
+}
+
+fn rho_offsets() -> &'static [[u32; 5]; 5] {
+    static RHO: OnceLock<[[u32; 5]; 5]> = OnceLock::new();
+    RHO.get_or_init(|| {
+        let mut off = [[0u32; 5]; 5];
+        let (mut x, mut y) = (1usize, 0usize);
+        for t in 0..24u32 {
+            off[x][y] = ((t + 1) * (t + 2) / 2) % 64;
+            let nx = y;
+            let ny = (2 * x + 3 * y) % 5;
+            x = nx;
+            y = ny;
+        }
+        off
+    })
+}
+
+fn keccak_f(a: &mut [[u64; 5]; 5]) {
+    let rc = round_constants();
+    let rho = rho_offsets();
+    for round in 0..ROUNDS {
+        // θ
+        let mut c = [0u64; 5];
+        for (x, cx) in c.iter_mut().enumerate() {
+            *cx = a[x][0] ^ a[x][1] ^ a[x][2] ^ a[x][3] ^ a[x][4];
+        }
+        for x in 0..5 {
+            let d = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+            for y in 0..5 {
+                a[x][y] ^= d;
+            }
+        }
+        // ρ and π
+        let mut b = [[0u64; 5]; 5];
+        for x in 0..5 {
+            for y in 0..5 {
+                b[y][(2 * x + 3 * y) % 5] = a[x][y].rotate_left(rho[x][y]);
+            }
+        }
+        // χ
+        for x in 0..5 {
+            for y in 0..5 {
+                a[x][y] = b[x][y] ^ (!b[(x + 1) % 5][y] & b[(x + 2) % 5][y]);
+            }
+        }
+        // ι
+        a[0][0] ^= rc[round];
+    }
+}
+
+/// Streaming SHA-3 sponge for any of the four standard digest sizes.
+pub struct Sha3 {
+    state: [[u64; 5]; 5],
+    /// Rate in bytes: 200 - 2 * digest_len.
+    rate: usize,
+    buf: Vec<u8>,
+    out_len: usize,
+}
+
+impl Sha3 {
+    /// `out_len` must be 28, 32, 48, or 64 bytes.
+    pub fn new(out_len: usize) -> Self {
+        assert!(
+            matches!(out_len, 28 | 32 | 48 | 64),
+            "unsupported SHA-3 digest length {out_len}"
+        );
+        Sha3 {
+            state: [[0; 5]; 5],
+            rate: 200 - 2 * out_len,
+            buf: Vec::new(),
+            out_len,
+        }
+    }
+
+    fn absorb_block(&mut self, block: &[u8]) {
+        debug_assert_eq!(block.len(), self.rate);
+        for (i, chunk) in block.chunks_exact(8).enumerate() {
+            let lane = u64::from_le_bytes(chunk.try_into().unwrap());
+            self.state[i % 5][i / 5] ^= lane;
+        }
+        keccak_f(&mut self.state);
+    }
+
+    fn update_bytes(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+        while self.buf.len() >= self.rate {
+            let block: Vec<u8> = self.buf.drain(..self.rate).collect();
+            self.absorb_block(&block);
+        }
+    }
+
+    fn finalize_bytes(mut self) -> Vec<u8> {
+        // SHA-3 domain separation: append 0b01 then pad10*1.
+        let mut block = std::mem::take(&mut self.buf);
+        block.push(0x06);
+        block.resize(self.rate, 0);
+        *block.last_mut().unwrap() |= 0x80;
+        self.absorb_block(&block);
+        // Squeeze: every standard SHA-3 output fits in one rate block.
+        let mut out = Vec::with_capacity(self.out_len);
+        'outer: for y in 0..5 {
+            for x in 0..5 {
+                for b in self.state[x][y].to_le_bytes() {
+                    out.push(b);
+                    if out.len() == self.out_len {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Hasher for Sha3 {
+    fn update(&mut self, data: &[u8]) {
+        self.update_bytes(data);
+    }
+    fn finalize(self: Box<Self>) -> Vec<u8> {
+        (*self).finalize_bytes()
+    }
+    fn output_len(&self) -> usize {
+        self.out_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    fn sha3_hex(out_len: usize, data: &[u8]) -> String {
+        let mut h = Sha3::new(out_len);
+        h.update_bytes(data);
+        hex::encode(&h.finalize_bytes())
+    }
+
+    #[test]
+    fn round_constant_derivation() {
+        let rc = round_constants();
+        assert_eq!(rc[0], 0x0000000000000001);
+        assert_eq!(rc[1], 0x0000000000008082);
+        assert_eq!(rc[23], 0x8000000080008008);
+    }
+
+    #[test]
+    fn empty_message_vectors() {
+        assert_eq!(
+            sha3_hex(32, b""),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"
+        );
+        assert_eq!(
+            sha3_hex(28, b""),
+            "6b4e03423667dbb73b6e15454f0eb1abd4597f9a1b078e3f5b5a6bc7"
+        );
+        assert_eq!(
+            sha3_hex(48, b""),
+            "0c63a75b845e4f7d01107d852e4c2485c51a50aaaa94fc61995e71bbee983a2a\
+             c3713831264adb47fb6bd1e058d5f004"
+        );
+        assert_eq!(
+            sha3_hex(64, b""),
+            "a69f73cca23a9ac5c8b567dc185a756e97c982164fe25859e0d1dcc1475c80a6\
+             15b2123af1f5f94c11e3e9402c3ac558f500199d95b6d3e301758586281dcd26"
+        );
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(
+            sha3_hex(32, b"abc"),
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"
+        );
+    }
+
+    #[test]
+    fn multiblock_message_streams_consistently() {
+        // 300 bytes crosses the rate boundary for every digest size.
+        let data = vec![0x5au8; 300];
+        for out_len in [28usize, 32, 48, 64] {
+            let oneshot = sha3_hex(out_len, &data);
+            let mut h = Sha3::new(out_len);
+            for chunk in data.chunks(17) {
+                h.update_bytes(chunk);
+            }
+            assert_eq!(hex::encode(&h.finalize_bytes()), oneshot);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported SHA-3 digest length")]
+    fn rejects_nonstandard_length() {
+        let _ = Sha3::new(33);
+    }
+}

@@ -1,0 +1,298 @@
+//! HTTP/1.1 message model: methods, header map, request, response.
+
+use crate::url::Url;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Request methods used in the simulated web.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    Get,
+    Post,
+    Head,
+    Put,
+    Delete,
+    Options,
+}
+
+impl Method {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+            Method::Options => "OPTIONS",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Case-insensitive multimap of HTTP headers, preserving insertion order and
+/// original casing (like real wire capture does).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeaderMap {
+    entries: Vec<(String, String)>,
+}
+
+impl HeaderMap {
+    pub fn new() -> Self {
+        HeaderMap::default()
+    }
+
+    /// Append a header (duplicates allowed, as on the wire).
+    pub fn insert(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.entries.push((name.into(), value.into()));
+    }
+
+    /// Replace all values of `name` with a single value.
+    pub fn set(&mut self, name: &str, value: impl Into<String>) {
+        self.remove(name);
+        self.insert(name.to_string(), value);
+    }
+
+    /// First value for `name`, case-insensitive.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All values for `name`.
+    pub fn get_all(&self, name: &str) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
+    /// Remove every value of `name`; returns whether anything was removed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.entries.len() != before
+    }
+
+    pub fn contains(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), v.as_str()))
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Why a request was emitted — the paper's Table 4 analysis needs the
+/// initiator chain ("all requests in their request initiator chains").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Top-level navigation (address bar, link click, form submit).
+    Document,
+    /// `<script src>` fetch.
+    Script,
+    /// Image / tracking pixel.
+    Image,
+    /// Stylesheet.
+    Stylesheet,
+    /// Fetch/XHR issued by a script.
+    Xhr,
+    /// Iframe document.
+    Subdocument,
+    /// Beacon (`navigator.sendBeacon`-style fire-and-forget POST).
+    Beacon,
+}
+
+impl ResourceKind {
+    /// The Adblock Plus option name this kind matches.
+    pub fn abp_option(self) -> &'static str {
+        match self {
+            ResourceKind::Document => "document",
+            ResourceKind::Script => "script",
+            ResourceKind::Image => "image",
+            ResourceKind::Stylesheet => "stylesheet",
+            ResourceKind::Xhr => "xmlhttprequest",
+            ResourceKind::Subdocument => "subdocument",
+            ResourceKind::Beacon => "ping",
+        }
+    }
+}
+
+/// A captured HTTP request — exactly the fields the paper records (§3.2:
+/// "URLs, headers, and payload body").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    pub method: Method,
+    pub url: Url,
+    pub headers: HeaderMap,
+    /// Payload body bytes, if any (POST bodies, beacons).
+    pub body: Option<Vec<u8>>,
+    pub kind: ResourceKind,
+    /// URL of the document/script that caused this request, for initiator
+    /// chain reconstruction.
+    pub initiator: Option<Url>,
+}
+
+impl Request {
+    pub fn new(method: Method, url: Url, kind: ResourceKind) -> Self {
+        Request {
+            method,
+            url,
+            headers: HeaderMap::new(),
+            body: None,
+            kind,
+            initiator: None,
+        }
+    }
+
+    pub fn with_body(mut self, body: impl Into<Vec<u8>>) -> Self {
+        self.body = Some(body.into());
+        self
+    }
+
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.insert(name.to_string(), value);
+        self
+    }
+
+    /// Body as UTF-8 text (lossy) for scanners.
+    pub fn body_text(&self) -> Option<String> {
+        self.body
+            .as_ref()
+            .map(|b| String::from_utf8_lossy(b).into_owned())
+    }
+
+    /// Value of the `Referer` header, parsed.
+    pub fn referer(&self) -> Option<Url> {
+        self.headers.get("Referer").and_then(|v| Url::parse(v).ok())
+    }
+
+    /// Value of the `Cookie` header split into (name, value) pairs.
+    pub fn cookie_pairs(&self) -> Vec<(String, String)> {
+        let Some(raw) = self.headers.get("Cookie") else {
+            return Vec::new();
+        };
+        raw.split("; ")
+            .filter_map(|pair| {
+                let (n, v) = pair.split_once('=')?;
+                Some((n.to_string(), v.to_string()))
+            })
+            .collect()
+    }
+}
+
+/// A captured HTTP response (the paper records "URLs and headers").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    pub status: u16,
+    pub headers: HeaderMap,
+    /// Body is kept for documents so the browser can discover embedded
+    /// resources; third-party responses are typically empty pixels.
+    pub body: Option<Vec<u8>>,
+}
+
+impl Response {
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            headers: HeaderMap::new(),
+            body: None,
+        }
+    }
+
+    pub fn ok() -> Self {
+        Response::new(200)
+    }
+
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Self {
+        self.headers.insert(name.to_string(), value);
+        self
+    }
+
+    /// All `Set-Cookie` header values.
+    pub fn set_cookie_headers(&self) -> Vec<&str> {
+        self.headers.get_all("Set-Cookie")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_map_is_case_insensitive() {
+        let mut h = HeaderMap::new();
+        h.insert("Content-Type", "text/html");
+        assert_eq!(h.get("content-type"), Some("text/html"));
+        assert_eq!(h.get("CONTENT-TYPE"), Some("text/html"));
+        assert!(h.contains("Content-type"));
+        assert!(!h.contains("X-Missing"));
+    }
+
+    #[test]
+    fn header_map_keeps_duplicates_in_order() {
+        let mut h = HeaderMap::new();
+        h.insert("Set-Cookie", "a=1");
+        h.insert("Set-Cookie", "b=2");
+        assert_eq!(h.get_all("set-cookie"), vec!["a=1", "b=2"]);
+        assert_eq!(h.get("Set-Cookie"), Some("a=1"));
+    }
+
+    #[test]
+    fn set_replaces_all() {
+        let mut h = HeaderMap::new();
+        h.insert("X", "1");
+        h.insert("x", "2");
+        h.set("X", "3");
+        assert_eq!(h.get_all("x"), vec!["3"]);
+    }
+
+    #[test]
+    fn request_cookie_pairs() {
+        let url = Url::parse("http://t.net/").unwrap();
+        let req = Request::new(Method::Get, url, ResourceKind::Image)
+            .with_header("Cookie", "id=foo%40mydom.com; session=xyz");
+        assert_eq!(
+            req.cookie_pairs(),
+            vec![
+                ("id".into(), "foo%40mydom.com".into()),
+                ("session".into(), "xyz".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn request_referer_parses() {
+        let url = Url::parse("http://t.net/pixel").unwrap();
+        let req = Request::new(Method::Get, url, ResourceKind::Image)
+            .with_header("Referer", "http://site.com/signup?email=foo%40mydom.com");
+        let referer = req.referer().unwrap();
+        assert_eq!(referer.host, "site.com");
+        assert_eq!(
+            referer.query_param("email").as_deref(),
+            Some("foo@mydom.com")
+        );
+    }
+
+    #[test]
+    fn body_text_lossy() {
+        let url = Url::parse("http://t.net/c").unwrap();
+        let req = Request::new(Method::Post, url, ResourceKind::Beacon).with_body(b"em=x".to_vec());
+        assert_eq!(req.body_text().as_deref(), Some("em=x"));
+    }
+}

@@ -1,0 +1,38 @@
+//! # pii-net
+//!
+//! The HTTP substrate for the measurement pipeline: a URL parser
+//! (RFC 3986 subset sufficient for `http`/`https` web traffic), an
+//! HTTP/1.1 request/response model with a case-insensitive header map, and
+//! an RFC 6265 cookie jar with domain/path matching.
+//!
+//! Everything the paper's detection methods inspect lives in these types:
+//!
+//! * **Referer header** leaks — [`http::Request::headers`]
+//! * **Request URI** leaks — [`url::Url::query`] / [`url::Url::query_pairs`]
+//! * **Cookie** leaks — [`cookie::CookieJar`] and the `Cookie` request header
+//! * **Payload body** leaks — [`http::Request::body`]
+//!
+//! The simulated browser (`pii-browser`) builds [`http::Request`]s and the
+//! capture pipeline (`pii-crawler`) records them verbatim; the detector
+//! (`pii-core`) never sees anything richer than these wire-level types,
+//! exactly like the paper's proxy-based capture.
+//!
+//! ```
+//! use pii_net::{Url, Cookie, CookieJar};
+//!
+//! let url = Url::parse("https://tracker.net/p?em=foo%40mydom.com").unwrap();
+//! assert_eq!(url.query_param("em").as_deref(), Some("foo@mydom.com"));
+//!
+//! let mut jar = CookieJar::new();
+//! jar.set(Cookie::new("uid", "x1"), &url, "shop.com");
+//! assert_eq!(jar.cookie_header(&url, "shop.com", true).as_deref(), Some("uid=x1"));
+//! ```
+
+pub mod cookie;
+pub mod http;
+pub mod url;
+pub mod wire;
+
+pub use cookie::{Cookie, CookieJar, SameSite};
+pub use http::{HeaderMap, Method, Request, Response};
+pub use url::Url;

@@ -1,0 +1,118 @@
+//! The marketing mailbox simulation (§4.2.3).
+//!
+//! After the crawl signed up everywhere, the persona's inbox "started to
+//! receive email notifications from the visited sites … In total, we
+//! received 2,172 emails in the inbox and 141 emails in the spam folder.
+//! Notably, we have not yet received any emails belonging to any third-party
+//! domains" — i.e. leaked PII feeds tracking, not third-party mail.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a message landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Folder {
+    Inbox,
+    Spam,
+}
+
+/// One received marketing message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmailMessage {
+    /// Sender domain (always a visited first party in the simulation, which
+    /// is the empirical finding being reproduced).
+    pub from_domain: String,
+    pub subject: String,
+    pub folder: Folder,
+}
+
+/// The persona's mailbox.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Mailbox {
+    pub messages: Vec<EmailMessage>,
+}
+
+impl Mailbox {
+    /// Fill the mailbox from per-site volumes.
+    pub fn from_sites<'a>(sites: impl Iterator<Item = (&'a str, u32, u32)>) -> Mailbox {
+        let mut messages = Vec::new();
+        for (domain, inbox, spam) in sites {
+            for i in 0..inbox {
+                messages.push(EmailMessage {
+                    from_domain: domain.to_string(),
+                    subject: format!("{} off your next order! ({i})", 5 + (i % 8) * 5),
+                    folder: Folder::Inbox,
+                });
+            }
+            for i in 0..spam {
+                messages.push(EmailMessage {
+                    from_domain: domain.to_string(),
+                    subject: format!("LAST CHANCE: flash sale ends tonight ({i})"),
+                    folder: Folder::Spam,
+                });
+            }
+        }
+        Mailbox { messages }
+    }
+
+    pub fn inbox_count(&self) -> usize {
+        self.messages
+            .iter()
+            .filter(|m| m.folder == Folder::Inbox)
+            .count()
+    }
+
+    pub fn spam_count(&self) -> usize {
+        self.messages
+            .iter()
+            .filter(|m| m.folder == Folder::Spam)
+            .count()
+    }
+
+    /// Distinct sender domains.
+    pub fn sender_domains(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .messages
+            .iter()
+            .map(|m| m.from_domain.as_str())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The §4.2.3 check: do any messages come from a domain in `third_parties`?
+    pub fn third_party_senders<'a>(&'a self, third_parties: &[String]) -> Vec<&'a str> {
+        self.sender_domains()
+            .into_iter()
+            .filter(|d| third_parties.iter().any(|t| t == d))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_by_folder() {
+        let mb = Mailbox::from_sites([("a.com", 3, 1), ("b.com", 2, 0)].into_iter());
+        assert_eq!(mb.inbox_count(), 5);
+        assert_eq!(mb.spam_count(), 1);
+        assert_eq!(mb.sender_domains(), vec!["a.com", "b.com"]);
+    }
+
+    #[test]
+    fn no_third_party_mail() {
+        let mb = Mailbox::from_sites([("a.com", 3, 1)].into_iter());
+        let third = vec!["facebook.com".to_string(), "criteo.com".to_string()];
+        assert!(mb.third_party_senders(&third).is_empty());
+    }
+
+    #[test]
+    fn third_party_mail_would_be_detected() {
+        // Negative control: the checker is not vacuous.
+        let mb = Mailbox::from_sites([("facebook.com", 1, 0)].into_iter());
+        let third = vec!["facebook.com".to_string()];
+        assert_eq!(mb.third_party_senders(&third), vec!["facebook.com"]);
+    }
+}

@@ -1,0 +1,233 @@
+//! HTML document rendering for the simulated sites.
+//!
+//! Every page the crawler visits is a real HTML document: the sign-up form,
+//! the CDN assets, the CAPTCHA widget, the tracker tags, and (after
+//! sign-in) the inline script that materialises the PII cookie all appear
+//! as markup. The browser engine *parses* these documents to discover what
+//! to fetch — resource discovery works like a real browser instead of
+//! reading the site's configuration object.
+
+use crate::persona::Persona;
+use crate::site::{LeakMethod, Site};
+use pii_net::http::ResourceKind;
+use pii_net::Method;
+
+/// Escape text for an HTML attribute or text node.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// The script URL a tracker tag loads its library from.
+pub fn edge_script_url(edge: &crate::site::LeakEdge) -> String {
+    match edge.method {
+        // Referer edges are passive embeds whose endpoint already names the
+        // full resource path.
+        LeakMethod::Referer => format!("https://{}{}", edge.request_host, edge.endpoint),
+        _ => format!("https://{}{}/lib.js", edge.request_host, edge.endpoint),
+    }
+}
+
+/// Render one page of `site` as HTML.
+///
+/// `user` is the signed-in account, if any — sites emit their identify
+/// bootstrap (and the Adobe cookie script) only for a known user, which is
+/// exactly why leaks start after the authentication flow.
+pub fn render_page(site: &Site, path: &str, user: Option<&Persona>) -> String {
+    let mut head = String::new();
+    let mut body = String::new();
+
+    head.push_str(&format!(
+        "<meta charset=\"utf-8\">\n<title>{} — {}</title>\n",
+        escape(&site.domain),
+        escape(path)
+    ));
+    // Badly coded GET-form sites pin the legacy referrer policy — the
+    // precondition for the Figure 1.a leak surviving a modern browser.
+    if site.form.method == Method::Get {
+        head.push_str("<meta name=\"referrer\" content=\"unsafe-url\">\n");
+    }
+
+    // CDN assets.
+    for res in &site.benign {
+        let url = format!("https://{}{}", res.host, res.path);
+        match res.kind {
+            ResourceKind::Stylesheet => head.push_str(&format!(
+                "<link rel=\"stylesheet\" href=\"{}\">\n",
+                escape(&url)
+            )),
+            ResourceKind::Script => {
+                head.push_str(&format!("<script src=\"{}\"></script>\n", escape(&url)))
+            }
+            _ => body.push_str(&format!("<img src=\"{}\" alt=\"\">\n", escape(&url))),
+        }
+    }
+
+    // Page content.
+    body.push_str(&format!("<h1>{}</h1>\n", escape(&site.domain)));
+    match path {
+        "/" => {
+            body.push_str("<p>Welcome to our shop!</p>\n<a href=\"/signup\">Create an account</a>\n<a href=\"/products/1\">Bestseller</a>\n");
+        }
+        "/signup" => {
+            if let Some(host) = crate::site::captcha_host(site) {
+                body.push_str(&format!(
+                    "<script src=\"https://{host}/widget/challenge.js\"></script>\n"
+                ));
+            }
+            body.push_str(&format!(
+                "<form method=\"{}\" action=\"/welcome\">\n",
+                if site.form.method == Method::Get {
+                    "get"
+                } else {
+                    "post"
+                }
+            ));
+            for field in &site.form.fields {
+                body.push_str(&format!(
+                    "  <label>{0}<input type=\"text\" name=\"{0}\"></label>\n",
+                    escape(field.name())
+                ));
+            }
+            body.push_str("  <button type=\"submit\">Sign up</button>\n</form>\n");
+        }
+        "/welcome" => {
+            body.push_str("<p>Thanks for signing up! <a href=\"/signin\">Sign in</a></p>\n");
+        }
+        "/signin" => {
+            body.push_str(
+                "<form method=\"post\" action=\"/account\">\n  \
+                 <input type=\"text\" name=\"email\">\n  \
+                 <input type=\"password\" name=\"password\">\n  \
+                 <button type=\"submit\">Sign in</button>\n</form>\n",
+            );
+        }
+        "/account" => {
+            body.push_str("<p>Your account.</p>\n<a href=\"/products/1\">Continue shopping</a>\n");
+        }
+        _ => {
+            body.push_str("<p>A very nice product.</p>\n<a href=\"/\">Home</a>\n");
+        }
+    }
+
+    // The PII cookie bootstrap (Figure 1.c): once a user is signed in, the
+    // site's own script writes the hashed email into a first-party cookie
+    // that later rides to the CNAME-cloaked collector.
+    if let Some(user) = user {
+        for edge in &site.edges {
+            if edge.method == LeakMethod::Cookie && Site::tag_active(edge.persistent, path) {
+                let token = edge.chain.apply(&user.email);
+                body.push_str(&format!(
+                    "<script>document.cookie = \"{}={}; Domain={}; Path=/; SameSite=None\";</script>\n",
+                    escape(&edge.param),
+                    escape(&token),
+                    escape(&site.domain),
+                ));
+            }
+        }
+    }
+
+    // Tracker tags (the library script; the identify beacon is issued by
+    // the script at runtime, i.e. by the browser engine).
+    for edge in &site.edges {
+        let active = match edge.method {
+            LeakMethod::Referer => true, // passive embed on every page
+            _ => Site::tag_active(edge.persistent, path),
+        };
+        if active {
+            body.push_str(&format!(
+                "<script src=\"{}\" async></script>\n",
+                escape(&edge_script_url(edge))
+            ));
+        }
+    }
+
+    format!("<!doctype html>\n<html>\n<head>\n{head}</head>\n<body>\n{body}</body>\n</html>\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    fn sender_site<'a>(u: &'a Universe, receiver: &str, method: LeakMethod) -> &'a Site {
+        u.sender_sites()
+            .find(|s| {
+                s.edges
+                    .iter()
+                    .any(|e| e.receiver == receiver && e.method == method)
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn escape_covers_the_specials() {
+        assert_eq!(escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&#39;");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn signup_page_has_the_form_fields() {
+        let u = Universe::generate();
+        let site = u.crawlable_sites().next().unwrap();
+        let html = render_page(site, "/signup", None);
+        assert!(html.contains("<form method=\"post\" action=\"/welcome\">"));
+        for field in &site.form.fields {
+            assert!(html.contains(&format!("name=\"{}\"", field.name())));
+        }
+    }
+
+    #[test]
+    fn get_form_sites_pin_unsafe_referrer_policy() {
+        let u = Universe::generate();
+        let get_site = u
+            .sender_sites()
+            .find(|s| s.form.method == Method::Get)
+            .unwrap();
+        let html = render_page(get_site, "/signup", None);
+        assert!(html.contains("referrer\" content=\"unsafe-url\""));
+        assert!(html.contains("<form method=\"get\""));
+        let post_site = u
+            .sender_sites()
+            .find(|s| s.form.method == Method::Post)
+            .unwrap();
+        assert!(!render_page(post_site, "/signup", None).contains("unsafe-url"));
+    }
+
+    #[test]
+    fn tracker_tags_render_per_page_activity() {
+        let u = Universe::generate();
+        let site = sender_site(&u, "facebook.com", LeakMethod::Uri);
+        let account = render_page(site, "/account", Some(&u.persona));
+        assert!(account.contains("https://facebook.com/tr/lib.js"));
+        // Auth-only tags are absent from the product page…
+        let site_ga = sender_site(&u, "google-analytics.com", LeakMethod::Uri);
+        let product = render_page(site_ga, "/products/1", Some(&u.persona));
+        assert!(!product.contains("google-analytics.com"));
+        // …but present on the account page.
+        let account_ga = render_page(site_ga, "/account", Some(&u.persona));
+        assert!(account_ga.contains("google-analytics.com/collect/lib.js"));
+    }
+
+    #[test]
+    fn cookie_script_renders_only_for_signed_in_user() {
+        let u = Universe::generate();
+        let site = sender_site(&u, "adobe_cname", LeakMethod::Cookie);
+        let anon = render_page(site, "/account", None);
+        assert!(!anon.contains("document.cookie"));
+        let signed_in = render_page(site, "/account", Some(&u.persona));
+        assert!(signed_in.contains("document.cookie"));
+        assert!(signed_in.contains("v_user="));
+        assert!(signed_in.contains(&format!("Domain={}", site.domain)));
+    }
+}

@@ -1,0 +1,40 @@
+//! # pii-web
+//!
+//! The simulated web ecosystem the measurement pipeline crawls: personas
+//! ([`persona`]), PII obfuscation chains ([`obfuscate`]), the tracking
+//! provider catalog with every Table 2 row ([`tracker`]), the shopping-site
+//! model with authentication flows and privacy policies ([`site`]), the
+//! marketing-mailbox simulation ([`email`]), and the calibrated universe
+//! generator ([`universe`]) that reproduces the paper's published ground
+//! truth (404 candidate sites → 307 crawlable, 130 leaking senders, 100
+//! receivers, Table 1/2/3 marginals, Figure 2 top-15).
+//!
+//! The calibration reconciles the paper's overlapping table rows with the
+//! edge-level semantics described in DESIGN.md §4: each (sender → receiver)
+//! *leak edge* carries a method, an obfuscation chain, a PII combination,
+//! and a tracker parameter name; a sender appears in a Table 1 row when it
+//! has at least one edge with that attribute.
+//!
+//! ```
+//! use pii_web::Universe;
+//!
+//! let universe = Universe::generate();
+//! assert_eq!(universe.crawlable_sites().count(), 307);
+//! assert_eq!(universe.sender_sites().count(), 130);
+//! assert_eq!(universe.receiver_labels().len(), 100);
+//! ```
+
+pub mod email;
+pub mod html;
+pub mod obfuscate;
+pub mod persona;
+pub mod site;
+pub mod stats;
+pub mod tracker;
+pub mod universe;
+
+pub use obfuscate::{Obfuscation, Step};
+pub use persona::{Persona, PiiKind};
+pub use site::{AuthForm, LeakEdge, LeakMethod, PolicyDisclosure, Site, SiteOutcome};
+pub use tracker::{ProviderClass, TrackerProvider};
+pub use universe::{Universe, UniverseSpec};

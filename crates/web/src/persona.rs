@@ -1,0 +1,228 @@
+//! The synthetic persona used to complete sign-up forms (§3.1 of the paper).
+//!
+//! "This account contains the following information: username, name, phone,
+//! email address, date of birth, gender, job title, and postal address. We
+//! consider any information input by the user to be PII."
+
+use serde::{Deserialize, Serialize};
+
+/// The categories of PII the persona carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PiiKind {
+    Email,
+    Username,
+    /// Full name ("first last").
+    Name,
+    Phone,
+    DateOfBirth,
+    Gender,
+    JobTitle,
+    Address,
+}
+
+impl PiiKind {
+    /// All categories, in form-field order.
+    pub const ALL: [PiiKind; 8] = [
+        PiiKind::Email,
+        PiiKind::Username,
+        PiiKind::Name,
+        PiiKind::Phone,
+        PiiKind::DateOfBirth,
+        PiiKind::Gender,
+        PiiKind::JobTitle,
+        PiiKind::Address,
+    ];
+
+    /// Stable identifier used in reports and as the default form-field name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PiiKind::Email => "email",
+            PiiKind::Username => "username",
+            PiiKind::Name => "name",
+            PiiKind::Phone => "phone",
+            PiiKind::DateOfBirth => "dob",
+            PiiKind::Gender => "gender",
+            PiiKind::JobTitle => "job_title",
+            PiiKind::Address => "address",
+        }
+    }
+}
+
+/// The persona whose PII flows through the experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Persona {
+    pub email: String,
+    pub username: String,
+    pub first_name: String,
+    pub last_name: String,
+    pub phone: String,
+    /// ISO date string.
+    pub date_of_birth: String,
+    pub gender: String,
+    pub job_title: String,
+    pub address: String,
+}
+
+impl Persona {
+    /// The default persona, mirroring the paper's running example
+    /// (`foo@mydom.com`).
+    pub fn default_study() -> Persona {
+        Persona {
+            email: "foo@mydom.com".into(),
+            username: "foo_shopper21".into(),
+            first_name: "Alice".into(),
+            last_name: "Foobar".into(),
+            phone: "+81-3-1234-5678".into(),
+            date_of_birth: "1991-05-17".into(),
+            gender: "female".into(),
+            job_title: "researcher".into(),
+            address: "1-2-3 Chiyoda, Tokyo 100-0001, Japan".into(),
+        }
+    }
+
+    /// Generate a distinct random persona (for crowdsourced contributors,
+    /// §5.2's future-work extension). Deterministic per seed.
+    pub fn random(seed: u64) -> Persona {
+        const FIRST: [&str; 12] = [
+            "Aiko", "Ben", "Carla", "Dmitri", "Elif", "Farid", "Grete", "Hana", "Ivo", "June",
+            "Kenji", "Lena",
+        ];
+        const LAST: [&str; 12] = [
+            "Tanaka", "Novak", "Silva", "Ivanov", "Yilmaz", "Haddad", "Meyer", "Kim", "Horak",
+            "Park", "Sato", "Weber",
+        ];
+        const DOMAINS: [&str; 6] = [
+            "mailbox.example",
+            "inbox.test",
+            "postfach.example",
+            "courrier.test",
+            "mydom.com",
+            "letterbox.example",
+        ];
+        // SplitMix64 over the seed for field choices.
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let first = FIRST[(next() % FIRST.len() as u64) as usize];
+        let last = LAST[(next() % LAST.len() as u64) as usize];
+        let domain = DOMAINS[(next() % DOMAINS.len() as u64) as usize];
+        let tag = next() % 10_000;
+        Persona {
+            email: format!(
+                "{}.{}{tag}@{domain}",
+                first.to_lowercase(),
+                last.to_lowercase()
+            ),
+            username: format!(
+                "{}_{}{tag}",
+                first.to_lowercase(),
+                &last.to_lowercase()[..2]
+            ),
+            first_name: first.to_string(),
+            last_name: last.to_string(),
+            phone: format!("+81-3-{:04}-{:04}", next() % 10_000, next() % 10_000),
+            date_of_birth: format!(
+                "19{:02}-{:02}-{:02}",
+                60 + next() % 40,
+                1 + next() % 12,
+                1 + next() % 28
+            ),
+            gender: if next() % 2 == 0 { "female" } else { "male" }.to_string(),
+            job_title: ["engineer", "teacher", "designer", "analyst"][(next() % 4) as usize]
+                .to_string(),
+            address: format!(
+                "{}-{}-{} Chiyoda, Tokyo 100-000{}, Japan",
+                1 + next() % 9,
+                1 + next() % 9,
+                1 + next() % 9,
+                next() % 10
+            ),
+        }
+    }
+
+    /// Full name as typed into a single name field.
+    pub fn full_name(&self) -> String {
+        format!("{} {}", self.first_name, self.last_name)
+    }
+
+    /// The raw value for a PII category — the strings whose plaintext,
+    /// encoded, and hashed forms the detector must find.
+    pub fn value(&self, kind: PiiKind) -> String {
+        match kind {
+            PiiKind::Email => self.email.clone(),
+            PiiKind::Username => self.username.clone(),
+            PiiKind::Name => self.full_name(),
+            PiiKind::Phone => self.phone.clone(),
+            PiiKind::DateOfBirth => self.date_of_birth.clone(),
+            PiiKind::Gender => self.gender.clone(),
+            PiiKind::JobTitle => self.job_title.clone(),
+            PiiKind::Address => self.address.clone(),
+        }
+    }
+
+    /// All (kind, value) pairs.
+    pub fn all_values(&self) -> Vec<(PiiKind, String)> {
+        PiiKind::ALL.iter().map(|&k| (k, self.value(k))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_persona_matches_paper_example() {
+        let p = Persona::default_study();
+        assert_eq!(p.email, "foo@mydom.com");
+        assert_eq!(p.value(PiiKind::Email), "foo@mydom.com");
+    }
+
+    #[test]
+    fn full_name_joins_parts() {
+        let p = Persona::default_study();
+        assert_eq!(p.full_name(), "Alice Foobar");
+        assert_eq!(p.value(PiiKind::Name), "Alice Foobar");
+    }
+
+    #[test]
+    fn all_values_covers_every_kind() {
+        let p = Persona::default_study();
+        let values = p.all_values();
+        assert_eq!(values.len(), 8);
+        assert!(values.iter().all(|(_, v)| !v.is_empty()));
+        // Values are pairwise distinct — essential for unambiguous leak
+        // attribution.
+        let mut sorted: Vec<&String> = values.iter().map(|(_, v)| v).collect();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn random_personas_are_deterministic_and_distinct() {
+        let a = Persona::random(1);
+        let b = Persona::random(1);
+        let c = Persona::random(2);
+        assert_eq!(a, b);
+        assert_ne!(a.email, c.email);
+        // All 8 values stay pairwise distinct within one persona.
+        let values = a.all_values();
+        let mut sorted: Vec<&String> = values.iter().map(|(_, v)| v).collect();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 8);
+    }
+
+    #[test]
+    fn kind_names_are_unique() {
+        let mut names: Vec<&str> = PiiKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+}

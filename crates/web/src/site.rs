@@ -1,0 +1,308 @@
+//! The first-party site model: authentication flows, embedded resources,
+//! leak edges, privacy policies.
+//!
+//! A [`Site`] is a declarative description of a shopping site's behaviour;
+//! the browser engine (`pii-browser`) interprets it page by page. The pages
+//! every crawl visits mirror §3.2 of the paper:
+//!
+//! ```text
+//! /            homepage
+//! /signup      sign-up form (GET forms produce the Referer leak of Fig 1.a)
+//! /welcome     post-sign-up landing page
+//! /signin      sign-in form
+//! /account     logged-in page ("reload the site with a logged account")
+//! /products/1  a subpage ("click a link to a specific product")
+//! ```
+
+use crate::obfuscate::Obfuscation;
+use crate::persona::PiiKind;
+use pii_net::http::ResourceKind;
+use pii_net::Method;
+use serde::{Deserialize, Serialize};
+
+/// The four PII leakage methods of §4.1 / Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum LeakMethod {
+    /// Figure 1.a: GET sign-up form + third-party resource ⇒ PII in the
+    /// `Referer` header (unintentional).
+    Referer,
+    /// Figure 1.b: tracking script appends PII to the request URI.
+    Uri,
+    /// Figure 1.c: PII-valued cookie sent to a (cloaked) third party.
+    Cookie,
+    /// Figure 1.d: PII in the POST payload body.
+    Payload,
+}
+
+impl LeakMethod {
+    pub const ALL: [LeakMethod; 4] = [
+        LeakMethod::Referer,
+        LeakMethod::Uri,
+        LeakMethod::Payload,
+        LeakMethod::Cookie,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            LeakMethod::Referer => "referer",
+            LeakMethod::Uri => "uri",
+            LeakMethod::Payload => "payload",
+            LeakMethod::Cookie => "cookie",
+        }
+    }
+}
+
+/// Why a site dropped out of the crawl (§3.2's funnel).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SiteOutcome {
+    /// Crawlable: authentication flow completed.
+    Ok {
+        /// Account activation requires clicking an email link (68 sites).
+        email_confirmation: bool,
+        /// Bot detection / CAPTCHA present (43 sites) — passable by the
+        /// simulated human, fatal for a naive automated crawler.
+        bot_detection: bool,
+    },
+    /// 22 sites.
+    Unreachable,
+    /// 19 sites.
+    NoAuthFlow,
+    /// 56 sites; the reason mirrors footnote 2.
+    SignupBlocked(BlockReason),
+}
+
+/// Footnote 2's sign-up blockers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BlockReason {
+    /// 47 sites required phone verification.
+    PhoneVerification,
+    /// 6 sites required identity documents.
+    IdentityDocuments,
+    /// 3 sites blocked account creation for global customers.
+    GeoBlocked,
+}
+
+/// The sign-up form.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuthForm {
+    /// GET forms put the field values into the navigation URL — the
+    /// precondition for the Referer leak.
+    pub method: Method,
+    /// Fields the form asks for (the persona fills all of them).
+    pub fields: Vec<PiiKind>,
+}
+
+impl Default for AuthForm {
+    fn default() -> Self {
+        AuthForm {
+            method: Method::Post,
+            fields: vec![
+                PiiKind::Email,
+                PiiKind::Username,
+                PiiKind::Name,
+                PiiKind::Phone,
+            ],
+        }
+    }
+}
+
+/// One (sender → receiver) leak relationship with all its wire-level
+/// attributes. The universe generator produces these; the browser turns them
+/// into HTTP requests; the detector re-derives them from the capture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeakEdge {
+    /// Receiver label for reports (`facebook.com`, `adobe_cname`, …).
+    pub receiver: String,
+    /// Host the request is addressed to. For CNAME-cloaked receivers this is
+    /// a first-party subdomain (e.g. `metrics.shop042.com`).
+    pub request_host: String,
+    /// Endpoint path on the receiver.
+    pub endpoint: String,
+    pub method: LeakMethod,
+    pub chain: Obfuscation,
+    /// PII categories exfiltrated on this edge.
+    pub pii: Vec<PiiKind>,
+    /// The trackid parameter (URI/payload key, or cookie name).
+    pub param: String,
+    /// Whether the tag also runs on subpages (the §5.2 persistence test).
+    pub persistent: bool,
+    /// Resource type of the emitted request.
+    pub kind: ResourceKind,
+}
+
+/// Table 3's four disclosure classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyDisclosure {
+    /// Discloses PII sharing without naming third parties (102 sites).
+    SharingNotSpecific,
+    /// Lists the third parties that receive PII (9 sites).
+    SharingSpecific,
+    /// No description of PII sharing at all (15 sites).
+    NoDescription,
+    /// Explicitly claims PII is NOT shared (4 sites).
+    DeniesSharing,
+}
+
+/// A non-leaking third-party resource (CDN, fonts, a tracker that receives
+/// no PII) — workload realism and initiator-chain fodder for Table 4.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BenignResource {
+    pub host: String,
+    pub path: String,
+    pub kind: ResourceKind,
+}
+
+/// A first-party site in the simulated web.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    pub domain: String,
+    pub outcome: SiteOutcome,
+    pub form: AuthForm,
+    /// Leak relationships (empty for the 177 non-leaking crawlable sites).
+    pub edges: Vec<LeakEdge>,
+    pub benign: Vec<BenignResource>,
+    pub policy: PolicyDisclosure,
+    /// Generated privacy-policy document (classified by `pii-analysis`).
+    pub policy_text: String,
+    /// Marketing mail volume after sign-up (inbox, spam).
+    pub emails: (u32, u32),
+}
+
+impl Site {
+    /// Whether the crawl can complete the authentication flow here.
+    pub fn is_crawlable(&self) -> bool {
+        matches!(self.outcome, SiteOutcome::Ok { .. })
+    }
+
+    /// Whether this site leaks PII to at least one third party.
+    pub fn is_sender(&self) -> bool {
+        !self.edges.is_empty()
+    }
+
+    /// The canonical page paths of the §3.2 flow.
+    pub fn flow_paths() -> [&'static str; 6] {
+        [
+            "/",
+            "/signup",
+            "/welcome",
+            "/signin",
+            "/account",
+            "/products/1",
+        ]
+    }
+
+    /// Is a tag with the given persistence active on this page?
+    ///
+    /// Auth-only tags fire where the site's identify call happens: on the
+    /// post-sign-up landing, sign-in, and account pages. Persistent tags
+    /// fire on every page load once PII is known.
+    pub fn tag_active(persistent: bool, path: &str) -> bool {
+        if persistent {
+            true
+        } else {
+            matches!(path, "/welcome" | "/signin" | "/account")
+        }
+    }
+
+    /// Distinct receiver labels of this sender.
+    pub fn receivers(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self.edges.iter().map(|e| e.receiver.as_str()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// CAPTCHA widget host for bot-detection sites. nykaa.com uses the widget
+/// Brave Shields break (§7.1); everyone else uses a Shields-tolerated one.
+pub fn captcha_host(site: &Site) -> Option<&'static str> {
+    match site.outcome {
+        SiteOutcome::Ok {
+            bot_detection: true,
+            ..
+        } => {
+            if site.domain == "nykaa.com" {
+                Some("strict-captcha.net")
+            } else {
+                Some("captcha-widget.net")
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_site() -> Site {
+        Site {
+            domain: "shop.com".into(),
+            outcome: SiteOutcome::Ok {
+                email_confirmation: false,
+                bot_detection: false,
+            },
+            form: AuthForm::default(),
+            edges: vec![],
+            benign: vec![],
+            policy: PolicyDisclosure::SharingNotSpecific,
+            policy_text: String::new(),
+            emails: (5, 0),
+        }
+    }
+
+    #[test]
+    fn crawlability() {
+        assert!(minimal_site().is_crawlable());
+        let mut blocked = minimal_site();
+        blocked.outcome = SiteOutcome::SignupBlocked(BlockReason::PhoneVerification);
+        assert!(!blocked.is_crawlable());
+        let mut gone = minimal_site();
+        gone.outcome = SiteOutcome::Unreachable;
+        assert!(!gone.is_crawlable());
+    }
+
+    #[test]
+    fn tag_activity_by_page() {
+        // Persistent tags fire everywhere, including the product subpage —
+        // that is exactly what makes §5.2's step-3 test meaningful.
+        assert!(Site::tag_active(true, "/products/1"));
+        assert!(Site::tag_active(true, "/"));
+        // Auth-only tags skip the homepage and subpages.
+        assert!(!Site::tag_active(false, "/"));
+        assert!(!Site::tag_active(false, "/products/1"));
+        assert!(Site::tag_active(false, "/account"));
+        assert!(Site::tag_active(false, "/welcome"));
+    }
+
+    #[test]
+    fn receivers_dedup() {
+        let mut site = minimal_site();
+        let edge = LeakEdge {
+            receiver: "facebook.com".into(),
+            request_host: "facebook.com".into(),
+            endpoint: "/tr".into(),
+            method: LeakMethod::Uri,
+            chain: Obfuscation::plaintext(),
+            pii: vec![PiiKind::Email],
+            param: "udff[em]".into(),
+            persistent: true,
+            kind: ResourceKind::Image,
+        };
+        site.edges.push(edge.clone());
+        site.edges.push(LeakEdge {
+            method: LeakMethod::Payload,
+            ..edge
+        });
+        assert_eq!(site.receivers(), vec!["facebook.com"]);
+        assert!(site.is_sender());
+    }
+
+    #[test]
+    fn method_names_unique() {
+        let mut names: Vec<&str> = LeakMethod::ALL.iter().map(|m| m.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 4);
+    }
+}

@@ -1,0 +1,139 @@
+//! Quantitative description of a generated universe — the generator's
+//! self-audit. `pii-study` prints this; the tests pin the distributional
+//! properties the DESIGN.md calibration section promises.
+
+use crate::site::LeakMethod;
+use crate::Universe;
+use std::collections::BTreeMap;
+
+/// Degree-distribution and marginal summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UniverseStats {
+    pub sites: usize,
+    pub crawlable: usize,
+    pub senders: usize,
+    pub receivers: usize,
+    pub edges: usize,
+    /// receiver-count histogram over senders: degree → #senders.
+    pub sender_degree_histogram: BTreeMap<usize, usize>,
+    /// sender-count histogram over receivers: degree → #receivers.
+    pub receiver_degree_histogram: BTreeMap<usize, usize>,
+    /// edges per leak method.
+    pub edges_by_method: BTreeMap<LeakMethod, usize>,
+    /// edges per Table 1b bucket.
+    pub edges_by_bucket: BTreeMap<String, usize>,
+    /// CNAME-cloaked subdomains registered in the zones.
+    pub cloaked_subdomains: usize,
+}
+
+/// Compute the summary.
+pub fn compute(u: &Universe) -> UniverseStats {
+    let mut receivers: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut sender_degrees: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut edges_by_method: BTreeMap<LeakMethod, usize> = BTreeMap::new();
+    let mut edges_by_bucket: BTreeMap<String, usize> = BTreeMap::new();
+    let mut edges = 0usize;
+    for site in u.sender_sites() {
+        *sender_degrees.entry(site.receivers().len()).or_default() += 1;
+        for edge in &site.edges {
+            edges += 1;
+            *receivers.entry(edge.receiver.as_str()).or_default() += 1;
+            *edges_by_method.entry(edge.method).or_default() += 1;
+            *edges_by_bucket
+                .entry(edge.chain.table1b_bucket().to_string())
+                .or_default() += 1;
+        }
+    }
+    let mut receiver_degrees: BTreeMap<usize, usize> = BTreeMap::new();
+    for &count in receivers.values() {
+        *receiver_degrees.entry(count).or_default() += 1;
+    }
+    let cloaked_subdomains = u
+        .zones
+        .iter()
+        .filter(|(name, record)| {
+            name.starts_with("metrics.") && matches!(record, pii_dns::Record::Cname(_))
+        })
+        .count();
+    UniverseStats {
+        sites: u.sites.len(),
+        crawlable: u.crawlable_sites().count(),
+        senders: u.sender_sites().count(),
+        receivers: receivers.len(),
+        edges,
+        sender_degree_histogram: sender_degrees,
+        receiver_degree_histogram: receiver_degrees,
+        edges_by_method,
+        edges_by_bucket,
+        cloaked_subdomains,
+    }
+}
+
+impl UniverseStats {
+    /// Render as a report block.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "universe: {} sites ({} crawlable), {} senders -> {} receivers over {} edges\n",
+            self.sites, self.crawlable, self.senders, self.receivers, self.edges
+        ));
+        out.push_str("sender degree histogram (receivers -> #senders):\n");
+        for (degree, count) in &self.sender_degree_histogram {
+            out.push_str(&format!("  {degree:>3}: {}\n", "#".repeat(*count)));
+        }
+        out.push_str("edges by method:\n");
+        for (method, count) in &self.edges_by_method {
+            out.push_str(&format!("  {:<8} {count}\n", method.name()));
+        }
+        out.push_str("edges by encoding bucket:\n");
+        for (bucket, count) in &self.edges_by_bucket {
+            out.push_str(&format!("  {bucket:<14} {count}\n"));
+        }
+        out.push_str(&format!(
+            "cloaked subdomains: {}\n",
+            self.cloaked_subdomains
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_match_the_calibration_promises() {
+        let u = Universe::generate();
+        let s = compute(&u);
+        assert_eq!(s.sites, 404);
+        assert_eq!(s.crawlable, 307);
+        assert_eq!(s.senders, 130);
+        assert_eq!(s.receivers, 100);
+        // Edge budget: ~390 (DESIGN.md: avg ≈ 3 receivers/sender).
+        assert!((360..=420).contains(&s.edges), "edges = {}", s.edges);
+        // Degree extremes.
+        let max_degree = *s.sender_degree_histogram.keys().max().unwrap();
+        assert_eq!(max_degree, 16, "loccitane.com's 16 receivers");
+        assert_eq!(s.sender_degree_histogram[&16], 1, "exactly one maximum");
+        // Histograms account for every sender/receiver.
+        assert_eq!(s.sender_degree_histogram.values().sum::<usize>(), 130);
+        assert_eq!(s.receiver_degree_histogram.values().sum::<usize>(), 100);
+        // 58 single-sender receivers (§5.2).
+        assert_eq!(s.receiver_degree_histogram[&1], 58);
+        // Methods: URI dominates; exactly 5 cookie edges and 7 referer edges.
+        assert_eq!(s.edges_by_method[&LeakMethod::Cookie], 5);
+        assert_eq!(s.edges_by_method[&LeakMethod::Referer], 7);
+        assert!(s.edges_by_method[&LeakMethod::Uri] > 250);
+        // One cloaked subdomain per adobe sender (8).
+        assert_eq!(s.cloaked_subdomains, 8);
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let u = Universe::generate();
+        let text = compute(&u).render();
+        assert!(text.contains("130 senders -> 100 receivers"));
+        assert!(text.contains("cloaked subdomains: 8"));
+        assert!(text.contains("sha256"));
+    }
+}

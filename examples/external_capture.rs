@@ -1,0 +1,75 @@
+//! Analyze an *external* capture: raw HTTP/1.1 messages (as a TLS-
+//! intercepting proxy would record them) pushed through the same §4.1
+//! detector that the simulated crawl uses.
+//!
+//! ```sh
+//! cargo run --release --example external_capture
+//! ```
+
+use pii_suite::core::wire_input::WireExchange;
+use pii_suite::hashes::{hex_digest, HashAlgorithm};
+use pii_suite::prelude::*;
+
+fn main() {
+    // A persona whose PII we expect to find in the traffic.
+    let persona = Persona::default_study();
+    let tokens = TokenSetBuilder::default().build(&persona);
+    let psl = PublicSuffixList::embedded();
+    let zones = ZoneStore::new(); // no simulated DNS: external capture
+
+    // Three raw messages "recorded by a proxy" while browsing shop.example:
+    let sha = hex_digest(HashAlgorithm::Sha256, persona.email.as_bytes());
+    let md5 = hex_digest(HashAlgorithm::Md5, persona.email.as_bytes());
+    let messages = [
+        // 1. A Facebook pixel with the SHA-256 email in the URI.
+        format!(
+            "GET /tr?id=129031&ev=PageView&udff%5Bem%5D={sha} HTTP/1.1\r\n\
+             Host: facebook.com\r\n\
+             Referer: https://shop.example/account\r\n\r\n"
+        ),
+        // 2. A Criteo event call with the MD5 email.
+        format!(
+            "GET /event?a=771&p0={md5}&v=5.9 HTTP/1.1\r\n\
+             Host: criteo.com\r\n\
+             Referer: https://shop.example/account\r\n\r\n"
+        ),
+        // 3. The site's own sign-in POST — PII, but first-party: NOT a leak.
+        format!(
+            "POST /signin HTTP/1.1\r\nHost: shop.example\r\n\
+             Content-Length: 36\r\n\r\nemail=foo%40mydom.com&password=secret"
+        ),
+    ];
+    let exchanges: Vec<WireExchange> = messages
+        .iter()
+        .map(|raw| WireExchange {
+            site: "shop.example",
+            request: raw.as_bytes(),
+            response: None,
+            scheme: "https",
+        })
+        .collect();
+
+    let detector = LeakDetector::new(&tokens, &psl, &zones);
+    let report = detector.detect_wire(&exchanges).expect("parsable capture");
+
+    println!(
+        "inspected {} third-party requests",
+        report.third_party_requests
+    );
+    println!("detected {} leaks:", report.events.len());
+    for e in &report.events {
+        println!(
+            "  {} received {} as {} via {:?} (param '{}')",
+            e.receiver_domain,
+            e.pii.name(),
+            e.bucket,
+            e.method,
+            e.param
+        );
+    }
+    assert_eq!(
+        report.events.len(),
+        2,
+        "the first-party POST must not count"
+    );
+}

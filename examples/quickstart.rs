@@ -1,0 +1,59 @@
+//! Quickstart: crawl one leaking shopping site, detect its PII leaks, and
+//! print what went where.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pii_suite::prelude::*;
+
+fn main() {
+    // 1. Build the simulated web of May 2021 (deterministic).
+    let universe = Universe::generate();
+    let psl = PublicSuffixList::embedded();
+
+    // 2. Pick one site that signs users up and leaks to Facebook.
+    let site = universe
+        .sender_sites()
+        .find(|s| s.edges.iter().any(|e| e.receiver == "facebook.com"))
+        .expect("universe always has facebook senders");
+    println!("site under test: https://{}/", site.domain);
+
+    // 3. Complete the §3.2 authentication flow with the study persona
+    //    (sign-up → email confirmation → sign-in → reload → product page).
+    let targets = vec![site.domain.clone()];
+    let dataset = Crawler::new(&universe).run_on(BrowserKind::Firefox88Vanilla, Some(&targets));
+    let crawl = &dataset.crawls[0];
+    println!(
+        "captured {} requests ({:?})",
+        crawl.records.len(),
+        crawl.outcome
+    );
+
+    // 4. Pre-compute the candidate token set (§3.1) and detect leaks (§4.1).
+    let tokens = TokenSetBuilder::default().build(&universe.persona);
+    println!("candidate tokens: {}", tokens.len());
+    let report = LeakDetector::new(&tokens, &psl, &universe.zones).detect(&dataset);
+
+    // 5. Show every leak found.
+    println!("\nPII leaks detected:");
+    let mut seen = std::collections::BTreeSet::new();
+    for event in &report.events {
+        let line = format!(
+            "  [{:<7}] {:8} -> {:20} as {:13} in param '{}'",
+            event.method.name(),
+            event.pii.name(),
+            event.receiver_domain,
+            event.bucket,
+            event.param,
+        );
+        if seen.insert(line.clone()) {
+            println!("{line}");
+        }
+    }
+    println!(
+        "\n{} leaking requests to {} third parties",
+        report.leaking_request_count(),
+        report.receivers().len()
+    );
+}

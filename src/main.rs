@@ -1,0 +1,247 @@
+//! `pii-study` — command-line driver for the reproduction.
+//!
+//! ```text
+//! pii-study full                       run everything, print all tables
+//! pii-study tables                     tables 1–3 + figure 2 (no re-crawls)
+//! pii-study browsers                   §7.1 six-browser comparison
+//! pii-study blocklists                 Table 4 + §7.2 misses
+//! pii-study ablations                  chain-depth + scanning ablations
+//! pii-study crowdsource [K]            future-work extension with K personas
+//! pii-study export <dir>               write dataset artifacts + HAR
+//! pii-study seed <u64> <subcommand>    run any of the above on another seed
+//! ```
+
+use pii_suite::analysis::{
+    ablations, aggregates, browsers, counterfactual, crowdsource, dataset, figure2, table1, table2,
+    table3, table4, Study, StudyResults,
+};
+use pii_suite::web::UniverseSpec;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: pii-study [seed <u64>] <full|tables|stats|sweep [N]|browsers|blocklists|ablations|counterfactual|crowdsource [K]|export <dir>>"
+    );
+    std::process::exit(2);
+}
+
+fn run_study(seed: Option<u64>) -> StudyResults {
+    let mut study = Study::paper();
+    if let Some(seed) = seed {
+        study.spec = UniverseSpec {
+            seed,
+            ..UniverseSpec::default()
+        };
+    }
+    eprintln!(
+        "running the measurement study (seed {:#x})…",
+        study.spec.seed
+    );
+    study.run()
+}
+
+fn print_tables(r: &StudyResults) {
+    println!("{}", aggregates::render(r));
+    for t in table1::tables(r) {
+        println!("{}", t.render());
+    }
+    println!("{}", figure2::table(r).render());
+    println!("{}", table2::table(r).render());
+    println!("{}", table3::table(r).render());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = args.as_slice();
+    let mut seed = None;
+    if args.first().map(String::as_str) == Some("seed") {
+        let Some(value) = args.get(1).and_then(|s| {
+            s.strip_prefix("0x")
+                .map(|h| u64::from_str_radix(h, 16).ok())
+                .unwrap_or_else(|| s.parse().ok())
+        }) else {
+            usage();
+        };
+        seed = Some(value);
+        args = &args[2..];
+    }
+    let Some(command) = args.first() else { usage() };
+    match command.as_str() {
+        "full" => {
+            let r = run_study(seed);
+            print_tables(&r);
+            println!("{}", table4::table(&r).render());
+            println!(
+                "providers missed by the combined lists: {:?}\n",
+                table4::missed_tracking_providers(&r)
+            );
+            let results = browsers::evaluate_all(&r);
+            println!("{}", browsers::table(&r, &results).render());
+            let mut comparisons = r.comparisons();
+            comparisons.extend(table4::comparisons(&r));
+            comparisons.extend(browsers::comparisons(&r, &results));
+            let matches = comparisons.iter().filter(|c| c.matches).count();
+            println!(
+                "{matches}/{} comparisons match the paper",
+                comparisons.len()
+            );
+        }
+        "tables" => {
+            let r = run_study(seed);
+            print_tables(&r);
+        }
+        "browsers" => {
+            let r = run_study(seed);
+            let results = browsers::evaluate_all(&r);
+            println!("{}", browsers::table(&r, &results).render());
+        }
+        "blocklists" => {
+            let r = run_study(seed);
+            println!("{}", table4::table(&r).render());
+            println!(
+                "providers missed by the combined lists: {:?}",
+                table4::missed_tracking_providers(&r)
+            );
+        }
+        "ablations" => {
+            let r = run_study(seed);
+            println!("chain-depth recall:");
+            for d in ablations::chain_depth_recall(&r, 2) {
+                println!(
+                    "  depth {}: {:>7} tokens, {:>3} senders, {:>5} events, recall {:.3}",
+                    d.depth, d.candidate_tokens, d.senders_detected, d.events, d.recall
+                );
+            }
+            let cmp = ablations::scanning_equivalence(&r);
+            println!(
+                "scanning: structured {} vs exhaustive {} senders; disagreements: {:?}",
+                cmp.structured_senders, cmp.exhaustive_senders, cmp.disagreements
+            );
+        }
+        "crowdsource" => {
+            let k: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+            let r = run_study(seed);
+            eprintln!("running {k} contributor crawls…");
+            let personas = crowdsource::contributor_personas(k);
+            let reports = crowdsource::run_contributors(&r.universe, &personas);
+            let confirmed = crowdsource::confirm(&reports, 2);
+            let crowd_only = confirmed
+                .iter()
+                .filter(|c| !c.single_persona_sufficient)
+                .count();
+            println!(
+                "{} (receiver, param) identifiers confirmed by ≥2 of {k} contributors;",
+                confirmed.len()
+            );
+            println!(
+                "{crowd_only} of them were single-appearance for one persona — the gap §5.2 \
+                 says crowdsourcing closes."
+            );
+            for c in confirmed
+                .iter()
+                .filter(|c| !c.single_persona_sufficient)
+                .take(10)
+            {
+                println!(
+                    "  {} via '{}' ({} contributors)",
+                    c.receiver_domain, c.param, c.contributors
+                );
+            }
+        }
+        "stats" => {
+            let r = run_study(seed);
+            println!("{}", pii_suite::web::stats::compute(&r.universe).render());
+        }
+        "sweep" => {
+            let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+            eprintln!("running {n} seeded studies…");
+            let seeds: Vec<u64> = (1..=n as u64).collect();
+            let runs = pii_suite::analysis::robustness::sweep(&seeds);
+            for run in &runs {
+                println!(
+                    "seed {:>3}: senders {} receivers {} trackers {} requests {}",
+                    run.seed,
+                    run.senders,
+                    run.receivers,
+                    run.confirmed_trackers,
+                    run.leaking_requests
+                );
+            }
+            println!("\nspread:");
+            for s in pii_suite::analysis::robustness::spreads(&runs) {
+                println!(
+                    "  {:<26} min {:>8.2}  mean {:>8.2}  max {:>8.2}",
+                    s.metric, s.min, s.mean, s.max
+                );
+            }
+        }
+        "counterfactual" => {
+            let r = run_study(seed);
+            let strict = counterfactual::strict_referrer(&r);
+            println!(
+                "strict-referrer enforcement: referer senders {} -> {}, total senders {} -> {}, receivers {} -> {}",
+                strict.referer_senders.0,
+                strict.referer_senders.1,
+                strict.total_senders.0,
+                strict.total_senders.1,
+                strict.total_receivers.0,
+                strict.total_receivers.1,
+            );
+            let cloak = counterfactual::no_cname_uncloaking(&r);
+            println!(
+                "host-only blocking: {} cloaked leak events from {} senders survive",
+                cloak.surviving_cloaked_events, cloak.surviving_senders
+            );
+        }
+        "export" => {
+            let Some(dir) = args.get(1) else { usage() };
+            let r = run_study(seed);
+            let dir = std::path::Path::new(dir);
+            dataset::build(&r).write_to(dir).expect("write dataset");
+            std::fs::write(
+                dir.join("capture.har"),
+                pii_suite::crawler::har::export_json(&r.dataset),
+            )
+            .expect("write HAR");
+            // Paper-vs-measured matrix as markdown.
+            let mut md = String::from(
+                "# Paper vs measured
+
+| Metric | Paper | Measured | Match |
+|---|---|---|---|
+",
+            );
+            for c in r.comparisons() {
+                md.push_str(&format!(
+                    "| {} | {} | {} | {} |
+",
+                    c.metric,
+                    c.paper,
+                    c.measured,
+                    if c.matches { "yes" } else { "**no**" }
+                ));
+            }
+            std::fs::write(dir.join("comparisons.md"), md).expect("write comparisons");
+            // Universe snapshot: the simulated internet as data.
+            std::fs::write(
+                dir.join("zones.zone"),
+                pii_suite::dns::zonefile::serialize(&r.universe.zones),
+            )
+            .expect("write zones");
+            std::fs::write(
+                dir.join("sites.json"),
+                serde_json::to_string_pretty(&r.universe.sites).expect("serializable"),
+            )
+            .expect("write sites");
+            std::fs::write(
+                dir.join("universe_stats.txt"),
+                pii_suite::web::stats::compute(&r.universe).render(),
+            )
+            .expect("write stats");
+            println!(
+                "wrote dataset + HAR + comparisons + universe to {}",
+                dir.display()
+            );
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,74 @@
+//! The reproduction contract: the comparison matrix against the paper must
+//! hold — exact cells exactly, banded cells in band, and the three known
+//! deviations (EXPERIMENTS.md) are pinned so they cannot silently grow.
+
+use pii_suite::analysis::{table4, Study, StudyResults};
+use std::sync::OnceLock;
+
+fn study() -> &'static StudyResults {
+    static S: OnceLock<StudyResults> = OnceLock::new();
+    S.get_or_init(|| Study::paper().run())
+}
+
+#[test]
+fn at_least_sixty_of_core_comparisons_match() {
+    let r = study();
+    let mut comparisons = r.comparisons();
+    comparisons.extend(table4::comparisons(r));
+    let failures: Vec<String> = comparisons
+        .iter()
+        .filter(|c| !c.matches)
+        .map(|c| format!("{} (paper {}, measured {})", c.metric, c.paper, c.measured))
+        .collect();
+    // The three documented deviations (D1/D2 in EXPERIMENTS.md) are the
+    // only allowed mismatches in the core matrix.
+    assert!(
+        failures.len() <= 3,
+        "unexpected mismatches beyond the documented deviations: {failures:#?}"
+    );
+    for failure in &failures {
+        assert!(
+            failure.starts_with("Table 1a / URI receivers")
+                || failure.starts_with("Table 1b / BASE64 senders")
+                || failure.starts_with("Table 1b / Combined senders"),
+            "a new deviation appeared: {failure}"
+        );
+    }
+}
+
+#[test]
+fn the_exact_cells_are_exact() {
+    let r = study();
+    // These are the reproduction's headline guarantees; they must never be
+    // merely "in band".
+    let funnel = r.dataset.funnel();
+    assert_eq!(funnel.total, 404);
+    assert_eq!(funnel.completed, 307);
+    assert_eq!(r.report.senders().len(), 130);
+    assert_eq!(r.report.receivers().len(), 100);
+    assert_eq!(r.tracking.confirmed().len(), 20);
+    assert_eq!(r.tracking.candidates.len(), 34);
+    assert_eq!(r.tracking.single_appearance.len(), 58);
+    assert_eq!(
+        table4::missed_tracking_providers(r),
+        vec!["custora.com", "taboola.com", "zendesk.com"]
+    );
+}
+
+#[test]
+fn comparison_matrix_is_seed_stable() {
+    // Calibration must not depend on the lucky default seed: the exact cells
+    // hold for another seed too (layout randomness only shuffles which site
+    // plays which role).
+    let mut spec = pii_suite::web::UniverseSpec::default();
+    spec.seed = 0xdead_beef;
+    let study = Study {
+        spec,
+        ..Study::paper()
+    };
+    let r = study.run();
+    assert_eq!(r.report.senders().len(), 130);
+    assert_eq!(r.report.receivers().len(), 100);
+    assert_eq!(r.tracking.confirmed().len(), 20);
+    assert_eq!(r.dataset.funnel().completed, 307);
+}
