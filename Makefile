@@ -1,0 +1,18 @@
+.PHONY: ci build test clippy bench fmt-check
+
+ci: build test clippy
+
+build:
+	cargo build --release --workspace
+
+test:
+	cargo test -q --workspace --release
+
+clippy:
+	cargo clippy --workspace --all-targets -- -D warnings
+
+bench:
+	cargo bench -p pii-bench
+
+fmt-check:
+	cargo fmt --all --check

@@ -70,8 +70,13 @@ pub struct ScanComparison {
 pub fn scanning_equivalence(r: &StudyResults) -> ScanComparison {
     let structured: BTreeSet<&str> = r.report.senders().into_iter().collect();
     // Exhaustive sweep with the same candidate set.
-    let patterns: Vec<&str> = r.tokens.iter().map(|(token, _)| token.as_str()).collect();
-    let automaton = AhoCorasick::new(&patterns);
+    let patterns: Vec<&str> = r
+        .tokens
+        .iter()
+        .map(|(token, _)| token.as_str())
+        .filter(|t| !t.is_empty())
+        .collect();
+    let automaton = AhoCorasick::new(&patterns).expect("empty patterns filtered out");
     let mut exhaustive: BTreeSet<&str> = BTreeSet::new();
     for crawl in r.dataset.completed() {
         'site: for rec in crawl.delivered() {

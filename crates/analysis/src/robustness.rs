@@ -63,6 +63,7 @@ pub fn sweep(seeds: &[u64]) -> Vec<SeedRun> {
 }
 
 /// Compute the spread of each metric over the runs.
+#[allow(clippy::type_complexity)]
 pub fn spreads(runs: &[SeedRun]) -> Vec<Spread> {
     let metrics: [(&str, fn(&SeedRun) -> f64); 6] = [
         ("senders", |r| r.senders as f64),

@@ -19,15 +19,30 @@ pub struct Study {
     pub spec: UniverseSpec,
     pub tokens: TokenSetBuilder,
     pub capture_browser: BrowserKind,
+    /// Worker threads for the crawl and detection shards. Results are merged
+    /// in canonical site order, so any value yields byte-identical output.
+    pub workers: usize,
 }
 
 impl Study {
-    /// The paper's configuration: default universe, Firefox 88 capture.
+    /// The paper's configuration: default universe, Firefox 88 capture,
+    /// one crawl/detect worker per available core (capped at 8).
     pub fn paper() -> Study {
         Study {
             spec: UniverseSpec::default(),
             tokens: TokenSetBuilder::default(),
             capture_browser: BrowserKind::Firefox88Vanilla,
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(4),
+        }
+    }
+
+    /// Paper configuration with an explicit worker-pool size.
+    pub fn with_workers(workers: usize) -> Study {
+        Study {
+            workers: workers.max(1),
+            ..Study::paper()
         }
     }
 
@@ -35,9 +50,12 @@ impl Study {
     pub fn run(self) -> StudyResults {
         let universe = Universe::generate_with(self.spec);
         let psl = PublicSuffixList::embedded();
-        let dataset = Crawler::new(&universe).run(self.capture_browser);
+        let mut crawler = Crawler::new(&universe);
+        crawler.workers = self.workers.max(1);
+        let dataset = crawler.run(self.capture_browser);
         let tokens = self.tokens.build(&universe.persona);
-        let report = LeakDetector::new(&tokens, &psl, &universe.zones).detect(&dataset);
+        let report = LeakDetector::new(&tokens, &psl, &universe.zones)
+            .detect_parallel(&dataset, self.workers.max(1));
         let tracking = analyze(&report);
         StudyResults {
             universe,
@@ -64,11 +82,7 @@ impl StudyResults {
     /// Map a detected receiver domain to the paper's reporting label
     /// (Table 2 calls the CNAME-cloaked Adobe endpoints `adobe_cname`).
     pub fn receiver_label(&self, domain: &str) -> String {
-        if domain == "omtrdc.net" {
-            "adobe_cname".to_string()
-        } else {
-            domain.to_string()
-        }
+        pii_web::tracker::reporting_label(domain)
     }
 
     /// Render every table/figure of the paper in order.

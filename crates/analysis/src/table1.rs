@@ -14,6 +14,7 @@ use pii_web::site::LeakMethod;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Count distinct senders/receivers per attribute of an event.
+#[allow(clippy::type_complexity)]
 fn breakdown<K: Ord + Clone>(
     events: &[LeakEvent],
     key: impl Fn(&LeakEvent) -> K,

@@ -30,6 +30,7 @@ struct LeakRequest<'a> {
     unmasked_host: Option<String>,
 }
 
+#[allow(clippy::type_complexity)]
 fn collect<'a>(r: &'a StudyResults) -> Vec<LeakRequest<'a>> {
     // Group events by (sender, request index).
     let mut grouped: BTreeMap<(&str, usize), (BTreeSet<&str>, BTreeSet<LeakMethod>, bool)> =

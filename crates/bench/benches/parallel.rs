@@ -1,0 +1,56 @@
+//! Sharded vs sequential detection on a 10×-scaled universe.
+//!
+//! The detection pass is embarrassingly parallel per site; shards merge in
+//! canonical site order so the report is byte-identical to a sequential
+//! pass (asserted here before timing, and exhaustively in
+//! `tests/parallel.rs`). On a multi-core host the 4-worker run should beat
+//! sequential by >1.5×; on a single-core host (like some CI runners) the
+//! numbers converge and the bench only demonstrates the architecture.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pii_browser::profiles::BrowserKind;
+use pii_core::detect::LeakDetector;
+use pii_core::tokens::TokenSetBuilder;
+use pii_crawler::Crawler;
+use pii_web::{Universe, UniverseSpec};
+
+fn bench_parallel(c: &mut Criterion) {
+    let spec = UniverseSpec::default().scaled(10);
+    eprintln!(
+        "[parallel] universe: {} sites ({} crawlable), host cores: {}",
+        spec.total_sites,
+        spec.crawlable(),
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let universe = Universe::generate_with(spec);
+    let crawler = Crawler::new(&universe);
+    let dataset = crawler.run(BrowserKind::Firefox88Vanilla);
+    let tokens = TokenSetBuilder::default().build(&universe.persona);
+    let psl = pii_dns::PublicSuffixList::embedded();
+    let detector = LeakDetector::new(&tokens, &psl, &universe.zones);
+
+    // Sanity: the shards really do reassemble the sequential report.
+    let sequential = detector.detect(&dataset);
+    let sharded = detector.detect_parallel(&dataset, 4);
+    assert_eq!(sequential.events, sharded.events);
+    eprintln!(
+        "[parallel] {} leak events over {} third-party requests",
+        sequential.events.len(),
+        sequential.third_party_requests
+    );
+
+    let mut group = c.benchmark_group("detect_10x_universe");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| detector.detect(&dataset).events.len());
+    });
+    for workers in [2usize, 4, 8] {
+        group.bench_function(BenchmarkId::new("sharded", workers), |b| {
+            b.iter(|| detector.detect_parallel(&dataset, workers).events.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -34,7 +34,7 @@ fn bench_scan(c: &mut Criterion) {
         haystack.len(),
         patterns.len()
     );
-    let ac = AhoCorasick::new(&patterns);
+    let ac = AhoCorasick::new(&patterns).expect("digest patterns are never empty");
     let mut group = c.benchmark_group("multi_pattern_scan");
     group.sample_size(20);
     group.bench_function("aho_corasick", |b| {

@@ -543,7 +543,7 @@ mod tests {
             .url
             .query
             .as_deref()
-            .map_or(true, |q| !q.contains("udff"))));
+            .is_none_or(|q| !q.contains("udff"))));
         // Post-submit account page: the sha256 email token is in a URL.
         let post = b.load_page(site, &ctx(site, "/account", true));
         let sha = pii_hashes::hex_digest(pii_hashes::HashAlgorithm::Sha256, b"foo@mydom.com");
@@ -555,7 +555,7 @@ mod tests {
                         .url
                         .query
                         .as_deref()
-                        .map_or(false, |q| q.contains(&sha) || q.contains(&md5))
+                        .is_some_and(|q| q.contains(&sha) || q.contains(&md5))
             }),
             "facebook leak call missing"
         );
@@ -686,7 +686,7 @@ mod tests {
                 .url
                 .query
                 .as_deref()
-                .map_or(false, |q| q.contains(&sha) || q.contains(&md5))
+                .is_some_and(|q| q.contains(&sha) || q.contains(&md5))
         }));
     }
 
@@ -736,7 +736,7 @@ mod tests {
                         .url
                         .query
                         .as_deref()
-                        .map_or(false, |q| q.contains("p0=") || q.contains("p1="))
+                        .is_some_and(|q| q.contains("p0=") || q.contains("p1="))
             })
             .expect("criteo leak");
         let initiator = leak.request.initiator.as_ref().unwrap();
@@ -787,6 +787,6 @@ mod tests {
             .request
             .headers
             .get("Cookie")
-            .map_or(false, |c| c.contains("session=")));
+            .is_some_and(|c| c.contains("session=")));
     }
 }

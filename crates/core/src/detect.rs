@@ -65,6 +65,16 @@ pub struct DetectionReport {
 }
 
 impl DetectionReport {
+    /// Append another report's events and counters. Used by the sharded
+    /// detector to fold per-site fragments back together; as long as
+    /// fragments are merged in canonical site order the result is
+    /// indistinguishable from a sequential pass.
+    pub fn merge(&mut self, other: DetectionReport) {
+        self.events.extend(other.events);
+        self.third_party_requests += other.third_party_requests;
+        self.total_requests += other.total_requests;
+    }
+
     /// Distinct leaking senders.
     pub fn senders(&self) -> Vec<&str> {
         let mut v: Vec<&str> = self.events.iter().map(|e| e.sender.as_str()).collect();
@@ -127,6 +137,50 @@ impl<'a> LeakDetector<'a> {
         let mut report = DetectionReport::default();
         for crawl in dataset.completed() {
             self.detect_site(crawl, &mut report);
+        }
+        report
+    }
+
+    /// Run detection sharded per-site over a fixed worker pool.
+    ///
+    /// Workers pull sites off a shared index counter (work-stealing by
+    /// construction: a worker stuck on a large site simply claims fewer
+    /// sites), produce one [`DetectionReport`] fragment per site, and the
+    /// fragments are merged in canonical site order. Because
+    /// [`detect_site`](Self::detect_site) is a pure function of one crawl,
+    /// the merged report is byte-identical to [`detect`](Self::detect) —
+    /// event order, counters, everything (the `parallel_equals_sequential`
+    /// integration test pins this down).
+    ///
+    /// The token set, PSL, and zone store are shared by reference across
+    /// workers; nothing is cloned.
+    pub fn detect_parallel(&self, dataset: &CrawlDataset, workers: usize) -> DetectionReport {
+        let crawls: Vec<&SiteCrawl> = dataset.completed().collect();
+        if workers <= 1 || crawls.len() <= 1 {
+            return self.detect(dataset);
+        }
+        let fragments: parking_lot::Mutex<Vec<(usize, DetectionReport)>> =
+            parking_lot::Mutex::new(Vec::with_capacity(crawls.len()));
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if index >= crawls.len() {
+                        break;
+                    }
+                    let mut fragment = DetectionReport::default();
+                    self.detect_site(crawls[index], &mut fragment);
+                    fragments.lock().push((index, fragment));
+                });
+            }
+        })
+        .expect("detect worker panicked");
+        let mut fragments = fragments.into_inner();
+        fragments.sort_by_key(|(index, _)| *index);
+        let mut report = DetectionReport::default();
+        for (_, fragment) in fragments {
+            report.merge(fragment);
         }
         report
     }
@@ -352,6 +406,19 @@ mod tests {
                     site.domain
                 );
             }
+        }
+    }
+
+    #[test]
+    fn parallel_detection_is_identical_to_sequential() {
+        let w = world();
+        let detector = LeakDetector::new(&w.tokens, &w.psl, &w.universe.zones);
+        let sequential = detector.detect(&w.dataset);
+        for workers in [1, 2, 4, 7] {
+            let parallel = detector.detect_parallel(&w.dataset, workers);
+            assert_eq!(parallel.events, sequential.events, "workers = {workers}");
+            assert_eq!(parallel.third_party_requests, sequential.third_party_requests);
+            assert_eq!(parallel.total_requests, sequential.total_requests);
         }
     }
 

@@ -10,6 +10,25 @@
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
+/// Automaton construction failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Pattern at this index is empty — it would match at every offset.
+    EmptyPattern { index: usize },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::EmptyPattern { index } => {
+                write!(f, "pattern {index} is empty")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
 /// A match: pattern index and byte offset of its first byte.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Match {
@@ -33,8 +52,13 @@ pub struct AhoCorasick {
 }
 
 impl AhoCorasick {
-    /// Build from a pattern list. Empty patterns are rejected.
-    pub fn new<I, S>(patterns: I) -> AhoCorasick
+    /// Build from a pattern list.
+    ///
+    /// Returns [`BuildError::EmptyPattern`] if any pattern is empty: an
+    /// empty needle "matches" before every byte, which the match-offset
+    /// arithmetic (`i + 1 - len`) cannot represent. Duplicate patterns are
+    /// fine — each index reports its own matches.
+    pub fn new<I, S>(patterns: I) -> Result<AhoCorasick, BuildError>
     where
         I: IntoIterator<Item = S>,
         S: AsRef<[u8]>,
@@ -43,7 +67,9 @@ impl AhoCorasick {
         let mut pattern_lens = Vec::new();
         for (pi, pattern) in patterns.into_iter().enumerate() {
             let bytes = pattern.as_ref();
-            assert!(!bytes.is_empty(), "empty pattern");
+            if bytes.is_empty() {
+                return Err(BuildError::EmptyPattern { index: pi });
+            }
             pattern_lens.push(bytes.len());
             let mut cur = 0usize;
             for &b in bytes {
@@ -91,10 +117,10 @@ impl AhoCorasick {
                 queue.push_back(child);
             }
         }
-        AhoCorasick {
+        Ok(AhoCorasick {
             nodes,
             pattern_lens,
-        }
+        })
     }
 
     /// All matches in `haystack`.
@@ -169,8 +195,48 @@ mod tests {
     use super::*;
 
     #[test]
+    fn empty_pattern_is_a_build_error() {
+        assert_eq!(
+            AhoCorasick::new(["a", "", "b"]).unwrap_err(),
+            BuildError::EmptyPattern { index: 1 }
+        );
+        assert_eq!(
+            AhoCorasick::new(vec![""]).unwrap_err(),
+            BuildError::EmptyPattern { index: 0 }
+        );
+        // The error is a proper std::error::Error with a useful message.
+        let err = AhoCorasick::new(["x", ""]).unwrap_err();
+        assert_eq!(err.to_string(), "pattern 1 is empty");
+        // No patterns at all is fine: the automaton just never matches.
+        let ac = AhoCorasick::new(Vec::<&str>::new()).unwrap();
+        assert_eq!(ac.pattern_count(), 0);
+        assert!(!ac.is_match(b"anything"));
+    }
+
+    #[test]
+    fn duplicate_patterns_each_report_their_own_index() {
+        let ac = AhoCorasick::new(["dup", "dup", "other"]).unwrap();
+        assert_eq!(ac.pattern_count(), 3);
+        let mut matches = ac.find_all(b"xxdupxx");
+        matches.sort_by_key(|m| m.pattern);
+        assert_eq!(
+            matches,
+            vec![
+                Match {
+                    pattern: 0,
+                    start: 2
+                },
+                Match {
+                    pattern: 1,
+                    start: 2
+                },
+            ]
+        );
+    }
+
+    #[test]
     fn finds_single_pattern() {
-        let ac = AhoCorasick::new(["mydom"]);
+        let ac = AhoCorasick::new(["mydom"]).unwrap();
         let m = ac.find_all(b"email=foo@mydom.com");
         assert_eq!(
             m,
@@ -183,7 +249,7 @@ mod tests {
 
     #[test]
     fn finds_overlapping_patterns() {
-        let ac = AhoCorasick::new(["he", "she", "his", "hers"]);
+        let ac = AhoCorasick::new(["he", "she", "his", "hers"]).unwrap();
         let matches = ac.find_all(b"ushers");
         let found: Vec<usize> = matches.iter().map(|m| m.pattern).collect();
         assert!(found.contains(&0), "he");
@@ -195,7 +261,7 @@ mod tests {
     #[test]
     fn agrees_with_naive_scan() {
         let patterns = ["abc", "bca", "cab", "aa", "abcabc"];
-        let ac = AhoCorasick::new(patterns);
+        let ac = AhoCorasick::new(patterns).unwrap();
         let haystack = b"aabcabcabcaacab";
         let mut fast = ac.find_all(haystack);
         let pat_bytes: Vec<&[u8]> = patterns.iter().map(|p| p.as_bytes()).collect();
@@ -207,7 +273,7 @@ mod tests {
 
     #[test]
     fn is_match_short_circuits() {
-        let ac = AhoCorasick::new(["needle"]);
+        let ac = AhoCorasick::new(["needle"]).unwrap();
         assert!(ac.is_match(b"hay needle hay"));
         assert!(!ac.is_match(b"just hay"));
         assert!(!ac.is_match(b""));
@@ -215,7 +281,7 @@ mod tests {
 
     #[test]
     fn binary_patterns_work() {
-        let ac = AhoCorasick::new([&[0xff, 0x00, 0xfe][..]]);
+        let ac = AhoCorasick::new([&[0xff, 0x00, 0xfe][..]]).unwrap();
         assert!(ac.is_match(&[1, 2, 0xff, 0x00, 0xfe, 3]));
     }
 
@@ -225,7 +291,7 @@ mod tests {
         let patterns: Vec<String> = (0..500)
             .map(|i| format!("{:064x}", (i as u128) * 0x9e3779b97f4a7c15))
             .collect();
-        let ac = AhoCorasick::new(&patterns);
+        let ac = AhoCorasick::new(&patterns).unwrap();
         assert_eq!(ac.pattern_count(), 500);
         let haystack = format!("x={}&y=1", patterns[250]);
         let matches = ac.find_all(haystack.as_bytes());

@@ -70,8 +70,10 @@ impl CrawlDataset {
     /// §3.2 funnel summary: (total, unreachable, no-auth, blocked, failed,
     /// completed).
     pub fn funnel(&self) -> FunnelStats {
-        let mut stats = FunnelStats::default();
-        stats.total = self.crawls.len();
+        let mut stats = FunnelStats {
+            total: self.crawls.len(),
+            ..FunnelStats::default()
+        };
         for c in &self.crawls {
             match &c.outcome {
                 CrawlOutcome::Completed {

@@ -165,6 +165,7 @@ struct HuffmanCode {
 }
 
 impl HuffmanCode {
+    #[allow(clippy::needless_range_loop)] // bit-length indices mirror RFC 1951 §3.2.2
     fn from_lengths(lengths: &[u8]) -> Result<Self, DecodeError> {
         let mut count = [0u16; 16];
         for &l in lengths {
@@ -274,6 +275,7 @@ enum LzToken {
 }
 
 /// Greedy LZ77 tokenizer with a hash-chain match finder.
+#[allow(clippy::needless_range_loop)] // hash-chain updates index three arrays in lockstep
 fn lz77_tokens(data: &[u8]) -> Vec<LzToken> {
     let mut tokens = Vec::with_capacity(data.len() / 2 + 16);
     let mut head = vec![usize::MAX; 1 << HASH_BITS];

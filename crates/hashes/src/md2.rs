@@ -50,6 +50,7 @@ impl Md2 {
         }
     }
 
+    #[allow(clippy::needless_range_loop)] // indices mirror the RFC 1319 pseudocode
     fn process_block(&mut self, block: &[u8; 16]) {
         // Update checksum (RFC 1319 section 3.2).
         let mut l = self.checksum[15];

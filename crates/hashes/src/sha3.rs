@@ -54,6 +54,7 @@ fn rho_offsets() -> &'static [[u32; 5]; 5] {
     })
 }
 
+#[allow(clippy::needless_range_loop)] // x/y indices mirror the FIPS 202 step functions
 fn keccak_f(a: &mut [[u64; 5]; 5]) {
     let rc = round_constants();
     let rho = rho_offsets();

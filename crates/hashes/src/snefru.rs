@@ -54,6 +54,7 @@ const SHIFTS: [u32; 4] = [16, 8, 16, 24];
 /// The Snefru 512-bit one-way function: mixes the 16-word buffer in place
 /// and returns the first `out_words` words XORed with the original input tail
 /// per the reference "output = input XOR last words reversed" rule.
+#[allow(clippy::needless_range_loop)] // word indices mirror the reference implementation
 fn snefru_512(block: &mut [u32; BLOCK_WORDS], out_words: usize) -> Vec<u32> {
     let original = *block;
     let boxes = sboxes();

@@ -761,9 +761,49 @@ pub fn full_catalog() -> Vec<TrackerProvider> {
     all
 }
 
+/// Reporting label for a wire-level receiver domain, derived from the
+/// catalog. For CNAME-cloaked providers the detector sees the unmasked
+/// provider domain (`omtrdc.net`) while the paper's tables report the
+/// catalog label (`adobe_cname`); for every other provider the two
+/// coincide. This is the single source of truth for that mapping — both
+/// report rendering and the end-to-end ground-truth comparison use it.
+pub fn reporting_label(domain: &str) -> String {
+    full_catalog()
+        .iter()
+        .find(|p| p.domain == domain)
+        .map(|p| p.label.to_string())
+        .unwrap_or_else(|| domain.to_string())
+}
+
+/// Inverse of [`reporting_label`]: the registrable domain the detector
+/// attributes to a catalog receiver label.
+pub fn detector_domain(label: &str) -> String {
+    full_catalog()
+        .iter()
+        .find(|p| p.label == label)
+        .map(|p| p.domain.to_string())
+        .unwrap_or_else(|| label.to_string())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn label_domain_mapping_is_catalog_driven_and_bijective() {
+        assert_eq!(reporting_label("omtrdc.net"), "adobe_cname");
+        assert_eq!(detector_domain("adobe_cname"), "omtrdc.net");
+        // Uncloaked providers map to themselves…
+        assert_eq!(reporting_label("facebook.com"), "facebook.com");
+        assert_eq!(detector_domain("facebook.com"), "facebook.com");
+        // …and so do domains outside the catalog.
+        assert_eq!(reporting_label("example.org"), "example.org");
+        // Round-trip over the whole catalog.
+        for p in full_catalog() {
+            assert_eq!(reporting_label(&detector_domain(p.label)), p.label);
+            assert_eq!(detector_domain(&reporting_label(p.domain)), p.domain);
+        }
+    }
 
     #[test]
     fn table2_has_twenty_providers_with_paper_sender_counts() {

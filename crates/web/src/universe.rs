@@ -73,6 +73,31 @@ impl Default for UniverseSpec {
 }
 
 impl UniverseSpec {
+    /// Scale the site pool by an integer factor (benchmarking knob).
+    ///
+    /// Site-funnel quotas and mail volume grow linearly; `senders` stays at
+    /// the paper's 130 because the leak edges are bound to the fixed Table 2
+    /// provider catalog, and `seed` is kept so scaled runs stay reproducible.
+    pub fn scaled(&self, factor: usize) -> UniverseSpec {
+        let factor = factor.max(1);
+        UniverseSpec {
+            seed: self.seed,
+            total_sites: self.total_sites * factor,
+            unreachable: self.unreachable * factor,
+            no_auth_flow: self.no_auth_flow * factor,
+            blocked_phone: self.blocked_phone * factor,
+            blocked_id_docs: self.blocked_id_docs * factor,
+            blocked_geo: self.blocked_geo * factor,
+            email_confirmation: self.email_confirmation * factor,
+            bot_detection: self.bot_detection * factor,
+            senders: self.senders,
+            emails: (
+                self.emails.0 * factor as u32,
+                self.emails.1 * factor as u32,
+            ),
+        }
+    }
+
     /// Crawlable site count implied by the funnel.
     pub fn crawlable(&self) -> usize {
         self.total_sites
@@ -515,9 +540,7 @@ impl Generator {
         let mut has_payload = vec![false; sender_count];
         let mut distinct_payload = 0usize;
         if paper_layout {
-            for s in 116..=120 {
-                has_payload[s] = true;
-            }
+            has_payload[116..=120].fill(true);
             distinct_payload = 5;
         }
         const PAYLOAD_SENDER_TARGET: usize = 43;
@@ -1000,8 +1023,10 @@ mod tests {
 
     #[test]
     fn different_seed_changes_layout_not_totals() {
-        let mut spec = UniverseSpec::default();
-        spec.seed = 12345;
+        let spec = UniverseSpec {
+            seed: 12345,
+            ..UniverseSpec::default()
+        };
         let u = Universe::generate_with(spec);
         assert_eq!(u.sender_sites().count(), 130);
         assert_eq!(u.receiver_labels().len(), 100);

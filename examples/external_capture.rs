@@ -34,10 +34,9 @@ fn main() {
              Referer: https://shop.example/account\r\n\r\n"
         ),
         // 3. The site's own sign-in POST — PII, but first-party: NOT a leak.
-        format!(
-            "POST /signin HTTP/1.1\r\nHost: shop.example\r\n\
-             Content-Length: 36\r\n\r\nemail=foo%40mydom.com&password=secret"
-        ),
+        "POST /signin HTTP/1.1\r\nHost: shop.example\r\n\
+         Content-Length: 36\r\n\r\nemail=foo%40mydom.com&password=secret"
+            .to_string(),
     ];
     let exchanges: Vec<WireExchange> = messages
         .iter()

@@ -9,6 +9,7 @@
 //! pii-study crowdsource [K]            future-work extension with K personas
 //! pii-study export <dir>               write dataset artifacts + HAR
 //! pii-study seed <u64> <subcommand>    run any of the above on another seed
+//! pii-study --workers <n> <subcommand> size of the crawl/detect worker pool
 //! ```
 
 use pii_suite::analysis::{
@@ -19,12 +20,12 @@ use pii_suite::web::UniverseSpec;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pii-study [seed <u64>] <full|tables|stats|sweep [N]|browsers|blocklists|ablations|counterfactual|crowdsource [K]|export <dir>>"
+        "usage: pii-study [seed <u64>] [--workers <n>] <full|tables|stats|sweep [N]|browsers|blocklists|ablations|counterfactual|crowdsource [K]|export <dir>>"
     );
     std::process::exit(2);
 }
 
-fn run_study(seed: Option<u64>) -> StudyResults {
+fn run_study(seed: Option<u64>, workers: Option<usize>) -> StudyResults {
     let mut study = Study::paper();
     if let Some(seed) = seed {
         study.spec = UniverseSpec {
@@ -32,9 +33,12 @@ fn run_study(seed: Option<u64>) -> StudyResults {
             ..UniverseSpec::default()
         };
     }
+    if let Some(workers) = workers {
+        study.workers = workers.max(1);
+    }
     eprintln!(
-        "running the measurement study (seed {:#x})…",
-        study.spec.seed
+        "running the measurement study (seed {:#x}, {} workers)…",
+        study.spec.seed, study.workers
     );
     study.run()
 }
@@ -53,21 +57,34 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut args = args.as_slice();
     let mut seed = None;
-    if args.first().map(String::as_str) == Some("seed") {
-        let Some(value) = args.get(1).and_then(|s| {
-            s.strip_prefix("0x")
-                .map(|h| u64::from_str_radix(h, 16).ok())
-                .unwrap_or_else(|| s.parse().ok())
-        }) else {
-            usage();
-        };
-        seed = Some(value);
-        args = &args[2..];
+    let mut workers = None;
+    loop {
+        match args.first().map(String::as_str) {
+            Some("seed") => {
+                let Some(value) = args.get(1).and_then(|s| {
+                    s.strip_prefix("0x")
+                        .map(|h| u64::from_str_radix(h, 16).ok())
+                        .unwrap_or_else(|| s.parse().ok())
+                }) else {
+                    usage();
+                };
+                seed = Some(value);
+                args = &args[2..];
+            }
+            Some("--workers") => {
+                let Some(value) = args.get(1).and_then(|s| s.parse::<usize>().ok()) else {
+                    usage();
+                };
+                workers = Some(value);
+                args = &args[2..];
+            }
+            _ => break,
+        }
     }
     let Some(command) = args.first() else { usage() };
     match command.as_str() {
         "full" => {
-            let r = run_study(seed);
+            let r = run_study(seed, workers);
             print_tables(&r);
             println!("{}", table4::table(&r).render());
             println!(
@@ -86,16 +103,16 @@ fn main() {
             );
         }
         "tables" => {
-            let r = run_study(seed);
+            let r = run_study(seed, workers);
             print_tables(&r);
         }
         "browsers" => {
-            let r = run_study(seed);
+            let r = run_study(seed, workers);
             let results = browsers::evaluate_all(&r);
             println!("{}", browsers::table(&r, &results).render());
         }
         "blocklists" => {
-            let r = run_study(seed);
+            let r = run_study(seed, workers);
             println!("{}", table4::table(&r).render());
             println!(
                 "providers missed by the combined lists: {:?}",
@@ -103,7 +120,7 @@ fn main() {
             );
         }
         "ablations" => {
-            let r = run_study(seed);
+            let r = run_study(seed, workers);
             println!("chain-depth recall:");
             for d in ablations::chain_depth_recall(&r, 2) {
                 println!(
@@ -119,7 +136,7 @@ fn main() {
         }
         "crowdsource" => {
             let k: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
-            let r = run_study(seed);
+            let r = run_study(seed, workers);
             eprintln!("running {k} contributor crawls…");
             let personas = crowdsource::contributor_personas(k);
             let reports = crowdsource::run_contributors(&r.universe, &personas);
@@ -148,7 +165,7 @@ fn main() {
             }
         }
         "stats" => {
-            let r = run_study(seed);
+            let r = run_study(seed, workers);
             println!("{}", pii_suite::web::stats::compute(&r.universe).render());
         }
         "sweep" => {
@@ -175,7 +192,7 @@ fn main() {
             }
         }
         "counterfactual" => {
-            let r = run_study(seed);
+            let r = run_study(seed, workers);
             let strict = counterfactual::strict_referrer(&r);
             println!(
                 "strict-referrer enforcement: referer senders {} -> {}, total senders {} -> {}, receivers {} -> {}",
@@ -194,7 +211,7 @@ fn main() {
         }
         "export" => {
             let Some(dir) = args.get(1) else { usage() };
-            let r = run_study(seed);
+            let r = run_study(seed, workers);
             let dir = std::path::Path::new(dir);
             dataset::build(&r).write_to(dir).expect("write dataset");
             std::fs::write(

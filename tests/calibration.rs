@@ -60,8 +60,10 @@ fn comparison_matrix_is_seed_stable() {
     // Calibration must not depend on the lucky default seed: the exact cells
     // hold for another seed too (layout randomness only shuffles which site
     // plays which role).
-    let mut spec = pii_suite::web::UniverseSpec::default();
-    spec.seed = 0xdead_beef;
+    let spec = pii_suite::web::UniverseSpec {
+        seed: 0xdead_beef,
+        ..pii_suite::web::UniverseSpec::default()
+    };
     let study = Study {
         spec,
         ..Study::paper()

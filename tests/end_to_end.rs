@@ -23,11 +23,7 @@ fn detection_equals_ground_truth_sender_receiver_graph() {
             .map(|e| {
                 // Receiver labels in the universe use `adobe_cname`; the
                 // detector reports the unmasked domain.
-                if e.receiver == "adobe_cname" {
-                    "omtrdc.net".to_string()
-                } else {
-                    e.receiver.clone()
-                }
+                pii_suite::web::tracker::detector_domain(&e.receiver)
             })
             .collect();
         truth.insert(&site.domain, receivers);

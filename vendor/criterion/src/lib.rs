@@ -1,0 +1,208 @@
+//! Offline API-compatible subset of `criterion`.
+//!
+//! Measures mean wall-clock time per iteration and prints one line per
+//! benchmark — no statistical analysis, plots, or baselines. Honors the
+//! protocol cargo uses: when invoked without `--bench` (i.e. from
+//! `cargo test`, which runs harness-less bench targets), every benchmark
+//! body executes exactly once as a smoke test.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+pub struct Bencher {
+    bench_mode: bool,
+    sample_size: usize,
+    /// (total elapsed, iterations) recorded by `iter`.
+    measurement: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if !self.bench_mode {
+            let start = Instant::now();
+            let _ = f();
+            self.measurement = Some((start.elapsed(), 1));
+            return;
+        }
+        // One warmup, then `sample_size` timed iterations.
+        let _ = f();
+        let iters = self.sample_size.max(1) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            let _ = f();
+        }
+        self.measurement = Some((start.elapsed(), iters));
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    bench_mode: bool,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    run: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher { bench_mode, sample_size, measurement: None };
+    run(&mut b);
+    let Some((total, iters)) = b.measurement else {
+        println!("{name}: no measurement recorded");
+        return;
+    };
+    let per_iter = total / iters.max(1) as u32;
+    let mut line = format!("{name}: {} iter(s), {per_iter:?}/iter", iters);
+    if let Some(tp) = throughput {
+        let secs = per_iter.as_secs_f64();
+        if secs > 0.0 {
+            match tp {
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(", {:.1} MiB/s", n as f64 / secs / (1024.0 * 1024.0)));
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!(", {:.1} elem/s", n as f64 / secs));
+                }
+            }
+        }
+    }
+    println!("{line}");
+}
+
+pub struct Criterion {
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench targets with `--bench` for `cargo bench` and
+        // without it for `cargo test`.
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion { bench_mode }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&id.id, self.bench_mode, 10, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            bench_mode: self.bench_mode,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup {
+    name: String,
+    bench_mode: bool,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id.id),
+            self.bench_mode,
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id.id),
+            self.bench_mode,
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A best-effort optimization barrier (std::hint based).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

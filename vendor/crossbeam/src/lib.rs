@@ -1,0 +1,38 @@
+//! Offline API-compatible subset of `crossbeam`. Only `thread::scope` /
+//! `Scope::spawn` are provided, implemented over `std::thread::scope`.
+
+pub mod thread {
+    use std::any::Any;
+    use std::thread::ScopedJoinHandle;
+
+    /// Mirrors `crossbeam::thread::Scope`: spawn closures receive `&Scope`
+    /// so workers can spawn further scoped threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let rescope = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&rescope))
+        }
+    }
+
+    /// Mirrors `crossbeam::thread::scope`. With std scoped threads a child
+    /// panic propagates by panicking in the parent, so the `Err` arm of the
+    /// crossbeam signature is never produced; callers' `.expect(...)` keeps
+    /// compiling and is a no-op.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        }))
+    }
+}

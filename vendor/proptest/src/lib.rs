@@ -1,0 +1,595 @@
+//! Offline API-compatible subset of `proptest`.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports its
+//! values and panics as-is), a fixed deterministic seed derived from the
+//! test name (so runs are reproducible), and a regex-subset string
+//! generator covering the patterns this workspace uses (character classes,
+//! groups, alternation, `{m,n}` repetition, escapes).
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+
+    /// A generator of values; mirrors `proptest::strategy::Strategy` minus
+    /// shrinking.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),* $(,)?) => {
+            $(
+                impl Strategy for core::ops::Range<$ty> {
+                    type Value = $ty;
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end - self.start) as u64;
+                        self.start + (rng.next_u64() % span) as $ty
+                    }
+                }
+
+                impl Strategy for core::ops::RangeInclusive<$ty> {
+                    type Value = $ty;
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        let (lo, hi) = (*self.start(), *self.end());
+                        assert!(lo <= hi, "empty range strategy");
+                        let span = (hi - lo) as u64;
+                        lo + (rng.next_u64() % (span.saturating_add(1))) as $ty
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_signed_range_strategy {
+        ($($ty:ty),* $(,)?) => {
+            $(
+                impl Strategy for core::ops::Range<$ty> {
+                    type Value = $ty;
+                    fn generate(&self, rng: &mut TestRng) -> $ty {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        (self.start as i128 + (rng.next_u64() % span) as i128) as $ty
+                    }
+                }
+            )*
+        };
+    }
+
+    impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+    /// Values with a canonical "anything goes" generator.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> u8 {
+            rng.next_u64() as u8
+        }
+    }
+
+    impl Arbitrary for u16 {
+        fn arbitrary(rng: &mut TestRng) -> u16 {
+            rng.next_u64() as u16
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> u32 {
+            rng.next_u64() as u32
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// Strategy produced by [`crate::prelude::any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        pub fn new() -> Self {
+            Any(core::marker::PhantomData)
+        }
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// String strategies: a `&str` literal is interpreted as a regex
+    /// (subset) and generates matching strings.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let ast = crate::string::parse(self)
+                .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"));
+            crate::string::generate(&ast, rng)
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Cases per property. Real proptest defaults to 256; 64 keeps the
+    /// suite fast while still exercising the invariants broadly.
+    pub const CASES: usize = 64;
+
+    /// Why a test case did not pass; mirrors proptest's type.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs — skip, don't fail.
+        Reject(String),
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    /// Deterministic SplitMix64 stream, seeded from the test name so every
+    /// run of a given property sees the same cases.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the test name.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        pub fn below(&mut self, n: usize) -> usize {
+            assert!(n > 0);
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Mirrors `proptest::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::generate(&self.len.clone(), rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Mirrors `proptest::option::of(inner)`: `None` half the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! Regex-subset parser + generator backing `&str` strategies.
+    //!
+    //! Supported syntax: literal chars, `\x` escapes, `.` only via escape,
+    //! character classes `[a-z0-9_%~-]` (ranges + literals, trailing `-`),
+    //! groups `( ... )` with `|` alternation, and `{m}` / `{m,n}`
+    //! repetition. That covers every pattern used by this workspace's
+    //! property tests.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    pub enum Node {
+        /// Sequence of nodes.
+        Concat(Vec<Node>),
+        /// One alternative chosen uniformly.
+        Alt(Vec<Node>),
+        /// `node{min,max}` repetition (inclusive).
+        Repeat(Box<Node>, usize, usize),
+        /// One char chosen uniformly from the set.
+        Class(Vec<char>),
+        /// A literal character.
+        Literal(char),
+    }
+
+    pub fn parse(pattern: &str) -> Result<Node, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let node = parse_alt(&chars, &mut pos)?;
+        if pos != chars.len() {
+            return Err(format!("unexpected `{}` at {}", chars[pos], pos));
+        }
+        Ok(node)
+    }
+
+    fn parse_alt(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        let mut alts = vec![parse_concat(chars, pos)?];
+        while *pos < chars.len() && chars[*pos] == '|' {
+            *pos += 1;
+            alts.push(parse_concat(chars, pos)?);
+        }
+        if alts.len() == 1 {
+            Ok(alts.pop().unwrap())
+        } else {
+            Ok(Node::Alt(alts))
+        }
+    }
+
+    fn parse_concat(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        let mut seq = Vec::new();
+        while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+            let atom = parse_atom(chars, pos)?;
+            seq.push(parse_repeat(atom, chars, pos)?);
+        }
+        Ok(match seq.len() {
+            1 => seq.pop().unwrap(),
+            _ => Node::Concat(seq),
+        })
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        match chars.get(*pos) {
+            Some('(') => {
+                *pos += 1;
+                let inner = parse_alt(chars, pos)?;
+                if chars.get(*pos) != Some(&')') {
+                    return Err("unclosed group".into());
+                }
+                *pos += 1;
+                Ok(inner)
+            }
+            Some('[') => {
+                *pos += 1;
+                let mut set = Vec::new();
+                while let Some(&c) = chars.get(*pos) {
+                    if c == ']' {
+                        *pos += 1;
+                        if set.is_empty() {
+                            return Err("empty character class".into());
+                        }
+                        return Ok(Node::Class(set));
+                    }
+                    // `a-z` range (a `-` that is last in the class is literal)
+                    if chars.get(*pos + 1) == Some(&'-')
+                        && chars.get(*pos + 2).is_some_and(|&e| e != ']')
+                    {
+                        let end = chars[*pos + 2];
+                        if (c as u32) > (end as u32) {
+                            return Err(format!("bad class range {c}-{end}"));
+                        }
+                        for code in (c as u32)..=(end as u32) {
+                            set.push(char::from_u32(code).unwrap());
+                        }
+                        *pos += 3;
+                    } else {
+                        let lit = if c == '\\' {
+                            *pos += 1;
+                            *chars.get(*pos).ok_or("trailing backslash in class")?
+                        } else {
+                            c
+                        };
+                        set.push(lit);
+                        *pos += 1;
+                    }
+                }
+                Err("unclosed character class".into())
+            }
+            Some('\\') => {
+                *pos += 1;
+                let c = *chars.get(*pos).ok_or("trailing backslash")?;
+                *pos += 1;
+                Ok(Node::Literal(c))
+            }
+            Some(&c) => {
+                *pos += 1;
+                Ok(Node::Literal(c))
+            }
+            None => Err("unexpected end of pattern".into()),
+        }
+    }
+
+    fn parse_repeat(atom: Node, chars: &[char], pos: &mut usize) -> Result<Node, String> {
+        if chars.get(*pos) != Some(&'{') {
+            return Ok(atom);
+        }
+        *pos += 1;
+        let min = parse_number(chars, pos)?;
+        let max = if chars.get(*pos) == Some(&',') {
+            *pos += 1;
+            parse_number(chars, pos)?
+        } else {
+            min
+        };
+        if chars.get(*pos) != Some(&'}') {
+            return Err("unclosed repetition".into());
+        }
+        *pos += 1;
+        if min > max {
+            return Err(format!("bad repetition {{{min},{max}}}"));
+        }
+        Ok(Node::Repeat(Box::new(atom), min, max))
+    }
+
+    fn parse_number(chars: &[char], pos: &mut usize) -> Result<usize, String> {
+        let start = *pos;
+        while chars.get(*pos).is_some_and(|c| c.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if start == *pos {
+            return Err("expected number in repetition".into());
+        }
+        chars[start..*pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .map_err(|_| "bad repetition count".into())
+    }
+
+    pub fn generate(node: &Node, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        gen_into(node, rng, &mut out);
+        out
+    }
+
+    fn gen_into(node: &Node, rng: &mut TestRng, out: &mut String) {
+        match node {
+            Node::Concat(seq) => {
+                for n in seq {
+                    gen_into(n, rng, out);
+                }
+            }
+            Node::Alt(alts) => gen_into(&alts[rng.below(alts.len())], rng, out),
+            Node::Repeat(inner, min, max) => {
+                let n = min + rng.below(max - min + 1);
+                for _ in 0..n {
+                    gen_into(inner, rng, out);
+                }
+            }
+            Node::Class(set) => out.push(set[rng.below(set.len())]),
+            Node::Literal(c) => out.push(*c),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Any, Arbitrary, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Mirrors `proptest::prelude::any::<T>()`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::new()
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..$crate::test_runner::CASES {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                    )+
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("property {} failed on case {}: {}", stringify!($name), __case, msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: `{:?}` == `{:?}`", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `{:?}` == `{:?}`: {}",
+                    __l,
+                    __r,
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l == __r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: `{:?}` != `{:?}`", __l, __r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let __l = $left;
+        let __r = $right;
+        if __l == __r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: `{:?}` != `{:?}`: {}",
+                    __l,
+                    __r,
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::string::{generate, parse};
+    use crate::test_runner::TestRng;
+
+    fn samples(pattern: &str) -> Vec<String> {
+        let ast = parse(pattern).unwrap();
+        let mut rng = TestRng::deterministic(pattern);
+        (0..200).map(|_| generate(&ast, &mut rng)).collect()
+    }
+
+    #[test]
+    fn class_with_repetition() {
+        for s in samples("[a-z]{1,12}") {
+            assert!((1..=12).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn dotted_host_pattern() {
+        for s in samples("[a-z]{1,10}(\\.[a-z]{2,5}){1,2}") {
+            let parts: Vec<&str> = s.split('.').collect();
+            assert!((2..=3).contains(&parts.len()), "{s:?}");
+            assert!(parts.iter().all(|p| !p.is_empty()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn alternation_with_escape() {
+        for s in samples("[a-z]{1,8}\\.(com|co\\.jp|org|io)") {
+            assert!(
+                s.ends_with(".com") || s.ends_with(".co.jp") || s.ends_with(".org") || s.ends_with(".io"),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let ast = parse("[a-zA-Z0-9%~-]{0,20}").unwrap();
+        let mut rng = TestRng::deterministic("dash");
+        let mut saw_dash = false;
+        for _ in 0..2000 {
+            let s = generate(&ast, &mut rng);
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || "%~-".contains(c)),
+                "{s:?}"
+            );
+            saw_dash |= s.contains('-');
+        }
+        assert!(saw_dash, "dash never generated");
+    }
+
+    #[test]
+    fn optional_group_repetition() {
+        for s in samples("(/[a-z0-9]{1,8}){0,3}") {
+            if !s.is_empty() {
+                assert!(s.starts_with('/'), "{s:?}");
+                assert!(s.split('/').skip(1).all(|seg| !seg.is_empty()), "{s:?}");
+            }
+        }
+    }
+}

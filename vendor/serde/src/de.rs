@@ -1,0 +1,222 @@
+//! Deserialization traits, modeled on serde's but concrete: a deserializer
+//! hands back a [`Value`] tree and each `Deserialize` impl pattern-matches
+//! the shape it expects.
+
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt::Display;
+use std::hash::Hash;
+
+/// Trait for deserializer errors; mirrors `serde::de::Error`.
+pub trait Error: Sized + std::error::Error {
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data-format driver for deserialization. One required method: yield the
+/// parsed [`Value`] tree.
+pub trait Deserializer<'de>: Sized {
+    type Error: Error;
+
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A data structure that can be deserialized. Mirrors `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+fn type_err<E: Error>(expected: &str, got: &Value) -> E {
+    E::custom(format!("invalid type: expected {expected}, found {}", got.kind()))
+}
+
+// ---- impls for primitives ------------------------------------------------
+
+macro_rules! int_deserialize {
+    ($($ty:ty),* $(,)?) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                    match d.take_value()? {
+                        Value::I64(n) => <$ty>::try_from(n)
+                            .map_err(|_| D::Error::custom("integer out of range")),
+                        Value::U64(n) => <$ty>::try_from(n)
+                            .map_err(|_| D::Error::custom("integer out of range")),
+                        other => Err(type_err("integer", &other)),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+int_deserialize!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Bool(b) => Ok(b),
+            other => Err(type_err("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::F64(f) => Ok(f),
+            Value::I64(n) => Ok(n as f64),
+            Value::U64(n) => Ok(n as f64),
+            other => Err(type_err("number", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        f64::deserialize(d).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Str(s) => Ok(s),
+            other => Err(type_err("string", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(d)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(D::Error::custom("expected a single character")),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        match d.take_value()? {
+            Value::Null => Ok(None),
+            v => crate::value::from_value::<T>(v)
+                .map(Some)
+                .map_err(D::Error::custom),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        T::deserialize(d).map(Box::new)
+    }
+}
+
+fn take_arr<E: Error>(v: Value) -> Result<Vec<Value>, E> {
+    match v {
+        Value::Arr(items) => Ok(items),
+        other => Err(type_err("array", &other)),
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        take_arr(d.take_value()?)?
+            .into_iter()
+            .map(|v| crate::value::from_value::<T>(v).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        take_arr(d.take_value()?)?
+            .into_iter()
+            .map(|v| crate::value::from_value::<T>(v).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Eq + Hash> Deserialize<'de> for HashSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        take_arr(d.take_value()?)?
+            .into_iter()
+            .map(|v| crate::value::from_value::<T>(v).map_err(D::Error::custom))
+            .collect()
+    }
+}
+
+fn take_obj<E: Error>(v: Value) -> Result<Vec<(String, Value)>, E> {
+    match v {
+        Value::Obj(entries) => Ok(entries),
+        other => Err(type_err("object", &other)),
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        take_obj(d.take_value()?)?
+            .into_iter()
+            .map(|(k, v)| {
+                crate::value::from_value::<V>(v)
+                    .map(|v| (k, v))
+                    .map_err(D::Error::custom)
+            })
+            .collect()
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for HashMap<String, V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        take_obj(d.take_value()?)?
+            .into_iter()
+            .map(|(k, v)| {
+                crate::value::from_value::<V>(v)
+                    .map(|v| (k, v))
+                    .map_err(D::Error::custom)
+            })
+            .collect()
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for HashMap<(String, String), V> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        take_arr(d.take_value()?)?
+            .into_iter()
+            .map(|pair| {
+                crate::value::from_value::<((String, String), V)>(pair).map_err(D::Error::custom)
+            })
+            .collect()
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = take_arr(d.take_value()?)?;
+        if items.len() != 2 {
+            return Err(D::Error::custom("expected a 2-element array"));
+        }
+        let mut it = items.into_iter();
+        let a = crate::value::from_value::<A>(it.next().unwrap()).map_err(D::Error::custom)?;
+        let b = crate::value::from_value::<B>(it.next().unwrap()).map_err(D::Error::custom)?;
+        Ok((a, b))
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>, C: Deserialize<'de>> Deserialize<'de>
+    for (A, B, C)
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let items = take_arr(d.take_value()?)?;
+        if items.len() != 3 {
+            return Err(D::Error::custom("expected a 3-element array"));
+        }
+        let mut it = items.into_iter();
+        let a = crate::value::from_value::<A>(it.next().unwrap()).map_err(D::Error::custom)?;
+        let b = crate::value::from_value::<B>(it.next().unwrap()).map_err(D::Error::custom)?;
+        let c = crate::value::from_value::<C>(it.next().unwrap()).map_err(D::Error::custom)?;
+        Ok((a, b, c))
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline API-compatible subset of `serde`.
+//!
+//! The real serde crate cannot be fetched in this build environment (no
+//! registry access), so this vendored stand-in implements the exact surface
+//! the workspace uses: the `Serialize`/`Deserialize` traits, the
+//! `Serializer`/`Deserializer` driver traits, `ser::Error`/`de::Error`, and
+//! the derive macros (re-exported from the sibling `serde_derive` crate).
+//!
+//! Unlike real serde, the data model is concrete: everything serializes
+//! into [`Value`] (a JSON-shaped tree) and deserializes back out of it.
+//! `serde_json` (also vendored) renders/parses that tree. This is smaller
+//! and slower than real serde but behaviorally equivalent for the
+//! JSON-roundtrip workloads in this repository.
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::Value;

@@ -1,0 +1,283 @@
+//! Serialization traits, modeled on serde's but concrete: every serializer
+//! ultimately receives a [`Value`].
+
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt::Display;
+
+/// Trait for serializer errors; mirrors `serde::ser::Error`.
+pub trait Error: Sized + std::error::Error {
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data-format driver. Unlike real serde there is a single required
+/// method: accept a fully-built [`Value`]. The `serialize_*` helpers exist
+/// so call sites written against real serde (`s.serialize_str(...)`) compile
+/// unchanged.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: Error;
+
+    fn serialize_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Str(v.to_string()))
+    }
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Bool(v))
+    }
+    fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::I64(v as i64))
+    }
+    fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::I64(v as i64))
+    }
+    fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::I64(v as i64))
+    }
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::I64(v))
+    }
+    fn serialize_isize(self, v: isize) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::I64(v as i64))
+    }
+    fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::U64(v as u64))
+    }
+    fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::U64(v as u64))
+    }
+    fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::U64(v as u64))
+    }
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::U64(v))
+    }
+    fn serialize_usize(self, v: usize) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::U64(v as u64))
+    }
+    fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::F64(v as f64))
+    }
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::F64(v))
+    }
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+    fn serialize_none(self) -> Result<Self::Ok, Self::Error> {
+        self.serialize_value(Value::Null)
+    }
+    fn serialize_some<T: Serialize + ?Sized>(self, v: &T) -> Result<Self::Ok, Self::Error> {
+        let value = v
+            .serialize(crate::value::ValueSerializer)
+            .map_err(Self::Error::custom)?;
+        self.serialize_value(value)
+    }
+}
+
+/// A data structure that can be serialized. Mirrors `serde::Serialize`.
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+// ---- impls for primitives ------------------------------------------------
+
+macro_rules! primitive_serialize {
+    ($($ty:ty => $method:ident),* $(,)?) => {
+        $(
+            impl Serialize for $ty {
+                fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                    serializer.$method(*self)
+                }
+            }
+        )*
+    };
+}
+
+primitive_serialize! {
+    bool => serialize_bool,
+    i8 => serialize_i8,
+    i16 => serialize_i16,
+    i32 => serialize_i32,
+    i64 => serialize_i64,
+    isize => serialize_isize,
+    u8 => serialize_u8,
+    u16 => serialize_u16,
+    u32 => serialize_u32,
+    u64 => serialize_u64,
+    usize => serialize_usize,
+    f32 => serialize_f32,
+    f64 => serialize_f64,
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+fn seq_to_value<'a, T, I>(items: I) -> Result<Value, crate::value::Error>
+where
+    T: Serialize + 'a,
+    I: IntoIterator<Item = &'a T>,
+{
+    let mut arr = Vec::new();
+    for item in items {
+        arr.push(item.serialize(crate::value::ValueSerializer)?);
+    }
+    Ok(Value::Arr(arr))
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value(self.iter()).map_err(S::Error::custom)?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let v = seq_to_value(self.iter()).map_err(S::Error::custom)?;
+        serializer.serialize_value(v)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for HashSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Sort for deterministic output (JSON arrays are ordered).
+        let mut sorted: Vec<&T> = self.iter().collect();
+        sorted.sort();
+        let mut arr = Vec::new();
+        for item in sorted {
+            arr.push(
+                item.serialize(crate::value::ValueSerializer)
+                    .map_err(S::Error::custom)?,
+            );
+        }
+        serializer.serialize_value(Value::Arr(arr))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut obj = Vec::new();
+        for (k, v) in self {
+            obj.push((
+                k.clone(),
+                v.serialize(crate::value::ValueSerializer)
+                    .map_err(S::Error::custom)?,
+            ));
+        }
+        serializer.serialize_value(Value::Obj(obj))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Sort keys so serialization is deterministic across runs.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        let mut obj = Vec::new();
+        for k in keys {
+            obj.push((
+                k.clone(),
+                self[k]
+                    .serialize(crate::value::ValueSerializer)
+                    .map_err(S::Error::custom)?,
+            ));
+        }
+        serializer.serialize_value(Value::Obj(obj))
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<(String, String), V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // JSON objects need string keys, so tuple-keyed maps serialize as a
+        // sorted array of [[k0, k1], v] pairs.
+        let mut keys: Vec<&(String, String)> = self.keys().collect();
+        keys.sort();
+        let mut arr = Vec::new();
+        for k in keys {
+            let key = k
+                .serialize(crate::value::ValueSerializer)
+                .map_err(S::Error::custom)?;
+            let val = self[k]
+                .serialize(crate::value::ValueSerializer)
+                .map_err(S::Error::custom)?;
+            arr.push(Value::Arr(vec![key, val]));
+        }
+        serializer.serialize_value(Value::Arr(arr))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let a = self
+            .0
+            .serialize(crate::value::ValueSerializer)
+            .map_err(S::Error::custom)?;
+        let b = self
+            .1
+            .serialize(crate::value::ValueSerializer)
+            .map_err(S::Error::custom)?;
+        serializer.serialize_value(Value::Arr(vec![a, b]))
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let a = self
+            .0
+            .serialize(crate::value::ValueSerializer)
+            .map_err(S::Error::custom)?;
+        let b = self
+            .1
+            .serialize(crate::value::ValueSerializer)
+            .map_err(S::Error::custom)?;
+        let c = self
+            .2
+            .serialize(crate::value::ValueSerializer)
+            .map_err(S::Error::custom)?;
+        serializer.serialize_value(Value::Arr(vec![a, b, c]))
+    }
+}

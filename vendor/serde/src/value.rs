@@ -1,0 +1,110 @@
+//! The concrete data model every `Serialize` impl renders into.
+
+use std::fmt;
+
+/// A JSON-shaped value tree. Object entries keep insertion order so that
+/// derived serialization is deterministic and field order round-trips.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::I64(_) | Value::U64(_) | Value::F64(_) => "number",
+            Value::Str(_) => "string",
+            Value::Arr(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+}
+
+/// The concrete error used by the value serializer/deserializer.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl crate::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl crate::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// A [`crate::Serializer`] whose output is the [`Value`] itself.
+pub struct ValueSerializer;
+
+impl crate::ser::Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn serialize_value(self, value: Value) -> Result<Value, Error> {
+        Ok(value)
+    }
+}
+
+/// A [`crate::Deserializer`] that reads from an owned [`Value`].
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> crate::de::Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn take_value(self) -> Result<Value, Error> {
+        Ok(self.value)
+    }
+}
+
+/// Remove and return the entry for `key` from an object's entry list, or
+/// `Value::Null` if absent (missing optional fields deserialize to `None`).
+/// Used by derived `Deserialize` impls.
+pub fn take_field(entries: &mut Vec<(String, Value)>, key: &str) -> Value {
+    match entries.iter().position(|(k, _)| k == key) {
+        Some(i) => entries.remove(i).1,
+        None => Value::Null,
+    }
+}
+
+/// Serialize any `T: Serialize` into a [`Value`].
+pub fn to_value<T: crate::ser::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    value.serialize(ValueSerializer)
+}
+
+/// Deserialize any `T: Deserialize` out of a [`Value`]. The lifetime is
+/// vestigial (the value model is fully owned), so any `'de` works.
+pub fn from_value<'de, T>(value: Value) -> Result<T, Error>
+where
+    T: crate::de::Deserialize<'de>,
+{
+    T::deserialize(ValueDeserializer::new(value))
+}

@@ -1,0 +1,615 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde subset. No syn/quote: the item is parsed with a small
+//! token cursor and the impl is generated as Rust source text.
+//!
+//! Supported shapes: named/tuple/unit structs; enums with unit, newtype,
+//! tuple, and struct variants (externally tagged, like real serde).
+//! Supported field attrs: `#[serde(rename = "...")]`, `#[serde(skip)]`,
+//! `#[serde(skip_serializing_if = "path")]`, `#[serde(with = "module")]`,
+//! `#[serde(default)]`. Generic type parameters are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_input(input);
+    let src = gen_serialize(&shape);
+    src.parse().expect("generated Serialize impl should parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_input(input);
+    let src = gen_deserialize(&shape);
+    src.parse().expect("generated Deserialize impl should parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+#[derive(Default, Clone)]
+struct FieldAttrs {
+    rename: Option<String>,
+    skip: bool,
+    skip_serializing_if: Option<String>,
+    with: Option<String>,
+}
+
+struct NamedField {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(Vec<FieldAttrs>),
+    Struct(Vec<NamedField>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    NamedStruct { name: String, fields: Vec<NamedField> },
+    TupleStruct { name: String, fields: Vec<FieldAttrs> },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { tokens: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == name {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected identifier, found {other:?}"),
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Shape {
+    let mut c = Cursor::new(input);
+    // Container attributes (doc comments, cfg_attr leftovers) are skipped;
+    // no container-level serde attributes are supported or used.
+    let _ = collect_attrs(&mut c);
+    skip_vis(&mut c);
+    if c.eat_ident("struct") {
+        let name = c.expect_ident();
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct { name, fields: parse_named_fields(g.stream()) }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct { name, fields: parse_tuple_fields(g.stream()) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        }
+    } else if c.eat_ident("enum") {
+        let name = c.expect_ident();
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum { name, variants: parse_variants(g.stream()) }
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        }
+    } else {
+        panic!("Serialize/Deserialize can only be derived for structs and enums")
+    }
+}
+
+fn skip_vis(c: &mut Cursor) {
+    if c.eat_ident("pub") {
+        let is_restriction = matches!(
+            c.peek(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        );
+        if is_restriction {
+            c.pos += 1;
+        }
+    }
+}
+
+fn collect_attrs(c: &mut Cursor) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        c.pos += 1;
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                parse_attr_body(g.stream(), &mut attrs);
+            }
+            other => panic!("expected attribute brackets, found {other:?}"),
+        }
+    }
+    attrs
+}
+
+fn parse_attr_body(ts: TokenStream, attrs: &mut FieldAttrs) {
+    let mut c = Cursor::new(ts);
+    if !c.eat_ident("serde") {
+        return; // doc comment or some other attribute — ignore
+    }
+    let group = match c.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        _ => return,
+    };
+    let mut inner = Cursor::new(group.stream());
+    while inner.peek().is_some() {
+        let key = inner.expect_ident();
+        let value = if inner.eat_punct('=') {
+            match inner.next() {
+                Some(TokenTree::Literal(lit)) => Some(unquote(&lit.to_string())),
+                other => panic!("expected string literal in serde attribute, found {other:?}"),
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("rename", Some(v)) => attrs.rename = Some(v),
+            ("skip", None) => attrs.skip = true,
+            ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+            ("with", Some(v)) => attrs.with = Some(v),
+            ("default", None) => {} // missing fields already fall back to Null/Default
+            (k, _) => panic!("unsupported serde attribute `{k}`"),
+        }
+        inner.eat_punct(',');
+    }
+}
+
+fn unquote(s: &str) -> String {
+    s.trim_matches('"').to_string()
+}
+
+fn parse_named_fields(ts: TokenStream) -> Vec<NamedField> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let attrs = collect_attrs(&mut c);
+        skip_vis(&mut c);
+        let name = c.expect_ident();
+        assert!(c.eat_punct(':'), "expected `:` after field `{name}`");
+        skip_type(&mut c);
+        fields.push(NamedField { name, attrs });
+    }
+    fields
+}
+
+fn parse_tuple_fields(ts: TokenStream) -> Vec<FieldAttrs> {
+    let mut c = Cursor::new(ts);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let attrs = collect_attrs(&mut c);
+        skip_vis(&mut c);
+        skip_type(&mut c);
+        fields.push(attrs);
+    }
+    fields
+}
+
+/// Consume tokens up to and including the next top-level comma, tracking
+/// angle-bracket depth so `HashMap<String, V>` reads as one type. Commas
+/// inside parenthesized groups (tuple types) are inside a single Group
+/// token and need no special handling.
+fn skip_type(c: &mut Cursor) {
+    let mut depth = 0i32;
+    while let Some(tok) = c.peek() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    c.pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        c.pos += 1;
+    }
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        let _attrs = collect_attrs(&mut c);
+        let name = c.expect_ident();
+        let kind = match c.peek().cloned() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                c.pos += 1;
+                VariantKind::Tuple(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                c.pos += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        c.eat_punct(',');
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+const ALLOWS: &str =
+    "#[automatically_derived]\n#[allow(non_snake_case, unused_mut, unused_variables, clippy::all)]\n";
+
+/// Expression serializing `value_ref` (a `&T`) into a `::serde::Value`,
+/// honoring `#[serde(with = "...")]`.
+fn ser_expr(value_ref: &str, attrs: &FieldAttrs) -> String {
+    match &attrs.with {
+        Some(module) => format!(
+            "{module}::serialize({value_ref}, ::serde::value::ValueSerializer)\
+             .map_err(<__S::Error as ::serde::ser::Error>::custom)?"
+        ),
+        None => format!(
+            "::serde::ser::Serialize::serialize({value_ref}, ::serde::value::ValueSerializer)\
+             .map_err(<__S::Error as ::serde::ser::Error>::custom)?"
+        ),
+    }
+}
+
+/// Expression deserializing `value_expr` (a `::serde::Value`) into the field
+/// type, honoring `#[serde(skip)]` and `#[serde(with = "...")]`.
+fn de_expr(value_expr: &str, attrs: &FieldAttrs, ctx: &str) -> String {
+    if attrs.skip {
+        return "::core::default::Default::default()".to_string();
+    }
+    match &attrs.with {
+        Some(module) => format!(
+            "{module}::deserialize(::serde::value::ValueDeserializer::new({value_expr}))\
+             .map_err(<__D::Error as ::serde::de::Error>::custom)?"
+        ),
+        None => format!(
+            "::serde::value::from_value({value_expr})\
+             .map_err(|e| <__D::Error as ::serde::de::Error>::custom(\
+                ::std::format!(\"{ctx}: {{}}\", e)))?"
+        ),
+    }
+}
+
+fn key_of(f: &NamedField) -> String {
+    f.attrs.rename.clone().unwrap_or_else(|| f.name.clone())
+}
+
+/// Statements pushing the named fields of a struct (or struct variant) into
+/// a `__obj: Vec<(String, Value)>`. `access` maps a field name to the
+/// expression that borrows it (`&self.x` for structs, `x` for match-bound
+/// struct-variant fields).
+fn ser_named_fields(fields: &[NamedField], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::from(
+        "let mut __obj: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let key = key_of(f);
+        let expr = ser_expr(&access(&f.name), &f.attrs);
+        let push = format!("__obj.push((\"{key}\".to_string(), {expr}));");
+        match &f.attrs.skip_serializing_if {
+            Some(pred) => {
+                let arg = access(&f.name);
+                out.push_str(&format!("if !{pred}({arg}) {{ {push} }}\n"));
+            }
+            None => {
+                out.push_str(&push);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn gen_serialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body = ser_named_fields(fields, |f| format!("&self.{f}"));
+            body.push_str("__serializer.serialize_value(::serde::Value::Obj(__obj))");
+            (name, body)
+        }
+        Shape::TupleStruct { name, fields } if fields.len() == 1 => {
+            // Newtype structs are transparent, like real serde.
+            let body = match &fields[0].with {
+                Some(_) => {
+                    let expr = ser_expr("&self.0", &fields[0]);
+                    format!("let __v = {expr};\n__serializer.serialize_value(__v)")
+                }
+                None => "::serde::ser::Serialize::serialize(&self.0, __serializer)".to_string(),
+            };
+            (name, body)
+        }
+        Shape::TupleStruct { name, fields } => {
+            let items: Vec<String> = fields
+                .iter()
+                .enumerate()
+                .map(|(i, a)| ser_expr(&format!("&self.{i}"), a))
+                .collect();
+            let body = format!(
+                "let __items = vec![{}];\n\
+                 __serializer.serialize_value(::serde::Value::Arr(__items))",
+                items.join(", ")
+            );
+            (name, body)
+        }
+        Shape::UnitStruct { name } => {
+            (name, "__serializer.serialize_value(::serde::Value::Null)".to_string())
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_value(\
+                         ::serde::Value::Str(\"{vname}\".to_string())),\n"
+                    )),
+                    VariantKind::Tuple(fields) if fields.len() == 1 => {
+                        let expr = ser_expr("__f0", &fields[0]);
+                        arms.push_str(&format!(
+                            "{name}::{vname}(__f0) => {{\n\
+                               let __v = {expr};\n\
+                               __serializer.serialize_value(::serde::Value::Obj(\
+                                 vec![(\"{vname}\".to_string(), __v)]))\n\
+                             }}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(i, a)| ser_expr(&format!("__f{i}"), a))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                               let __items = vec![{items}];\n\
+                               __serializer.serialize_value(::serde::Value::Obj(\
+                                 vec![(\"{vname}\".to_string(), ::serde::Value::Arr(__items))]))\n\
+                             }}\n",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let body = ser_named_fields(fields, |f| f.to_string());
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                               {body}\
+                               __serializer.serialize_value(::serde::Value::Obj(\
+                                 vec![(\"{vname}\".to_string(), ::serde::Value::Obj(__obj))]))\n\
+                             }}\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "{ALLOWS}impl ::serde::ser::Serialize for {name} {{\n\
+           fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) \
+             -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+             {body}\n\
+           }}\n\
+         }}\n"
+    )
+}
+
+/// Statements binding the named fields of a struct (or struct variant) out
+/// of `__entries: Vec<(String, Value)>` into a struct literal body.
+fn de_named_fields(type_ctx: &str, fields: &[NamedField]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let expr = if f.attrs.skip {
+            "::core::default::Default::default()".to_string()
+        } else {
+            let key = key_of(f);
+            de_expr(
+                &format!("::serde::value::take_field(&mut __entries, \"{key}\")"),
+                &f.attrs,
+                &format!("{type_ctx}.{}", f.name),
+            )
+        };
+        out.push_str(&format!("{}: {expr},\n", f.name));
+    }
+    out
+}
+
+const EXPECT_OBJ: &str = "let mut __entries = match {V} {\n\
+    ::serde::Value::Obj(__e) => __e,\n\
+    __other => return ::core::result::Result::Err(\
+      <__D::Error as ::serde::de::Error>::custom(\
+        ::std::format!(\"expected object for {CTX}, found {}\", __other.kind()))),\n\
+};\n";
+
+fn expect_obj(value_expr: &str, ctx: &str) -> String {
+    EXPECT_OBJ.replace("{V}", value_expr).replace("{CTX}", ctx)
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let (name, body) = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let mut body = expect_obj("__deserializer.take_value()?", name);
+            body.push_str(&format!(
+                "::core::result::Result::Ok({name} {{\n{}}})",
+                de_named_fields(name, fields)
+            ));
+            (name, body)
+        }
+        Shape::TupleStruct { name, fields } if fields.len() == 1 => {
+            let expr = de_expr("__deserializer.take_value()?", &fields[0], name);
+            (name, format!("::core::result::Result::Ok({name}({expr}))"))
+        }
+        Shape::TupleStruct { name, fields } => {
+            let n = fields.len();
+            let items: Vec<String> = fields
+                .iter()
+                .map(|a| de_expr("__it.next().unwrap()", a, name))
+                .collect();
+            let body = format!(
+                "let __items = match __deserializer.take_value()? {{\n\
+                   ::serde::Value::Arr(__a) => __a,\n\
+                   __other => return ::core::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::custom(\
+                       ::std::format!(\"expected array for {name}, found {{}}\", __other.kind()))),\n\
+                 }};\n\
+                 if __items.len() != {n} {{\n\
+                   return ::core::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::custom(\
+                       \"wrong tuple arity for {name}\"));\n\
+                 }}\n\
+                 let mut __it = __items.into_iter();\n\
+                 ::core::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            );
+            (name, body)
+        }
+        Shape::UnitStruct { name } => {
+            let body = format!(
+                "let _ = __deserializer.take_value()?;\n\
+                 ::core::result::Result::Ok({name})"
+            );
+            (name, body)
+        }
+        Shape::Enum { name, variants } => {
+            let mut str_arms = String::new();
+            let mut obj_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => str_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(fields) if fields.len() == 1 => {
+                        let expr = de_expr("__v", &fields[0], &format!("{name}::{vname}"));
+                        obj_arms.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}({expr})),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(fields) => {
+                        let n = fields.len();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|a| {
+                                de_expr("__it.next().unwrap()", a, &format!("{name}::{vname}"))
+                            })
+                            .collect();
+                        obj_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                               let __items = match __v {{\n\
+                                 ::serde::Value::Arr(__a) => __a,\n\
+                                 __other => return ::core::result::Result::Err(\
+                                   <__D::Error as ::serde::de::Error>::custom(\
+                                     \"expected array for {name}::{vname}\")),\n\
+                               }};\n\
+                               if __items.len() != {n} {{\n\
+                                 return ::core::result::Result::Err(\
+                                   <__D::Error as ::serde::de::Error>::custom(\
+                                     \"wrong tuple arity for {name}::{vname}\"));\n\
+                               }}\n\
+                               let mut __it = __items.into_iter();\n\
+                               ::core::result::Result::Ok({name}::{vname}({items}))\n\
+                             }}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let ctx = format!("{name}::{vname}");
+                        let inner = expect_obj("__v", &ctx);
+                        obj_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                               {inner}\
+                               ::core::result::Result::Ok({name}::{vname} {{\n{}}})\n\
+                             }}\n",
+                            de_named_fields(&ctx, fields)
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __deserializer.take_value()? {{\n\
+                   ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                     {str_arms}\
+                     __other => ::core::result::Result::Err(\
+                       <__D::Error as ::serde::de::Error>::custom(\
+                         ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                   }},\n\
+                   ::serde::Value::Obj(mut __entries) => {{\n\
+                     if __entries.len() != 1 {{\n\
+                       return ::core::result::Result::Err(\
+                         <__D::Error as ::serde::de::Error>::custom(\
+                           \"expected single-key object for enum {name}\"));\n\
+                     }}\n\
+                     let (__k, __v) = __entries.remove(0);\n\
+                     match __k.as_str() {{\n\
+                       {obj_arms}\
+                       __other => ::core::result::Result::Err(\
+                         <__D::Error as ::serde::de::Error>::custom(\
+                           ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }}\n\
+                   }}\n\
+                   __other => ::core::result::Result::Err(\
+                     <__D::Error as ::serde::de::Error>::custom(\
+                       ::std::format!(\"invalid type for enum {name}: {{}}\", __other.kind()))),\n\
+                 }}"
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "{ALLOWS}impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+           fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) \
+             -> ::core::result::Result<Self, __D::Error> {{\n\
+             {body}\n\
+           }}\n\
+         }}\n"
+    )
+}

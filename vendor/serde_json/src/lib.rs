@@ -1,0 +1,388 @@
+//! Offline API-compatible subset of `serde_json`: renders and parses the
+//! vendored serde [`Value`] tree. Supports `to_string`, `to_string_pretty`
+//! (2-space indent, `": "` separators, matching real serde_json), and
+//! `from_str`.
+
+use serde::value::{from_value, to_value};
+use serde::Value;
+use std::fmt;
+
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = to_value(value).map_err(|e| Error(e.to_string()))?;
+    let mut out = String::new();
+    write_value(&v, None, 0, &mut out);
+    Ok(out)
+}
+
+/// Serialize to pretty JSON (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let v = to_value(value).map_err(|e| Error(e.to_string()))?;
+    let mut out = String::new();
+    write_value(&v, Some(2), 0, &mut out);
+    Ok(out)
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T>(s: &str) -> Result<T>
+where
+    T: for<'de> serde::Deserialize<'de>,
+{
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    from_value(v).map_err(|e| Error(e.to_string()))
+}
+
+// ------------------------------------------------------------------ writer
+
+fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::F64(f) => write_f64(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Arr(items) => write_seq(items.iter(), items.len(), indent, depth, out, '[', ']', |item, ind, d, o| {
+            write_value(item, ind, d, o);
+        }),
+        Value::Obj(entries) => {
+            write_seq(entries.iter(), entries.len(), indent, depth, out, '{', '}', |(k, val), ind, d, o| {
+                write_string(k, o);
+                o.push(':');
+                if ind.is_some() {
+                    o.push(' ');
+                }
+                write_value(val, ind, d, o);
+            })
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_seq<I, T>(
+    items: I,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(T, Option<usize>, usize, &mut String),
+) where
+    I: Iterator<Item = T>,
+{
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            for _ in 0..(step * (depth + 1)) {
+                out.push(' ');
+            }
+        }
+        write_item(item, indent, depth + 1, out);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..(step * depth) {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_finite() {
+        if f == f.trunc() && f.abs() < 1e15 {
+            // Match serde_json: whole floats print with a trailing .0 so the
+            // value round-trips as a float.
+            out.push_str(&format!("{f:.1}"));
+        } else {
+            out.push_str(&format!("{f}"));
+        }
+    } else {
+        // JSON has no Inf/NaN; real serde_json emits null here.
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ------------------------------------------------------------------ parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Obj(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.pos += 1;
+                        }
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Obj(entries));
+                        }
+                        _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error("bad \\u escape".into()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error("bad \\u escape".into()))?;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape {:?}", other.map(|b| b as char))))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 encoded char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        let mut is_float = false;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_compact() {
+        let v = Value::Obj(vec![
+            ("a".into(), Value::U64(1)),
+            ("b".into(), Value::Arr(vec![Value::Bool(true), Value::Null])),
+            ("c".into(), Value::Str("x\"y\n".into())),
+        ]);
+        let s = {
+            let mut out = String::new();
+            write_value(&v, None, 0, &mut out);
+            out
+        };
+        assert_eq!(s, r#"{"a":1,"b":[true,null],"c":"x\"y\n"}"#);
+        let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+        assert_eq!(p.parse_value().unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_uses_colon_space() {
+        let v = Value::Obj(vec![("version".into(), Value::Str("1.2".into()))]);
+        let mut out = String::new();
+        write_value(&v, Some(2), 0, &mut out);
+        assert_eq!(out, "{\n  \"version\": \"1.2\"\n}");
+    }
+
+    #[test]
+    fn negative_and_float_numbers() {
+        let mut p = Parser { bytes: b"[-3,1.5,2.0]", pos: 0 };
+        assert_eq!(
+            p.parse_value().unwrap(),
+            Value::Arr(vec![Value::I64(-3), Value::F64(1.5), Value::F64(2.0)])
+        );
+    }
+}
