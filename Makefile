@@ -1,12 +1,19 @@
-.PHONY: ci build test clippy bench fmt-check
+.PHONY: ci build test clippy bench fmt-check fault-matrix
 
-ci: build test clippy
+ci: build test fault-matrix clippy
 
 build:
 	cargo build --release --workspace
 
 test:
 	cargo test -q --workspace --release
+
+# Robustness suite under each transport fault profile: faultless, the
+# paper's May-2021 failure mix, and an adversarial profile.
+fault-matrix:
+	for profile in none paper-may-2021 hostile; do \
+		PII_FAULT_PROFILE=$$profile cargo test -q --release --test robustness || exit 1; \
+	done
 
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings

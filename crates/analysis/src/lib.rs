@@ -14,6 +14,7 @@
 //! | [`table4`]     | Table 4 — EasyList/EasyPrivacy coverage |
 //! | [`browsers`]   | §7.1 — browser countermeasures |
 //! | [`aggregates`] | §4.2 headline numbers + §4.2.3 mailbox |
+//! | [`degradation`]| fault-injection degradation + measured §3.2 funnel |
 //! | [`dataset`]    | the paper's published artifact lists (CSV/JSON) |
 //! | [`crowdsource`]| the paper's future-work extension: K-contributor study |
 //! | [`ablations`]  | chain-depth recall and scanning-strategy experiments |
@@ -25,6 +26,7 @@ pub mod browsers;
 pub mod counterfactual;
 pub mod crowdsource;
 pub mod dataset;
+pub mod degradation;
 pub mod figure2;
 pub mod report;
 pub mod robustness;

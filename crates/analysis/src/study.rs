@@ -10,8 +10,9 @@ use pii_browser::profiles::BrowserKind;
 use pii_core::detect::{DetectionReport, LeakDetector};
 use pii_core::tokens::{TokenSet, TokenSetBuilder};
 use pii_core::tracking::{analyze, TrackingAnalysis};
-use pii_crawler::{CrawlDataset, Crawler};
+use pii_crawler::{CrawlDataset, Crawler, RetryPolicy};
 use pii_dns::PublicSuffixList;
+use pii_net::fault::FaultProfile;
 use pii_web::{Universe, UniverseSpec};
 
 /// Study configuration.
@@ -22,6 +23,13 @@ pub struct Study {
     /// Worker threads for the crawl and detection shards. Results are merged
     /// in canonical site order, so any value yields byte-identical output.
     pub workers: usize,
+    /// Transport fault profile. `None` injects nothing and leaves the
+    /// pipeline byte-identical to a faultless run; any other profile routes
+    /// the crawl through the retrying, self-healing path so the §3.2 funnel
+    /// is measured from observed failures.
+    pub faults: FaultProfile,
+    /// Retry policy for the fault-injected crawl (ignored under `None`).
+    pub retry: RetryPolicy,
 }
 
 impl Study {
@@ -35,6 +43,8 @@ impl Study {
             workers: std::thread::available_parallelism()
                 .map(|n| n.get().min(8))
                 .unwrap_or(4),
+            faults: FaultProfile::None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -46,17 +56,28 @@ impl Study {
         }
     }
 
+    /// Paper configuration under a transport fault profile.
+    pub fn with_faults(profile: FaultProfile) -> Study {
+        Study {
+            faults: profile,
+            ..Study::paper()
+        }
+    }
+
     /// Run §3 (crawl) + §4.1 (detection) + §5.2 (tracking analysis).
     pub fn run(self) -> StudyResults {
         let universe = Universe::generate_with(self.spec);
         let psl = PublicSuffixList::embedded();
         let mut crawler = Crawler::new(&universe);
         crawler.workers = self.workers.max(1);
+        crawler.faults = universe.fault_plan(self.faults);
+        crawler.retry = self.retry;
         let dataset = crawler.run(self.capture_browser);
         let tokens = self.tokens.build(&universe.persona);
         let report = LeakDetector::new(&tokens, &psl, &universe.zones)
             .detect_parallel(&dataset, self.workers.max(1));
         let tracking = analyze(&report);
+        let degradation = crate::degradation::compute(&dataset, self.faults);
         StudyResults {
             universe,
             psl,
@@ -64,6 +85,7 @@ impl Study {
             tokens,
             report,
             tracking,
+            degradation,
         }
     }
 }
@@ -76,6 +98,8 @@ pub struct StudyResults {
     pub tokens: TokenSet,
     pub report: DetectionReport,
     pub tracking: TrackingAnalysis,
+    /// Self-healing accounting; only rendered when a fault profile was active.
+    pub degradation: crate::degradation::Degradation,
 }
 
 impl StudyResults {
@@ -104,6 +128,10 @@ impl StudyResults {
         out.push('\n');
         out.push_str(&crate::table3::table(self).render());
         out.push('\n');
+        if self.degradation.profile != FaultProfile::None {
+            out.push_str(&crate::degradation::table(&self.degradation).render());
+            out.push('\n');
+        }
         out
     }
 
@@ -117,6 +145,9 @@ impl StudyResults {
         out.extend(crate::figure2::comparisons(self));
         out.extend(crate::table2::comparisons(self));
         out.extend(crate::table3::comparisons(self));
+        if self.degradation.profile != FaultProfile::None {
+            out.extend(crate::degradation::comparisons(&self.degradation));
+        }
         out
     }
 }

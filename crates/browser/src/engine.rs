@@ -21,6 +21,7 @@
 use crate::profiles::{BrowserKind, BrowserProfile};
 use pii_dns::{PublicSuffixList, ZoneStore};
 use pii_net::cookie::{Cookie, CookieJar};
+use pii_net::fault::{FaultPlan, FetchError};
 use pii_net::http::{Method, Request, ResourceKind, Response};
 use pii_net::Url;
 use pii_web::persona::{Persona, PiiKind};
@@ -37,12 +38,25 @@ pub struct FetchRecord {
     /// Shields). Blocked requests never reach the network, but the capture
     /// keeps them for §7.1 accounting.
     pub blocked: Option<String>,
+    /// `Some(error)` when the transport failed (seeded fault injection):
+    /// the request went out but no usable response came back. The capture
+    /// keeps the aborted attempt; HAR export flags it devtools-style.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub error: Option<FetchError>,
 }
 
 impl FetchRecord {
     pub fn delivered(&self) -> bool {
-        self.blocked.is_none()
+        self.blocked.is_none() && self.error.is_none()
     }
+}
+
+/// A document fetch that failed at the transport layer. The aborted attempt
+/// is preserved as an (undelivered) capture record.
+#[derive(Debug)]
+pub struct PageError {
+    pub error: FetchError,
+    pub record: Box<FetchRecord>,
 }
 
 /// Parameters of one page load.
@@ -80,6 +94,11 @@ pub struct Browser<'a> {
     persona: &'a Persona,
     /// Known tracker domains (for ETP's tracker-scoped cookie blocking).
     known_trackers: HashSet<String>,
+    /// Fault plan consulted on every fetch (None = perfect transport).
+    faults: Option<&'a FaultPlan>,
+    /// 1-based attempt number the crawler's retry loop is currently on;
+    /// flaky schedules clear once it exceeds their failure count.
+    fault_attempt: u32,
 }
 
 impl<'a> Browser<'a> {
@@ -114,7 +133,20 @@ impl<'a> Browser<'a> {
             resolver: pii_dns::CachingResolver::new(zones),
             persona,
             known_trackers,
+            faults: None,
+            fault_attempt: 1,
         }
+    }
+
+    /// Route every subsequent fetch through a fault plan (None restores the
+    /// perfect transport).
+    pub fn set_fault_plan(&mut self, plan: Option<&'a FaultPlan>) {
+        self.faults = plan;
+    }
+
+    /// Tell the transport which retry attempt the crawler is on.
+    pub fn set_fault_attempt(&mut self, attempt: u32) {
+        self.fault_attempt = attempt.max(1);
     }
 
     /// The browser's localStorage areas (inspected by §7.1 tests).
@@ -193,7 +225,23 @@ impl<'a> Browser<'a> {
     }
 
     /// Load one page of `site`, returning every fetch in emission order.
+    /// Transport faults surface as a single aborted document record; callers
+    /// that need to retry should use [`Browser::load_page_checked`].
     pub fn load_page(&mut self, site: &Site, ctx: &PageContext) -> Vec<FetchRecord> {
+        match self.load_page_checked(site, ctx) {
+            Ok(records) => records,
+            Err(err) => vec![*err.record],
+        }
+    }
+
+    /// Load one page of `site`, failing fast when the fault plan kills the
+    /// document fetch. The `Err` carries the aborted attempt's record so the
+    /// crawler can keep it in the capture.
+    pub fn load_page_checked(
+        &mut self,
+        site: &Site,
+        ctx: &PageContext,
+    ) -> Result<Vec<FetchRecord>, PageError> {
         let mut out = Vec::new();
         let doc_url = ctx.document_url.clone();
 
@@ -217,6 +265,33 @@ impl<'a> Browser<'a> {
         doc_req
             .headers
             .insert("User-Agent", user_agent(self.profile.kind));
+        // Transport faults kill the navigation before the origin renders
+        // anything (and before the session cookie exists); the aborted
+        // request is still a capture record.
+        if let Some(plan) = self.faults {
+            if plan.panics_on(&doc_url.host) {
+                panic!("injected transport panic on {}", doc_url.host);
+            }
+            let fault = match self
+                .resolver
+                .resolve_checked(&doc_url.host, plan, self.fault_attempt)
+            {
+                Err(error) => Some(error),
+                Ok(_) => plan.fault_for(&doc_url.host, &doc_url.path, self.fault_attempt),
+            };
+            if let Some(error) = fault {
+                let record = FetchRecord {
+                    request: doc_req,
+                    response: Response::new(error.http_status()),
+                    blocked: None,
+                    error: Some(error.clone()),
+                };
+                return Err(PageError {
+                    error,
+                    record: Box::new(record),
+                });
+            }
+        }
         // Render the document: the server knows the signed-in user once the
         // form was submitted.
         let user = ctx.pii_known.then_some(self.persona);
@@ -236,6 +311,7 @@ impl<'a> Browser<'a> {
             request: doc_req,
             response: doc_resp,
             blocked: None,
+            error: None,
         });
 
         // 2. Parse the document and process it in document order: inline
@@ -281,7 +357,7 @@ impl<'a> Browser<'a> {
         for (_, script) in inline_iter {
             self.execute_inline_script(site, &doc_url, script);
         }
-        out
+        Ok(out)
     }
 
     /// "Execute" an inline script: the simulated sites only ever assign
@@ -385,6 +461,7 @@ impl<'a> Browser<'a> {
                     request: req,
                     response: Response::new(0),
                     blocked: Some(format!("shields: {host}")),
+                    error: None,
                 };
             }
         }
@@ -426,6 +503,19 @@ impl<'a> Browser<'a> {
             }
         }
 
+        // Transport faults: the request was emitted (headers and all) but no
+        // usable response ever arrived, so no tracker state is written.
+        if let Some(plan) = self.faults {
+            if let Some(error) = plan.fault_for(&host, &req.url.path, self.fault_attempt) {
+                return FetchRecord {
+                    request: req,
+                    response: Response::new(error.http_status()),
+                    blocked: None,
+                    error: Some(error),
+                };
+            }
+        }
+
         // Response: trackers try to set their own identifier cookie, and
         // fall back to localStorage when the browser refuses it — exactly
         // the stateful-tracking arms race §2.1 describes.
@@ -447,6 +537,7 @@ impl<'a> Browser<'a> {
             request: req,
             response,
             blocked: None,
+            error: None,
         }
     }
 }
@@ -773,6 +864,37 @@ mod tests {
         let mut chrome = Browser::new(BrowserKind::Chrome93, &psl, &u.zones, &u.persona);
         chrome.load_page(sites[0], &ctx(sites[0], "/account", true));
         assert_eq!(chrome.storage().area_count(), 0);
+    }
+
+    #[test]
+    fn transport_faults_abort_the_document_before_any_side_effect() {
+        use pii_net::fault::{DomainSchedule, FaultPlan, FetchError};
+        let (u, psl) = world();
+        let site = u.crawlable_sites().next().unwrap();
+        let mut plan = FaultPlan::none();
+        plan.set(
+            &site.domain,
+            DomainSchedule::Flaky {
+                error: FetchError::DnsFailure,
+                failures: 1,
+            },
+        );
+        let mut b = Browser::new(BrowserKind::Chrome93, &psl, &u.zones, &u.persona);
+        b.set_fault_plan(Some(&plan));
+        // Attempt 1 fails: one aborted record, no session cookie stored.
+        let err = b
+            .load_page_checked(site, &ctx(site, "/", false))
+            .expect_err("attempt 1 must fail");
+        assert_eq!(err.error, FetchError::DnsFailure);
+        assert!(!err.record.delivered());
+        assert_eq!(err.record.response.status, 0);
+        assert!(b.jar().all().is_empty(), "no cookie from an aborted load");
+        // Attempt 2 succeeds and behaves like a faultless load.
+        b.set_fault_attempt(2);
+        let records = b
+            .load_page_checked(site, &ctx(site, "/", false))
+            .expect("flaky schedule clears on attempt 2");
+        assert!(records[0].delivered());
     }
 
     #[test]

@@ -62,6 +62,10 @@ pub struct DetectionReport {
     pub third_party_requests: usize,
     /// Total delivered requests inspected.
     pub total_requests: usize,
+    /// Capture records the detector could not inspect: transport-aborted
+    /// fetches and delivered records too mangled to attribute (e.g. an
+    /// unparseable Referer). Counted, never silently dropped.
+    pub skipped_records: usize,
 }
 
 impl DetectionReport {
@@ -73,6 +77,7 @@ impl DetectionReport {
         self.events.extend(other.events);
         self.third_party_requests += other.third_party_requests;
         self.total_requests += other.total_requests;
+        self.skipped_records += other.skipped_records;
     }
 
     /// Distinct leaking senders.
@@ -189,10 +194,23 @@ impl<'a> LeakDetector<'a> {
     pub fn detect_site(&self, crawl: &SiteCrawl, report: &mut DetectionReport) {
         for (index, record) in crawl.records.iter().enumerate() {
             if !record.delivered() {
+                // Transport-aborted attempts carry no payload worth
+                // scanning; browser-blocked requests are accounted for by
+                // the §7.1 tables instead.
+                if record.error.is_some() {
+                    report.skipped_records += 1;
+                }
                 continue;
             }
             report.total_requests += 1;
             let request = &record.request;
+            // A Referer header that is present but unparseable means the
+            // record is mangled: page attribution is impossible, so skip it
+            // visibly rather than misfiling hits under "/".
+            if request.headers.get("Referer").is_some() && request.referer().is_none() {
+                report.skipped_records += 1;
+                continue;
+            }
             let host = &request.url.host;
             let party = classify_party(self.psl, self.zones, &self.cloaking, &crawl.domain, host);
             let (receiver_domain, cloaked) = match party {
@@ -417,9 +435,29 @@ mod tests {
         for workers in [1, 2, 4, 7] {
             let parallel = detector.detect_parallel(&w.dataset, workers);
             assert_eq!(parallel.events, sequential.events, "workers = {workers}");
-            assert_eq!(parallel.third_party_requests, sequential.third_party_requests);
+            assert_eq!(
+                parallel.third_party_requests,
+                sequential.third_party_requests
+            );
             assert_eq!(parallel.total_requests, sequential.total_requests);
+            assert_eq!(parallel.skipped_records, sequential.skipped_records);
         }
+    }
+
+    #[test]
+    fn merge_sums_skipped_records() {
+        let mut a = DetectionReport {
+            skipped_records: 2,
+            ..DetectionReport::default()
+        };
+        let b = DetectionReport {
+            skipped_records: 3,
+            total_requests: 7,
+            ..DetectionReport::default()
+        };
+        a.merge(b);
+        assert_eq!(a.skipped_records, 5);
+        assert_eq!(a.total_requests, 7);
     }
 
     #[test]

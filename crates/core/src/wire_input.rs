@@ -39,6 +39,7 @@ pub fn crawls_from_wire(exchanges: &[WireExchange]) -> Result<Vec<SiteCrawl>, Wi
             request,
             response,
             blocked: None,
+            error: None,
         };
         match by_site.iter_mut().find(|(site, _)| site == ex.site) {
             Some((_, records)) => records.push(record),
@@ -63,6 +64,7 @@ pub fn crawls_from_wire(exchanges: &[WireExchange]) -> Result<Vec<SiteCrawl>, Wi
                 })
                 .collect(),
             records,
+            resilience: None,
         })
         .collect())
 }

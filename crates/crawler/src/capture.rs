@@ -23,12 +23,31 @@ pub enum CrawlOutcome {
     /// The browser itself broke the flow (Brave Shields vs. the nykaa.com
     /// CAPTCHA, §7.1).
     SignupFailed(String),
+    /// The crawl worker crashed on this site twice (once on a second worker
+    /// after requeueing); the site is isolated with the recorded reason
+    /// instead of aborting the whole crawl.
+    Quarantined(String),
 }
 
 impl CrawlOutcome {
     pub fn completed(&self) -> bool {
         matches!(self, CrawlOutcome::Completed { .. })
     }
+}
+
+/// Self-healing bookkeeping for one site crawled under fault injection.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteResilience {
+    /// Page-load attempts issued (≥ the number of pages loaded).
+    pub attempts: u32,
+    /// Attempts beyond the first for some page — i.e. retries.
+    pub retries: u32,
+    /// True when at least one page failed and a later attempt succeeded.
+    pub rescued: bool,
+    /// Virtual milliseconds spent backing off (SimClock, not wall time).
+    pub virtual_ms: u64,
+    /// Observed fetch errors as `label@path#attempt`, in emission order.
+    pub errors: Vec<String>,
 }
 
 /// Everything captured while crawling one site.
@@ -40,6 +59,10 @@ pub struct SiteCrawl {
     pub records: Vec<FetchRecord>,
     /// Copy of the browser cookie store at the end of the visit.
     pub stored_cookies: Vec<Cookie>,
+    /// Retry/backoff accounting; only present for fault-injected crawls, so
+    /// faultless datasets serialize exactly as before.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub resilience: Option<SiteResilience>,
 }
 
 impl SiteCrawl {
@@ -92,6 +115,7 @@ impl CrawlDataset {
                 CrawlOutcome::NoAuthFlow => stats.no_auth_flow += 1,
                 CrawlOutcome::SignupBlocked(_) => stats.signup_blocked += 1,
                 CrawlOutcome::SignupFailed(_) => stats.signup_failed += 1,
+                CrawlOutcome::Quarantined(_) => stats.quarantined += 1,
             }
         }
         stats
@@ -119,4 +143,12 @@ pub struct FunnelStats {
     pub signup_failed: usize,
     pub email_confirmed: usize,
     pub bot_detection: usize,
+    /// Sites isolated after repeated worker crashes (0 on a healthy crawl;
+    /// skipped when zero so faultless funnels serialize as before).
+    #[serde(skip_serializing_if = "usize_is_zero")]
+    pub quarantined: usize,
+}
+
+fn usize_is_zero(n: &usize) -> bool {
+    *n == 0
 }

@@ -1,13 +1,16 @@
 //! The authentication-flow driver.
 
-use crate::capture::{CrawlDataset, CrawlOutcome, SiteCrawl};
+use crate::capture::{CrawlDataset, CrawlOutcome, SiteCrawl, SiteResilience};
+use crate::retry::{RetryPolicy, SimClock};
 use parking_lot::Mutex;
-use pii_browser::engine::{Browser, PageContext};
+use pii_browser::engine::{Browser, FetchRecord, PageContext};
 use pii_browser::profiles::BrowserKind;
 use pii_dns::PublicSuffixList;
+use pii_net::fault::{FaultPlan, FetchError};
 use pii_net::Url;
 use pii_web::site::{BlockReason, Site, SiteOutcome};
 use pii_web::Universe;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Drives browsers through the site universe.
 pub struct Crawler<'a> {
@@ -15,6 +18,12 @@ pub struct Crawler<'a> {
     psl: PublicSuffixList,
     /// Worker threads for the crawl fan-out.
     pub workers: usize,
+    /// Transport faults to inject. The default (inert) plan keeps the
+    /// config-driven happy path byte for byte; any non-inert plan switches
+    /// to the measured crawl, where outcomes derive from observed faults.
+    pub faults: FaultPlan,
+    /// Retry/backoff policy for the measured crawl.
+    pub retry: RetryPolicy,
 }
 
 impl<'a> Crawler<'a> {
@@ -25,6 +34,8 @@ impl<'a> Crawler<'a> {
             workers: std::thread::available_parallelism()
                 .map(|n| n.get().min(8))
                 .unwrap_or(4),
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -53,49 +64,167 @@ impl<'a> Crawler<'a> {
             .iter()
             .filter(|s| filter.is_none_or(|f| f.contains(&s.domain)))
             .collect();
+        let plan = (!self.faults.is_inert()).then_some(&self.faults);
         let results: Mutex<Vec<(usize, SiteCrawl)>> = Mutex::new(Vec::with_capacity(sites.len()));
-        let next: Mutex<usize> = Mutex::new(0);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..self.workers.max(1) {
-                scope.spawn(|_| {
-                    let mut browser = Browser::with_profile(
-                        profile.clone(),
-                        &self.psl,
-                        &self.universe.zones,
-                        &self.universe.persona,
-                    );
+        let next = AtomicUsize::new(0);
+        // Sites whose worker panicked, tagged with the panicking worker so a
+        // *different* worker retries them when possible.
+        let requeued: Mutex<Vec<(usize, usize)>> = Mutex::new(Vec::new());
+        // Every panic is caught inside the worker loop, so the scope result
+        // carries no information; if a worker still died, the affected sites
+        // surface as quarantined through the gap-fill below instead of
+        // aborting the crawl.
+        let _ = crossbeam::thread::scope(|scope| {
+            for worker_id in 0..self.workers.max(1) {
+                let (sites, results, next, requeued, profile) =
+                    (&sites, &results, &next, &requeued, &profile);
+                scope.spawn(move |_| {
+                    let mut browser = self.fresh_browser(profile, plan);
                     loop {
-                        let index = {
-                            let mut guard = next.lock();
-                            let i = *guard;
-                            if i >= sites.len() {
-                                break;
-                            }
-                            *guard += 1;
-                            i
+                        // Requeued sites take priority; a worker skips its
+                        // own casualties until the fresh queue is drained,
+                        // after which anyone may take them (no deadlock when
+                        // only the panicking worker is left).
+                        let fresh_done = next.load(Ordering::Relaxed) >= sites.len();
+                        let retried = {
+                            let mut queue = requeued.lock();
+                            queue
+                                .iter()
+                                .position(|&(_, from)| from != worker_id)
+                                .or_else(|| (fresh_done && !queue.is_empty()).then_some(0))
+                                .map(|pos| queue.remove(pos))
                         };
-                        let crawl = crawl_site(&mut browser, sites[index]);
-                        results.lock().push((index, crawl));
+                        let (index, second_attempt) = match retried {
+                            Some((index, _)) => (index, true),
+                            None => {
+                                let index = next.fetch_add(1, Ordering::Relaxed);
+                                if index >= sites.len() {
+                                    if requeued.lock().is_empty() {
+                                        break;
+                                    }
+                                    continue;
+                                }
+                                (index, false)
+                            }
+                        };
+                        let attempt = {
+                            let browser = &mut browser;
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                                crawl_one(browser, sites[index], plan, &self.retry)
+                            }))
+                        };
+                        match attempt {
+                            Ok(crawl) => results.lock().push((index, crawl)),
+                            Err(payload) => {
+                                // State of an unwound browser is suspect:
+                                // rebuild before the next site.
+                                browser = self.fresh_browser(profile, plan);
+                                let reason = panic_reason(payload.as_ref());
+                                if second_attempt {
+                                    results.lock().push((
+                                        index,
+                                        quarantined(
+                                            sites[index],
+                                            format!("crawl worker panicked twice: {reason}"),
+                                        ),
+                                    ));
+                                } else {
+                                    requeued.lock().push((index, worker_id));
+                                }
+                            }
+                        }
                     }
                 });
             }
-        })
-        .expect("crawl worker panicked");
+        });
         let mut results = results.into_inner();
         results.sort_by_key(|(i, _)| *i);
+        // Gap-fill: a site nobody delivered (worker lost outside the panic
+        // guard) is quarantined rather than silently dropped.
+        let mut by_index: Vec<Option<SiteCrawl>> = sites.iter().map(|_| None).collect();
+        for (index, crawl) in results {
+            if index < by_index.len() {
+                by_index[index] = Some(crawl);
+            }
+        }
+        let crawls = by_index
+            .into_iter()
+            .zip(&sites)
+            .map(|(slot, site)| {
+                slot.unwrap_or_else(|| quarantined(site, "crawl worker lost".to_string()))
+            })
+            .collect();
         CrawlDataset {
             browser: profile.kind,
-            crawls: results.into_iter().map(|(_, c)| c).collect(),
+            crawls,
         }
+    }
+
+    fn fresh_browser<'b>(
+        &'b self,
+        profile: &pii_browser::profiles::BrowserProfile,
+        plan: Option<&'b FaultPlan>,
+    ) -> Browser<'b> {
+        let mut browser = Browser::with_profile(
+            profile.clone(),
+            &self.psl,
+            &self.universe.zones,
+            &self.universe.persona,
+        );
+        browser.set_fault_plan(plan);
+        browser
     }
 }
 
-/// Run the full §3.2 flow against one site.
+/// Crawl one site, dispatching on whether faults are being injected.
+fn crawl_one(
+    browser: &mut Browser,
+    site: &Site,
+    plan: Option<&FaultPlan>,
+    retry: &RetryPolicy,
+) -> SiteCrawl {
+    match plan {
+        Some(plan) => crawl_site_measured(browser, site, plan, retry),
+        None => crawl_site(browser, site),
+    }
+}
+
+/// A site the pool gave up on after repeated worker panics.
+fn quarantined(site: &Site, reason: String) -> SiteCrawl {
+    SiteCrawl {
+        domain: site.domain.clone(),
+        outcome: CrawlOutcome::Quarantined(reason),
+        records: Vec::new(),
+        stored_cookies: Vec::new(),
+        resilience: None,
+    }
+}
+
+/// Human-readable reason out of a caught panic payload.
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Build a page URL on `site`. `None` when the domain itself cannot form a
+/// valid URL — such a site is isolated, never crashed on.
+fn site_url(site: &Site, path: &str) -> Option<Url> {
+    Url::parse(&format!("https://{}{}", site.domain, path)).ok()
+}
+
+/// Run the full §3.2 flow against one site, trusting the configured outcome.
 fn crawl_site(browser: &mut Browser, site: &Site) -> SiteCrawl {
     browser.reset();
+    let Some(base) = site_url(site, "/") else {
+        return quarantined(site, "site domain does not form a valid URL".to_string());
+    };
     let mut records = Vec::new();
-    let page =
-        |path: &str| -> Url { Url::parse(&format!("https://{}{}", site.domain, path)).unwrap() };
+    let page = |path: &str| -> Url { site_url(site, path).unwrap_or_else(|| base.clone()) };
 
     let outcome = match &site.outcome {
         SiteOutcome::Unreachable => CrawlOutcome::Unreachable,
@@ -176,7 +305,197 @@ fn crawl_site(browser: &mut Browser, site: &Site) -> SiteCrawl {
         outcome,
         records,
         stored_cookies: browser.jar().all().into_iter().cloned().collect(),
+        resilience: None,
     }
+}
+
+/// One page's terminal failure: the error of the last attempt and how many
+/// attempts were spent.
+struct PageFailure {
+    error: FetchError,
+    attempts: u32,
+}
+
+/// Retry-loop state for one site's measured crawl.
+struct PageRun<'p> {
+    plan: &'p FaultPlan,
+    retry: &'p RetryPolicy,
+    clock: SimClock,
+    resilience: SiteResilience,
+    records: Vec<FetchRecord>,
+}
+
+impl PageRun<'_> {
+    /// Load one page with retries. Failed attempts stay in the capture as
+    /// aborted records; backoff advances the virtual clock only.
+    fn load(
+        &mut self,
+        browser: &mut Browser,
+        site: &Site,
+        ctx: &PageContext,
+    ) -> Result<(), PageFailure> {
+        let mut attempt = 1u32;
+        loop {
+            browser.set_fault_attempt(attempt);
+            self.resilience.attempts += 1;
+            match browser.load_page_checked(site, ctx) {
+                Ok(mut records) => {
+                    if attempt > 1 {
+                        self.resilience.rescued = true;
+                    }
+                    self.records.append(&mut records);
+                    return Ok(());
+                }
+                Err(failure) => {
+                    self.resilience.errors.push(format!(
+                        "{}@{}#{attempt}",
+                        failure.error.label(),
+                        ctx.path
+                    ));
+                    self.records.push(*failure.record);
+                    let delay = self.retry.backoff_ms(self.plan, &site.domain, attempt);
+                    let out_of_attempts = attempt >= self.retry.max_attempts;
+                    let out_of_budget =
+                        self.clock.now_ms().saturating_add(delay) > self.retry.per_site_budget_ms;
+                    if out_of_attempts || out_of_budget {
+                        return Err(PageFailure {
+                            error: failure.error,
+                            attempts: attempt,
+                        });
+                    }
+                    self.clock.advance(delay);
+                    self.resilience.retries += 1;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    /// Seal the crawl with its measured outcome.
+    fn finish(mut self, browser: &mut Browser, site: &Site, outcome: CrawlOutcome) -> SiteCrawl {
+        browser.set_fault_attempt(1);
+        self.resilience.virtual_ms = self.clock.now_ms();
+        SiteCrawl {
+            domain: site.domain.clone(),
+            outcome,
+            records: self.records,
+            stored_cookies: browser.jar().all().into_iter().cloned().collect(),
+            resilience: Some(self.resilience),
+        }
+    }
+}
+
+/// Run the §3.2 flow against one site under fault injection: the outcome is
+/// *measured* from the faults the transport actually exhibited, not read
+/// from the site's configuration. (Without a schedule in the plan, every
+/// site behaves perfectly — the configured funnel emerges only because the
+/// plan was derived from the universe.)
+fn crawl_site_measured(
+    browser: &mut Browser,
+    site: &Site,
+    plan: &FaultPlan,
+    retry: &RetryPolicy,
+) -> SiteCrawl {
+    browser.reset();
+    let Some(base) = site_url(site, "/") else {
+        return quarantined(site, "site domain does not form a valid URL".to_string());
+    };
+    let page = |path: &str| -> Url { site_url(site, path).unwrap_or_else(|| base.clone()) };
+    let mut run = PageRun {
+        plan,
+        retry,
+        clock: SimClock::default(),
+        resilience: SiteResilience::default(),
+        records: Vec::new(),
+    };
+
+    // Homepage. A front door that never answers is, on the wire, what
+    // "unreachable" means.
+    if run
+        .load(browser, site, &PageContext::get(page("/"), "/", false))
+        .is_err()
+    {
+        return run.finish(browser, site, CrawlOutcome::Unreachable);
+    }
+
+    // Content-driven: the homepage rendered and offers no sign-up form.
+    if site.outcome == SiteOutcome::NoAuthFlow {
+        return run.finish(browser, site, CrawlOutcome::NoAuthFlow);
+    }
+
+    // Sign-up page. Persistent failure here (bot walls answer 5xx on
+    // /signup forever) reads as "sign-up blocked", with the observed fault
+    // as the reason.
+    if let Err(failure) = run.load(
+        browser,
+        site,
+        &PageContext::get(page("/signup"), "/signup", false),
+    ) {
+        let reason = format!(
+            "{} on /signup after {} attempts",
+            failure.error, failure.attempts
+        );
+        return run.finish(browser, site, CrawlOutcome::SignupBlocked(reason));
+    }
+
+    if !browser.signup_can_complete(site) {
+        return run.finish(
+            browser,
+            site,
+            CrawlOutcome::SignupFailed("shields broke CAPTCHA verification".to_string()),
+        );
+    }
+
+    // Submit the filled form.
+    let submit_url = browser.form_submit_url(site);
+    let submit_ctx = PageContext {
+        document_url: submit_url,
+        path: "/welcome".into(),
+        pii_known: true,
+        form_post: browser.form_post_body(site),
+    };
+    if let Err(failure) = run.load(browser, site, &submit_ctx) {
+        let reason = format!(
+            "{} on /welcome after {} attempts",
+            failure.error, failure.attempts
+        );
+        return run.finish(browser, site, CrawlOutcome::SignupBlocked(reason));
+    }
+
+    // The site's flow shape (confirmation email, bot detection) is content,
+    // not transport; it still comes from the site itself.
+    let (email_confirmation, bot_detection) = match &site.outcome {
+        SiteOutcome::Ok {
+            email_confirmation,
+            bot_detection,
+        } => (*email_confirmation, *bot_detection),
+        _ => (false, false),
+    };
+    if email_confirmation {
+        let confirm = page("/confirm").with_query_param("token", "c0nf1rm");
+        if let Err(failure) = run.load(browser, site, &PageContext::get(confirm, "/confirm", true))
+        {
+            let reason = format!(
+                "{} on /confirm after {} attempts",
+                failure.error, failure.attempts
+            );
+            return run.finish(browser, site, CrawlOutcome::SignupBlocked(reason));
+        }
+    }
+
+    // Post-signup browsing. The account exists now, so a lost page only
+    // costs its traffic — it no longer disqualifies the site.
+    for path in ["/signin", "/account", "/products/1"] {
+        let _ = run.load(browser, site, &PageContext::get(page(path), path, true));
+    }
+    run.finish(
+        browser,
+        site,
+        CrawlOutcome::Completed {
+            email_confirmed: email_confirmation,
+            bot_detection_passed: bot_detection,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -206,6 +525,7 @@ mod tests {
                 signup_failed: 0,
                 email_confirmed: 68,
                 bot_detection: 43,
+                quarantined: 0,
             }
         );
     }

@@ -44,6 +44,11 @@ pub struct HarEntry {
     /// Non-standard: initiator URL for chain reconstruction.
     #[serde(rename = "_initiator", skip_serializing_if = "Option::is_none")]
     pub initiator: Option<String>,
+    /// Non-standard (devtools convention): network-level error string for
+    /// aborted requests; such entries carry response status 0 (or the 5xx
+    /// the server managed to send) and no body.
+    #[serde(rename = "_error", skip_serializing_if = "Option::is_none")]
+    pub error: Option<String>,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -122,6 +127,7 @@ fn site_entries(crawl: &SiteCrawl) -> Vec<HarEntry> {
                 },
                 blocked_reason: rec.blocked.clone(),
                 initiator: req.initiator.as_ref().map(|u| u.to_string()),
+                error: rec.error.as_ref().map(|e| e.har_error().to_string()),
             }
         })
         .collect()
@@ -210,6 +216,63 @@ mod tests {
         let json = export_json(&ds);
         let back: Har = serde_json::from_str(&json).unwrap();
         assert_eq!(back.log.entries.len(), export(&ds).log.entries.len());
+    }
+
+    #[test]
+    fn aborted_entries_follow_the_devtools_shape() {
+        use pii_net::fault::{DomainSchedule, FaultPlan, FetchError};
+        let u = Universe::generate();
+        let targets: Vec<String> = u.sender_sites().take(2).map(|s| s.domain.clone()).collect();
+        let mut crawler = Crawler::new(&u);
+        let mut plan = FaultPlan::none();
+        // One site never resolves; the other needs a single retry.
+        plan.set(&targets[0], DomainSchedule::Dead(FetchError::DnsFailure));
+        plan.set(
+            &targets[1],
+            DomainSchedule::Flaky {
+                error: FetchError::Reset,
+                failures: 1,
+            },
+        );
+        crawler.faults = plan;
+        let ds = crawler.run_on(BrowserKind::Firefox88Vanilla, Some(&targets));
+        let har = export(&ds);
+        let aborted: Vec<&HarEntry> = har
+            .log
+            .entries
+            .iter()
+            .filter(|e| e.error.is_some())
+            .collect();
+        // The dead site records exactly its 3 exhausted attempts; the flaky
+        // one fails the first attempt of every page it loads.
+        assert_eq!(
+            aborted.iter().filter(|e| e.pageref == targets[0]).count(),
+            3
+        );
+        assert!(aborted.iter().any(|e| e.pageref == targets[1]));
+        for entry in &aborted {
+            assert_eq!(entry.response.status, 0, "no response ever arrived");
+            assert!(entry.error.as_deref().unwrap().starts_with("net::ERR_"));
+            assert!(entry.blocked_reason.is_none());
+        }
+        // Aborted attempts still belong to an exported page.
+        let page_ids: Vec<&str> = har.log.pages.iter().map(|p| p.id.as_str()).collect();
+        assert!(aborted
+            .iter()
+            .all(|e| page_ids.contains(&e.pageref.as_str())));
+        // serde_json round-trip preserves the `_error` field verbatim.
+        let json = export_json(&ds);
+        assert!(json.contains("\"_error\": \"net::ERR_NAME_NOT_RESOLVED\""));
+        assert!(json.contains("\"_error\": \"net::ERR_CONNECTION_RESET\""));
+        let back: Har = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            back.log
+                .entries
+                .iter()
+                .filter(|e| e.error.is_some())
+                .count(),
+            aborted.len()
+        );
     }
 
     #[test]

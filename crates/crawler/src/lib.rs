@@ -19,10 +19,18 @@
 //! [`Crawler::run`] fans sites out over worker threads (crossbeam scoped
 //! threads + a parking_lot-protected sink); everything is deterministic
 //! because the browser engine is.
+//!
+//! Under a non-inert [`pii_net::fault::FaultPlan`] the crawler switches from
+//! the config-driven happy path to a *measured* crawl: every page load is
+//! retried per [`retry::RetryPolicy`], sites are classified from the faults
+//! they actually exhibited, and a worker that panics has its site requeued
+//! once and then quarantined — the crawl itself never aborts.
 
 pub mod capture;
 pub mod flow;
 pub mod har;
+pub mod retry;
 
-pub use capture::{CrawlDataset, CrawlOutcome, SiteCrawl};
+pub use capture::{CrawlDataset, CrawlOutcome, FunnelStats, SiteCrawl, SiteResilience};
 pub use flow::Crawler;
+pub use retry::{RetryPolicy, SimClock};

@@ -1,0 +1,115 @@
+//! Retry policy and the virtual clock it schedules against.
+//!
+//! Real measurement harnesses retry flaky sites with exponential backoff and
+//! give up once a per-site time budget is spent. The reproduction does the
+//! same, but against a **simulated clock**: delays are virtual milliseconds
+//! advanced deterministically, and jitter comes from the fault plan's seeded
+//! hash — so a crawl's outcome never depends on wall time or scheduling.
+
+use pii_net::fault::FaultPlan;
+
+/// How hard the crawler tries before classifying a site from its faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts per page load (1 = no retries).
+    pub max_attempts: u32,
+    /// Base backoff delay; attempt `n` waits `base << (n-1)` plus jitter.
+    pub backoff_base_ms: u64,
+    /// Virtual-time budget per site; once backing off would exceed it, the
+    /// crawler stops retrying even with attempts left.
+    pub per_site_budget_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 250,
+            per_site_budget_ms: 30_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The default policy with a different attempt ceiling (CLI `--retries`).
+    pub fn with_max_attempts(max_attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff before retrying `domain` after failed attempt `attempt`
+    /// (1-based): exponential in virtual time plus seeded jitter.
+    pub fn backoff_ms(&self, plan: &FaultPlan, domain: &str, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(16);
+        let exponential = self.backoff_base_ms.saturating_mul(1 << shift);
+        exponential.saturating_add(plan.jitter_ms(domain, attempt, self.backoff_base_ms))
+    }
+}
+
+/// A virtual clock: monotone milliseconds advanced by the retry loop. No
+/// wall-clock reads anywhere, so identical inputs give identical timings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimClock {
+    now_ms: u64,
+}
+
+impl SimClock {
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    pub fn advance(&mut self, ms: u64) {
+        self.now_ms = self.now_ms.saturating_add(ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pii_net::fault::FaultProfile;
+
+    #[test]
+    fn backoff_grows_exponentially_with_bounded_jitter() {
+        let plan = FaultPlan::new(42, FaultProfile::PaperMay2021);
+        let policy = RetryPolicy::default();
+        let d1 = policy.backoff_ms(&plan, "shop.example", 1);
+        let d2 = policy.backoff_ms(&plan, "shop.example", 2);
+        let d3 = policy.backoff_ms(&plan, "shop.example", 3);
+        assert!((250..500).contains(&d1), "attempt 1 delay: {d1}");
+        assert!((500..750).contains(&d2), "attempt 2 delay: {d2}");
+        assert!((1000..1250).contains(&d3), "attempt 3 delay: {d3}");
+        // Deterministic: same plan, same delays.
+        assert_eq!(d2, policy.backoff_ms(&plan, "shop.example", 2));
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let plan = FaultPlan::new(0, FaultProfile::Hostile);
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            backoff_base_ms: u64::MAX / 2,
+            per_site_budget_ms: u64::MAX,
+        };
+        let d = policy.backoff_ms(&plan, "shop.example", 40);
+        assert_eq!(d, u64::MAX);
+    }
+
+    #[test]
+    fn with_max_attempts_floors_at_one() {
+        assert_eq!(RetryPolicy::with_max_attempts(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::with_max_attempts(5).max_attempts, 5);
+    }
+
+    #[test]
+    fn sim_clock_is_monotone_and_saturating() {
+        let mut clock = SimClock::default();
+        assert_eq!(clock.now_ms(), 0);
+        clock.advance(250);
+        clock.advance(500);
+        assert_eq!(clock.now_ms(), 750);
+        clock.advance(u64::MAX);
+        assert_eq!(clock.now_ms(), u64::MAX);
+    }
+}

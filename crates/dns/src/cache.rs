@@ -9,6 +9,7 @@
 
 use crate::zones::{Resolution, ZoneStore};
 use parking_lot::Mutex;
+use pii_net::fault::{FaultPlan, FetchError};
 use std::collections::HashMap;
 
 /// Resolver statistics.
@@ -70,6 +71,22 @@ impl<'a> CachingResolver<'a> {
         drop(stats);
         self.cache.lock().insert(key, resolution.clone());
         resolution
+    }
+
+    /// Resolve `name` under a fault plan: if the plan schedules a DNS-level
+    /// failure for this host on this attempt, resolution fails *before*
+    /// touching the cache or stats — exactly like a SERVFAIL never entering
+    /// a stub resolver's cache.
+    pub fn resolve_checked(
+        &self,
+        name: &str,
+        plan: &FaultPlan,
+        attempt: u32,
+    ) -> Result<Resolution, FetchError> {
+        if let Some(error) = plan.dns_fault_for(name, attempt) {
+            return Err(error);
+        }
+        Ok(self.resolve(name))
     }
 
     /// Current statistics snapshot.
@@ -135,6 +152,29 @@ mod tests {
         assert_eq!(r.stats().queries, 1);
         r.resolve("shop.com");
         assert_eq!(r.stats().cache_hits, 0, "post-flush resolve is a miss");
+    }
+
+    #[test]
+    fn checked_resolution_fails_per_plan_without_polluting_the_cache() {
+        use pii_net::fault::{DomainSchedule, FaultPlan, FetchError};
+        let z = zones();
+        let r = CachingResolver::new(&z);
+        let mut plan = FaultPlan::none();
+        plan.set(
+            "shop.com",
+            DomainSchedule::Flaky {
+                error: FetchError::DnsFailure,
+                failures: 1,
+            },
+        );
+        assert_eq!(
+            r.resolve_checked("shop.com", &plan, 1),
+            Err(FetchError::DnsFailure)
+        );
+        assert_eq!(r.cached(), 0, "failed resolutions are not cached");
+        assert_eq!(r.stats().queries, 0, "failed resolutions are not counted");
+        assert!(r.resolve_checked("shop.com", &plan, 2).is_ok());
+        assert_eq!(r.cached(), 1);
     }
 
     #[test]

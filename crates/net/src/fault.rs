@@ -1,0 +1,424 @@
+//! Seeded transport-fault model.
+//!
+//! The real May-2021 crawl behind the paper ran against a flaky web: dead
+//! DNS, connection resets, slow origins, and bot walls produced the §3.2
+//! funnel (404 candidate sites → 22 unreachable, 56 sign-up-blocked → 307
+//! usable). This module lets the simulated transport reproduce that flakiness
+//! *deterministically*: a [`FaultPlan`] maps domains to [`DomainSchedule`]s,
+//! every schedule is a pure function of `(host, path, attempt)`, and all
+//! randomness derives from the universe seed via [`det_hash`] — no wall
+//! clock, no ambient RNG, so identical plans yield byte-identical crawls
+//! regardless of worker count.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Why a simulated fetch failed at the transport layer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FetchError {
+    /// The authoritative zone never answered for the name.
+    DnsFailure,
+    /// TCP connect timed out before a single byte arrived.
+    ConnectTimeout,
+    /// The peer sent RST mid-exchange.
+    Reset,
+    /// The origin answered with a server error.
+    Http5xx(u16),
+    /// The body ended before the advertised Content-Length.
+    TruncatedBody,
+    /// The origin responded, but slower than the client deadline.
+    SlowResponse,
+}
+
+impl FetchError {
+    /// Status code the aborted exchange carries in capture records. Network
+    /// level failures never produced a response, so they record 0 (the same
+    /// convention devtools HAR exports use); HTTP-level failures keep their
+    /// real status.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            FetchError::DnsFailure | FetchError::ConnectTimeout | FetchError::Reset => 0,
+            FetchError::Http5xx(status) => *status,
+            FetchError::TruncatedBody => 200,
+            FetchError::SlowResponse => 0,
+        }
+    }
+
+    /// The devtools-style `_error` string for HAR exports.
+    pub fn har_error(&self) -> &'static str {
+        match self {
+            FetchError::DnsFailure => "net::ERR_NAME_NOT_RESOLVED",
+            FetchError::ConnectTimeout => "net::ERR_CONNECTION_TIMED_OUT",
+            FetchError::Reset => "net::ERR_CONNECTION_RESET",
+            FetchError::Http5xx(_) => "net::ERR_HTTP_RESPONSE_CODE_FAILURE",
+            FetchError::TruncatedBody => "net::ERR_CONTENT_LENGTH_MISMATCH",
+            FetchError::SlowResponse => "net::ERR_TIMED_OUT",
+        }
+    }
+
+    /// Short machine-friendly label for histograms and resilience logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FetchError::DnsFailure => "dns-failure",
+            FetchError::ConnectTimeout => "connect-timeout",
+            FetchError::Reset => "reset",
+            FetchError::Http5xx(_) => "http-5xx",
+            FetchError::TruncatedBody => "truncated-body",
+            FetchError::SlowResponse => "slow-response",
+        }
+    }
+
+    /// True when the failure happens at name resolution, before any
+    /// connection is attempted.
+    pub fn is_dns(&self) -> bool {
+        matches!(self, FetchError::DnsFailure)
+    }
+}
+
+impl fmt::Display for FetchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FetchError::DnsFailure => write!(f, "DNS resolution failed"),
+            FetchError::ConnectTimeout => write!(f, "connect timed out"),
+            FetchError::Reset => write!(f, "connection reset by peer"),
+            FetchError::Http5xx(status) => write!(f, "server error HTTP {status}"),
+            FetchError::TruncatedBody => write!(f, "response body truncated"),
+            FetchError::SlowResponse => write!(f, "response exceeded client deadline"),
+        }
+    }
+}
+
+/// Named fault climates the CLI and CI matrix select between.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultProfile {
+    /// No injected faults; the pipeline behaves exactly like the
+    /// config-driven crawl.
+    #[default]
+    None,
+    /// The climate the paper's crawl saw: dead sites fail on the wire, bot
+    /// walls answer 503 on sign-up paths, and a seeded minority of healthy
+    /// sites are flaky enough to need a retry but always recover.
+    PaperMay2021,
+    /// A much nastier web: every other site wobbles and some never recover,
+    /// so the crawl must degrade gracefully instead of reproducing §3.2.
+    Hostile,
+}
+
+impl FaultProfile {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FaultProfile::None => "none",
+            FaultProfile::PaperMay2021 => "paper-may-2021",
+            FaultProfile::Hostile => "hostile",
+        }
+    }
+}
+
+impl fmt::Display for FaultProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for FaultProfile {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "none" => Ok(FaultProfile::None),
+            "paper-may-2021" => Ok(FaultProfile::PaperMay2021),
+            "hostile" => Ok(FaultProfile::Hostile),
+            other => Err(format!(
+                "unknown fault profile '{other}' (expected none, paper-may-2021 or hostile)"
+            )),
+        }
+    }
+}
+
+/// What the transport does for one domain (and its subdomains).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DomainSchedule {
+    /// Every fetch fails with the same error, forever.
+    Dead(FetchError),
+    /// Paths under `path_prefix` always answer with a server error; the rest
+    /// of the site works.
+    BotWall { status: u16, path_prefix: String },
+    /// The first `failures` attempts fail with `error`, after which the
+    /// domain behaves normally — a retrying crawler can rescue it.
+    Flaky { error: FetchError, failures: u32 },
+    /// Fetching the domain panics the worker thread (models a crawler-side
+    /// crash, e.g. a renderer OOM). Exercises the quarantine path.
+    Panic,
+}
+
+/// Deterministic per-domain fault schedule.
+///
+/// Lookups walk up the domain tree (`a.b.example.com` → `b.example.com` →
+/// `example.com`), so a schedule on a site's registrable domain also governs
+/// its CNAME-cloaked subdomains. A default-constructed plan is *inert*: the
+/// crawler treats it as "no fault injection" and keeps the config-driven
+/// happy path, bit for bit.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    profile: FaultProfile,
+    schedules: BTreeMap<String, DomainSchedule>,
+}
+
+impl FaultPlan {
+    pub fn new(seed: u64, profile: FaultProfile) -> FaultPlan {
+        FaultPlan {
+            seed,
+            profile,
+            schedules: BTreeMap::new(),
+        }
+    }
+
+    /// The inert plan: no schedules, profile `none`.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    pub fn profile(&self) -> FaultProfile {
+        self.profile
+    }
+
+    /// True when the plan injects nothing at all; the crawler then runs the
+    /// unmodified config-driven pipeline.
+    pub fn is_inert(&self) -> bool {
+        self.profile == FaultProfile::None && self.schedules.is_empty()
+    }
+
+    /// Install (or replace) the schedule for a domain. Any schedule makes
+    /// the plan active, even under profile `none`.
+    pub fn set(&mut self, domain: &str, schedule: DomainSchedule) {
+        self.schedules.insert(domain.to_string(), schedule);
+    }
+
+    /// Iterate schedules in deterministic (lexicographic) order.
+    pub fn schedules(&self) -> impl Iterator<Item = (&str, &DomainSchedule)> {
+        self.schedules.iter().map(|(d, s)| (d.as_str(), s))
+    }
+
+    pub fn schedule_count(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// The schedule governing `host`, if any: exact match first, then each
+    /// parent domain.
+    pub fn schedule_for(&self, host: &str) -> Option<&DomainSchedule> {
+        let mut name = host;
+        loop {
+            if let Some(schedule) = self.schedules.get(name) {
+                return Some(schedule);
+            }
+            match name.split_once('.') {
+                Some((_, parent)) if !parent.is_empty() => name = parent,
+                _ => return None,
+            }
+        }
+    }
+
+    /// The fault (if any) a fetch of `path` on `host` hits on the given
+    /// 1-based attempt. Pure: same inputs, same answer.
+    pub fn fault_for(&self, host: &str, path: &str, attempt: u32) -> Option<FetchError> {
+        match self.schedule_for(host)? {
+            DomainSchedule::Dead(error) => Some(error.clone()),
+            DomainSchedule::BotWall {
+                status,
+                path_prefix,
+            } => path
+                .starts_with(path_prefix.as_str())
+                .then_some(FetchError::Http5xx(*status)),
+            DomainSchedule::Flaky { error, failures } => {
+                (attempt <= *failures).then(|| error.clone())
+            }
+            DomainSchedule::Panic => None,
+        }
+    }
+
+    /// The DNS-level fault (if any) resolving `host` hits on the given
+    /// attempt. Only schedules whose error is DNS-shaped fail resolution;
+    /// everything else fails later, at the connection.
+    pub fn dns_fault_for(&self, host: &str, attempt: u32) -> Option<FetchError> {
+        match self.schedule_for(host)? {
+            DomainSchedule::Dead(error) if error.is_dns() => Some(error.clone()),
+            DomainSchedule::Flaky { error, failures } if error.is_dns() => {
+                (attempt <= *failures).then(|| error.clone())
+            }
+            _ => None,
+        }
+    }
+
+    /// True when fetching `host` is scheduled to crash the worker.
+    pub fn panics_on(&self, host: &str) -> bool {
+        matches!(self.schedule_for(host), Some(DomainSchedule::Panic))
+    }
+
+    /// Seeded backoff jitter in `0..cap` virtual milliseconds, a pure
+    /// function of (seed, domain, attempt).
+    pub fn jitter_ms(&self, domain: &str, attempt: u32, cap: u64) -> u64 {
+        if cap == 0 {
+            return 0;
+        }
+        det_hash(self.seed, domain, 0xba0f ^ u64::from(attempt)) % cap
+    }
+}
+
+/// Deterministic 64-bit hash of `(seed, key, salt)`: an FNV-style byte mix
+/// through a splitmix64 finalizer. This is the only source of "randomness"
+/// in the fault model.
+pub fn det_hash(seed: u64, key: &str, salt: u64) -> u64 {
+    let mut h = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for byte in key.bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_inert_and_any_schedule_activates_it() {
+        let mut plan = FaultPlan::none();
+        assert!(plan.is_inert());
+        assert_eq!(plan.fault_for("shop.example", "/", 1), None);
+        plan.set("shop.example", DomainSchedule::Dead(FetchError::Reset));
+        assert!(!plan.is_inert());
+        assert_eq!(
+            plan.fault_for("shop.example", "/", 99),
+            Some(FetchError::Reset)
+        );
+    }
+
+    #[test]
+    fn schedule_lookup_walks_parent_domains() {
+        let mut plan = FaultPlan::new(7, FaultProfile::Hostile);
+        plan.set("example.com", DomainSchedule::Dead(FetchError::DnsFailure));
+        assert_eq!(
+            plan.fault_for("metrics.shop.example.com", "/x", 1),
+            Some(FetchError::DnsFailure)
+        );
+        assert_eq!(plan.fault_for("example.org", "/", 1), None);
+        assert_eq!(plan.fault_for("com", "/", 1), None);
+    }
+
+    #[test]
+    fn bot_wall_only_fires_under_its_path_prefix() {
+        let mut plan = FaultPlan::none();
+        plan.set(
+            "shop.example",
+            DomainSchedule::BotWall {
+                status: 503,
+                path_prefix: "/signup".into(),
+            },
+        );
+        assert_eq!(plan.fault_for("shop.example", "/", 1), None);
+        assert_eq!(
+            plan.fault_for("shop.example", "/signup", 3),
+            Some(FetchError::Http5xx(503))
+        );
+    }
+
+    #[test]
+    fn flaky_schedules_clear_after_their_failure_count() {
+        let mut plan = FaultPlan::none();
+        plan.set(
+            "shop.example",
+            DomainSchedule::Flaky {
+                error: FetchError::ConnectTimeout,
+                failures: 2,
+            },
+        );
+        assert_eq!(
+            plan.fault_for("shop.example", "/", 1),
+            Some(FetchError::ConnectTimeout)
+        );
+        assert_eq!(
+            plan.fault_for("shop.example", "/", 2),
+            Some(FetchError::ConnectTimeout)
+        );
+        assert_eq!(plan.fault_for("shop.example", "/", 3), None);
+    }
+
+    #[test]
+    fn dns_faults_are_only_reported_for_dns_shaped_errors() {
+        let mut plan = FaultPlan::none();
+        plan.set("a.example", DomainSchedule::Dead(FetchError::DnsFailure));
+        plan.set("b.example", DomainSchedule::Dead(FetchError::Reset));
+        assert_eq!(
+            plan.dns_fault_for("a.example", 1),
+            Some(FetchError::DnsFailure)
+        );
+        assert_eq!(plan.dns_fault_for("b.example", 1), None);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_seed_sensitive() {
+        let a = FaultPlan::new(1, FaultProfile::PaperMay2021);
+        let b = FaultPlan::new(2, FaultProfile::PaperMay2021);
+        for attempt in 1..5 {
+            let j = a.jitter_ms("shop.example", attempt, 250);
+            assert!(j < 250);
+            assert_eq!(j, a.jitter_ms("shop.example", attempt, 250));
+        }
+        assert_ne!(
+            a.jitter_ms("shop.example", 1, 1 << 40),
+            b.jitter_ms("shop.example", 1, 1 << 40)
+        );
+        assert_eq!(a.jitter_ms("shop.example", 1, 0), 0);
+    }
+
+    #[test]
+    fn fault_profiles_parse_and_display_round_trip() {
+        for profile in [
+            FaultProfile::None,
+            FaultProfile::PaperMay2021,
+            FaultProfile::Hostile,
+        ] {
+            assert_eq!(profile.as_str().parse::<FaultProfile>(), Ok(profile));
+        }
+        assert!("chaotic".parse::<FaultProfile>().is_err());
+    }
+
+    #[test]
+    fn error_statuses_and_har_strings_follow_devtools_conventions() {
+        assert_eq!(FetchError::DnsFailure.http_status(), 0);
+        assert_eq!(FetchError::Http5xx(503).http_status(), 503);
+        assert_eq!(FetchError::TruncatedBody.http_status(), 200);
+        for error in [
+            FetchError::DnsFailure,
+            FetchError::ConnectTimeout,
+            FetchError::Reset,
+            FetchError::Http5xx(500),
+            FetchError::TruncatedBody,
+            FetchError::SlowResponse,
+        ] {
+            assert!(error.har_error().starts_with("net::ERR_"));
+            assert!(!error.label().is_empty());
+            assert!(!error.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn det_hash_mixes_seed_key_and_salt() {
+        let h = det_hash(1, "example.com", 0);
+        assert_eq!(h, det_hash(1, "example.com", 0));
+        assert_ne!(h, det_hash(2, "example.com", 0));
+        assert_ne!(h, det_hash(1, "example.org", 0));
+        assert_ne!(h, det_hash(1, "example.com", 1));
+    }
+}

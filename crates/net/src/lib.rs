@@ -29,10 +29,12 @@
 //! ```
 
 pub mod cookie;
+pub mod fault;
 pub mod http;
 pub mod url;
 pub mod wire;
 
 pub use cookie::{Cookie, CookieJar, SameSite};
+pub use fault::{DomainSchedule, FaultPlan, FaultProfile, FetchError};
 pub use http::{HeaderMap, Method, Request, Response};
 pub use url::Url;

@@ -23,6 +23,7 @@ use crate::site::{
 };
 use crate::tracker::{full_catalog, ProviderClass, TrackerProvider};
 use pii_dns::{Record, ZoneStore};
+use pii_net::fault::{self, DomainSchedule, FaultPlan, FaultProfile, FetchError};
 use pii_net::http::ResourceKind;
 use pii_net::Method;
 use rand::rngs::StdRng;
@@ -91,10 +92,7 @@ impl UniverseSpec {
             email_confirmation: self.email_confirmation * factor,
             bot_detection: self.bot_detection * factor,
             senders: self.senders,
-            emails: (
-                self.emails.0 * factor as u32,
-                self.emails.1 * factor as u32,
-            ),
+            emails: (self.emails.0 * factor as u32, self.emails.1 * factor as u32),
         }
     }
 
@@ -156,6 +154,67 @@ impl Universe {
     /// Find a site by domain.
     pub fn site(&self, domain: &str) -> Option<&Site> {
         self.sites.iter().find(|s| s.domain == domain)
+    }
+
+    /// Derive the per-domain transport-fault schedule this universe implies.
+    ///
+    /// The crawl *measures* its funnel, so the plan encodes the world's
+    /// ground truth as wire behaviour: configured-unreachable sites are dead
+    /// on the wire (DNS failure / connect timeout / reset, hashed from the
+    /// seed), sign-up-blocked sites sit behind a bot wall answering 503 on
+    /// `/signup`, and — depending on the profile — a seeded subset of
+    /// healthy sites is flaky. Under `paper-may-2021` every flaky site
+    /// recovers within the default retry budget, which is exactly why the
+    /// measured funnel still reproduces §3.2; under `hostile` some never
+    /// recover and the funnel degrades (gracefully).
+    pub fn fault_plan(&self, profile: FaultProfile) -> FaultPlan {
+        let mut plan = FaultPlan::new(self.spec.seed, profile);
+        if profile == FaultProfile::None {
+            return plan;
+        }
+        // (1 in N healthy sites wobble, max consecutive failures).
+        let (wobble, ceiling) = match profile {
+            FaultProfile::PaperMay2021 => (6, 2),
+            FaultProfile::Hostile => (2, 4),
+            FaultProfile::None => (0, 1),
+        };
+        for site in &self.sites {
+            let h = fault::det_hash(self.spec.seed, &site.domain, 0x5eed_fa17);
+            match &site.outcome {
+                SiteOutcome::Unreachable => {
+                    let error = match h % 3 {
+                        0 => FetchError::DnsFailure,
+                        1 => FetchError::ConnectTimeout,
+                        _ => FetchError::Reset,
+                    };
+                    plan.set(&site.domain, DomainSchedule::Dead(error));
+                }
+                SiteOutcome::SignupBlocked(_) => {
+                    plan.set(
+                        &site.domain,
+                        DomainSchedule::BotWall {
+                            status: 503,
+                            path_prefix: "/signup".to_string(),
+                        },
+                    );
+                }
+                // Form presence is content, not transport.
+                SiteOutcome::NoAuthFlow => {}
+                SiteOutcome::Ok { .. } => {
+                    if wobble != 0 && h.is_multiple_of(wobble) {
+                        let error = match (h >> 8) % 4 {
+                            0 => FetchError::ConnectTimeout,
+                            1 => FetchError::Reset,
+                            2 => FetchError::TruncatedBody,
+                            _ => FetchError::SlowResponse,
+                        };
+                        let failures = 1 + ((h >> 16) % ceiling) as u32;
+                        plan.set(&site.domain, DomainSchedule::Flaky { error, failures });
+                    }
+                }
+            }
+        }
+        plan
     }
 }
 
@@ -1044,5 +1103,41 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn fault_plan_mirrors_the_configured_funnel_on_the_wire() {
+        let u = universe();
+        let plan = u.fault_plan(FaultProfile::PaperMay2021);
+        assert!(!plan.is_inert());
+        let dead = plan
+            .schedules()
+            .filter(|(_, s)| matches!(s, DomainSchedule::Dead(_)))
+            .count();
+        let walled = plan
+            .schedules()
+            .filter(|(_, s)| matches!(s, DomainSchedule::BotWall { .. }))
+            .count();
+        let flaky: Vec<(&str, &DomainSchedule)> = plan
+            .schedules()
+            .filter(|(_, s)| matches!(s, DomainSchedule::Flaky { .. }))
+            .collect();
+        assert_eq!(dead, 22, "§3.2 unreachable sites are dead on the wire");
+        assert_eq!(walled, 56, "§3.2 blocked sites sit behind bot walls");
+        assert!(!flaky.is_empty(), "some healthy sites must wobble");
+        // Under the paper profile, every flaky site recovers within the
+        // default 3-attempt retry budget.
+        for (domain, schedule) in &flaky {
+            if let DomainSchedule::Flaky { failures, .. } = schedule {
+                assert!(*failures < 3, "{domain} would never be rescued");
+            }
+        }
+        // Deterministic: same universe, same plan.
+        assert_eq!(plan, u.fault_plan(FaultProfile::PaperMay2021));
+        // Inert under profile `none`.
+        assert!(u.fault_plan(FaultProfile::None).is_inert());
+        // Hostile injects strictly more chaos.
+        let hostile = u.fault_plan(FaultProfile::Hostile);
+        assert!(hostile.schedule_count() > plan.schedule_count());
     }
 }

@@ -10,35 +10,50 @@
 //! pii-study export <dir>               write dataset artifacts + HAR
 //! pii-study seed <u64> <subcommand>    run any of the above on another seed
 //! pii-study --workers <n> <subcommand> size of the crawl/detect worker pool
+//! pii-study --faults <profile> <cmd>   inject transport faults (none|paper-may-2021|hostile)
+//! pii-study --retries <n> <cmd>        max page-load attempts for the fault-injected crawl
 //! ```
 
 use pii_suite::analysis::{
-    ablations, aggregates, browsers, counterfactual, crowdsource, dataset, figure2, table1, table2,
-    table3, table4, Study, StudyResults,
+    ablations, aggregates, browsers, counterfactual, crowdsource, dataset, degradation, figure2,
+    table1, table2, table3, table4, Study, StudyResults,
 };
+use pii_suite::crawler::RetryPolicy;
+use pii_suite::net::fault::FaultProfile;
 use pii_suite::web::UniverseSpec;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pii-study [seed <u64>] [--workers <n>] <full|tables|stats|sweep [N]|browsers|blocklists|ablations|counterfactual|crowdsource [K]|export <dir>>"
+        "usage: pii-study [seed|--seed <u64>] [--workers <n>] [--faults <none|paper-may-2021|hostile>] [--retries <n>] <full|tables|stats|sweep [N]|browsers|blocklists|ablations|counterfactual|crowdsource [K]|export <dir>>"
     );
     std::process::exit(2);
 }
 
-fn run_study(seed: Option<u64>, workers: Option<usize>) -> StudyResults {
+struct StudyArgs {
+    seed: Option<u64>,
+    workers: Option<usize>,
+    faults: FaultProfile,
+    retries: Option<u32>,
+}
+
+fn run_study(args: &StudyArgs) -> StudyResults {
     let mut study = Study::paper();
-    if let Some(seed) = seed {
+    if let Some(seed) = args.seed {
         study.spec = UniverseSpec {
             seed,
             ..UniverseSpec::default()
         };
     }
-    if let Some(workers) = workers {
+    if let Some(workers) = args.workers {
         study.workers = workers.max(1);
     }
+    study.faults = args.faults;
+    if let Some(retries) = args.retries {
+        study.retry = RetryPolicy::with_max_attempts(retries);
+    }
     eprintln!(
-        "running the measurement study (seed {:#x}, {} workers)…",
-        study.spec.seed, study.workers
+        "running the measurement study (seed {:#x}, {} workers, fault profile {})…",
+        study.spec.seed, study.workers, study.faults
     );
     study.run()
 }
@@ -51,16 +66,23 @@ fn print_tables(r: &StudyResults) {
     println!("{}", figure2::table(r).render());
     println!("{}", table2::table(r).render());
     println!("{}", table3::table(r).render());
+    if r.degradation.profile != FaultProfile::None {
+        println!("{}", degradation::table(&r.degradation).render());
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut args = args.as_slice();
-    let mut seed = None;
-    let mut workers = None;
+    let mut study_args = StudyArgs {
+        seed: None,
+        workers: None,
+        faults: FaultProfile::None,
+        retries: None,
+    };
     loop {
         match args.first().map(String::as_str) {
-            Some("seed") => {
+            Some("seed" | "--seed") => {
                 let Some(value) = args.get(1).and_then(|s| {
                     s.strip_prefix("0x")
                         .map(|h| u64::from_str_radix(h, 16).ok())
@@ -68,14 +90,28 @@ fn main() {
                 }) else {
                     usage();
                 };
-                seed = Some(value);
+                study_args.seed = Some(value);
                 args = &args[2..];
             }
             Some("--workers") => {
                 let Some(value) = args.get(1).and_then(|s| s.parse::<usize>().ok()) else {
                     usage();
                 };
-                workers = Some(value);
+                study_args.workers = Some(value);
+                args = &args[2..];
+            }
+            Some("--faults") => {
+                let Some(value) = args.get(1).and_then(|s| s.parse::<FaultProfile>().ok()) else {
+                    usage();
+                };
+                study_args.faults = value;
+                args = &args[2..];
+            }
+            Some("--retries") => {
+                let Some(value) = args.get(1).and_then(|s| s.parse::<u32>().ok()) else {
+                    usage();
+                };
+                study_args.retries = Some(value);
                 args = &args[2..];
             }
             _ => break,
@@ -84,7 +120,7 @@ fn main() {
     let Some(command) = args.first() else { usage() };
     match command.as_str() {
         "full" => {
-            let r = run_study(seed, workers);
+            let r = run_study(&study_args);
             print_tables(&r);
             println!("{}", table4::table(&r).render());
             println!(
@@ -103,16 +139,16 @@ fn main() {
             );
         }
         "tables" => {
-            let r = run_study(seed, workers);
+            let r = run_study(&study_args);
             print_tables(&r);
         }
         "browsers" => {
-            let r = run_study(seed, workers);
+            let r = run_study(&study_args);
             let results = browsers::evaluate_all(&r);
             println!("{}", browsers::table(&r, &results).render());
         }
         "blocklists" => {
-            let r = run_study(seed, workers);
+            let r = run_study(&study_args);
             println!("{}", table4::table(&r).render());
             println!(
                 "providers missed by the combined lists: {:?}",
@@ -120,7 +156,7 @@ fn main() {
             );
         }
         "ablations" => {
-            let r = run_study(seed, workers);
+            let r = run_study(&study_args);
             println!("chain-depth recall:");
             for d in ablations::chain_depth_recall(&r, 2) {
                 println!(
@@ -136,7 +172,7 @@ fn main() {
         }
         "crowdsource" => {
             let k: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
-            let r = run_study(seed, workers);
+            let r = run_study(&study_args);
             eprintln!("running {k} contributor crawls…");
             let personas = crowdsource::contributor_personas(k);
             let reports = crowdsource::run_contributors(&r.universe, &personas);
@@ -165,7 +201,7 @@ fn main() {
             }
         }
         "stats" => {
-            let r = run_study(seed, workers);
+            let r = run_study(&study_args);
             println!("{}", pii_suite::web::stats::compute(&r.universe).render());
         }
         "sweep" => {
@@ -192,7 +228,7 @@ fn main() {
             }
         }
         "counterfactual" => {
-            let r = run_study(seed, workers);
+            let r = run_study(&study_args);
             let strict = counterfactual::strict_referrer(&r);
             println!(
                 "strict-referrer enforcement: referer senders {} -> {}, total senders {} -> {}, receivers {} -> {}",
@@ -211,7 +247,7 @@ fn main() {
         }
         "export" => {
             let Some(dir) = args.get(1) else { usage() };
-            let r = run_study(seed, workers);
+            let r = run_study(&study_args);
             let dir = std::path::Path::new(dir);
             dataset::build(&r).write_to(dir).expect("write dataset");
             std::fs::write(

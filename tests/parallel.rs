@@ -37,6 +37,7 @@ fn parallel_equals_sequential() {
             parallel.third_party_requests
         );
         assert_eq!(sequential.total_requests, parallel.total_requests);
+        assert_eq!(sequential.skipped_records, parallel.skipped_records);
     }
 }
 
@@ -52,6 +53,10 @@ fn study_with_workers_matches_sequential_study() {
     assert_eq!(
         serial.report.third_party_requests,
         parallel.report.third_party_requests
+    );
+    assert_eq!(
+        serial.report.skipped_records,
+        parallel.report.skipped_records
     );
     assert_eq!(
         serial.tracking.confirmed().len(),

@@ -41,12 +41,15 @@ fn detector_survives_mangled_requests() {
         request: hostile,
         response: pii_suite::net::http::Response::ok(),
         blocked: None,
+        error: None,
     });
     let report = LeakDetector::new(&tokens, &psl, &universe.zones).detect(&dataset);
     // The three real senders are still found; the hostile record neither
-    // panics nor produces a false positive.
+    // panics nor produces a false positive, and its unparsable Referer is
+    // counted as a skipped record instead of being misattributed.
     assert_eq!(report.senders().len(), 3);
     assert!(!report.receivers().contains(&"evil.example"));
+    assert_eq!(report.skipped_records, 1);
 }
 
 #[test]
@@ -208,4 +211,42 @@ fn har_export_of_damaged_dataset_does_not_panic() {
     dataset.crawls[0].records.clear();
     let har = pii_suite::crawler::har::export_json(&dataset);
     assert!(har.contains("\"version\": \"1.2\""));
+}
+
+#[test]
+fn crawl_degrades_gracefully_under_the_fault_matrix_profile() {
+    // CI runs this test under PII_FAULT_PROFILE ∈ {none, paper-may-2021,
+    // hostile} (see `make fault-matrix`). Whatever the profile: the crawl
+    // finishes all 404 sites, is deterministic, and detection still runs.
+    use pii_suite::net::fault::FaultProfile;
+    let profile: FaultProfile = std::env::var("PII_FAULT_PROFILE")
+        .unwrap_or_else(|_| "none".into())
+        .parse()
+        .expect("valid PII_FAULT_PROFILE");
+    let universe = Universe::generate();
+    let psl = PublicSuffixList::embedded();
+    let plan = universe.fault_plan(profile);
+    let run = || {
+        let mut crawler = Crawler::new(&universe);
+        crawler.faults = plan.clone();
+        crawler.run(BrowserKind::Firefox88Vanilla)
+    };
+    let dataset = run();
+    let funnel = dataset.funnel();
+    assert_eq!(funnel.total, 404, "every site gets a crawl entry");
+    assert_eq!(funnel.quarantined, 0, "no profile injects panics");
+    // Deterministic under fault injection: a second run is identical.
+    assert_eq!(
+        serde_json::to_string(&dataset).unwrap(),
+        serde_json::to_string(&run()).unwrap()
+    );
+    // Detection still works on the (possibly degraded) capture.
+    let tokens = TokenSetBuilder::default().build(&universe.persona);
+    let report = LeakDetector::new(&tokens, &psl, &universe.zones).detect(&dataset);
+    if profile == FaultProfile::None {
+        assert_eq!(report.senders().len(), 130);
+    } else {
+        assert!(report.senders().len() <= 130);
+        assert!(!report.events.is_empty(), "degraded, not destroyed");
+    }
 }
