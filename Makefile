@@ -1,6 +1,6 @@
-.PHONY: ci build test clippy bench fmt-check fault-matrix
+.PHONY: ci build test clippy bench fmt-check fault-matrix telemetry-smoke
 
-ci: build test fault-matrix clippy
+ci: build test fault-matrix telemetry-smoke clippy
 
 build:
 	cargo build --release --workspace
@@ -14,6 +14,13 @@ fault-matrix:
 	for profile in none paper-may-2021 hostile; do \
 		PII_FAULT_PROFILE=$$profile cargo test -q --release --test robustness || exit 1; \
 	done
+
+# Two seeded runs with different worker counts must produce a well-formed
+# Chrome trace and identical seed-deterministic counters.
+telemetry-smoke:
+	cargo run --release -q -- --seed 7 --workers 4 --metrics --trace target/trace-a.json tables > /dev/null
+	cargo run --release -q -- --seed 7 --workers 2 --metrics --trace target/trace-b.json tables > /dev/null
+	cargo run --release -q --example validate_trace target/trace-a.json target/trace-b.json
 
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings

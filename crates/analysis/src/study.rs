@@ -66,18 +66,40 @@ impl Study {
 
     /// Run §3 (crawl) + §4.1 (detection) + §5.2 (tracking analysis).
     pub fn run(self) -> StudyResults {
-        let universe = Universe::generate_with(self.spec);
+        let universe = {
+            let _span = pii_telemetry::span("study.generate");
+            Universe::generate_with(self.spec)
+        };
+        pii_telemetry::gauge("study.sites", universe.sites.len() as i64);
+        pii_telemetry::gauge("study.workers", self.workers.max(1) as i64);
         let psl = PublicSuffixList::embedded();
         let mut crawler = Crawler::new(&universe);
         crawler.workers = self.workers.max(1);
         crawler.faults = universe.fault_plan(self.faults);
         crawler.retry = self.retry;
-        let dataset = crawler.run(self.capture_browser);
-        let tokens = self.tokens.build(&universe.persona);
-        let report = LeakDetector::new(&tokens, &psl, &universe.zones)
-            .detect_parallel(&dataset, self.workers.max(1));
-        let tracking = analyze(&report);
-        let degradation = crate::degradation::compute(&dataset, self.faults);
+        let dataset = {
+            let mut span = pii_telemetry::span("study.crawl");
+            span.add_arg("browser", self.capture_browser.name());
+            crawler.run(self.capture_browser)
+        };
+        let tokens = {
+            let _span = pii_telemetry::span("study.tokens");
+            self.tokens.build(&universe.persona)
+        };
+        pii_telemetry::gauge("study.tokens", tokens.len() as i64);
+        let report = {
+            let _span = pii_telemetry::span("study.detect");
+            LeakDetector::new(&tokens, &psl, &universe.zones)
+                .detect_parallel(&dataset, self.workers.max(1))
+        };
+        pii_telemetry::gauge("study.leak_events", report.events.len() as i64);
+        let (tracking, degradation) = {
+            let _span = pii_telemetry::span("study.analyze");
+            (
+                analyze(&report),
+                crate::degradation::compute(&dataset, self.faults),
+            )
+        };
         StudyResults {
             universe,
             psl,

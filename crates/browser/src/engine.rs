@@ -242,6 +242,9 @@ impl<'a> Browser<'a> {
         site: &Site,
         ctx: &PageContext,
     ) -> Result<Vec<FetchRecord>, PageError> {
+        let mut span = pii_telemetry::span("browser.page");
+        span.add_arg("site", &site.domain);
+        span.add_arg("path", &ctx.path);
         let mut out = Vec::new();
         let doc_url = ctx.document_url.clone();
 
@@ -280,6 +283,8 @@ impl<'a> Browser<'a> {
                 Ok(_) => plan.fault_for(&doc_url.host, &doc_url.path, self.fault_attempt),
             };
             if let Some(error) = fault {
+                pii_telemetry::counter("browser.page_aborts", 1);
+                span.add_arg("aborted", error.label());
                 let record = FetchRecord {
                     request: doc_req,
                     response: Response::new(error.http_status()),
@@ -357,6 +362,9 @@ impl<'a> Browser<'a> {
         for (_, script) in inline_iter {
             self.execute_inline_script(site, &doc_url, script);
         }
+        pii_telemetry::counter("browser.pages", 1);
+        pii_telemetry::counter("browser.records", out.len() as u64);
+        pii_telemetry::observe("browser.page_records", out.len() as u64);
         Ok(out)
     }
 
@@ -451,11 +459,13 @@ impl<'a> Browser<'a> {
         edge: Option<&LeakEdge>,
     ) -> FetchRecord {
         let host = req.url.host.clone();
+        pii_telemetry::counter("browser.requests", 1);
         let resolution = self.resolver.resolve(&host);
         let is_third_party = !self.psl.same_site(&host, &site.domain);
         // Brave Shields: drop tracker requests before they exist on the wire.
         if let Some(shields) = &self.profile.shields {
             if shields.blocks(self.psl, &host, &resolution.cname_chain) {
+                pii_telemetry::counter("browser.blocked", 1);
                 req.initiator = initiator.cloned();
                 return FetchRecord {
                     request: req,

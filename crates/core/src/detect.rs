@@ -125,6 +125,12 @@ pub struct LeakDetector<'a> {
     psl: &'a PublicSuffixList,
     zones: &'a ZoneStore,
     cloaking: CloakingDetector,
+    /// Test-only panic injection: detecting these sender domains panics the
+    /// worker, mirroring `DomainSchedule::Panic` on the crawl side. The
+    /// detector has no data-reachable crash, so the degradation path needs
+    /// an explicit seam; the field does not exist in production builds.
+    #[cfg(test)]
+    panic_domains: std::collections::HashSet<String>,
 }
 
 impl<'a> LeakDetector<'a> {
@@ -134,6 +140,8 @@ impl<'a> LeakDetector<'a> {
             psl,
             zones,
             cloaking: CloakingDetector::embedded(),
+            #[cfg(test)]
+            panic_domains: std::collections::HashSet::new(),
         }
     }
 
@@ -159,6 +167,11 @@ impl<'a> LeakDetector<'a> {
     ///
     /// The token set, PSL, and zone store are shared by reference across
     /// workers; nothing is cloned.
+    ///
+    /// A panicking worker does not abort the process: the panic is caught
+    /// per site, the site degrades into a fragment that only counts its
+    /// records as [`DetectionReport::skipped_records`] (mirroring the crawl
+    /// pool's quarantine), and the remaining shards complete normally.
     pub fn detect_parallel(&self, dataset: &CrawlDataset, workers: usize) -> DetectionReport {
         let crawls: Vec<&SiteCrawl> = dataset.completed().collect();
         if workers <= 1 || crawls.len() <= 1 {
@@ -167,31 +180,48 @@ impl<'a> LeakDetector<'a> {
         let fragments: parking_lot::Mutex<Vec<(usize, DetectionReport)>> =
             parking_lot::Mutex::new(Vec::with_capacity(crawls.len()));
         let next = std::sync::atomic::AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
+        // Every per-site panic is caught inside the worker loop, so the
+        // scope result carries no information; sites a lost worker never
+        // delivered surface through the gap-fill below instead.
+        let _ = crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|_| loop {
                     let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if index >= crawls.len() {
                         break;
                     }
-                    let mut fragment = DetectionReport::default();
-                    self.detect_site(crawls[index], &mut fragment);
+                    let fragment = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut fragment = DetectionReport::default();
+                        self.detect_site(crawls[index], &mut fragment);
+                        fragment
+                    }))
+                    .unwrap_or_else(|_| skipped_site(crawls[index]));
                     fragments.lock().push((index, fragment));
                 });
             }
-        })
-        .expect("detect worker panicked");
-        let mut fragments = fragments.into_inner();
-        fragments.sort_by_key(|(index, _)| *index);
+        });
+        let mut by_index: Vec<Option<DetectionReport>> = crawls.iter().map(|_| None).collect();
+        for (index, fragment) in fragments.into_inner() {
+            if index < by_index.len() {
+                by_index[index] = Some(fragment);
+            }
+        }
         let mut report = DetectionReport::default();
-        for (_, fragment) in fragments {
-            report.merge(fragment);
+        for (index, slot) in by_index.into_iter().enumerate() {
+            report.merge(slot.unwrap_or_else(|| skipped_site(crawls[index])));
         }
         report
     }
 
     /// Run detection over one site's capture.
     pub fn detect_site(&self, crawl: &SiteCrawl, report: &mut DetectionReport) {
+        #[cfg(test)]
+        if self.panic_domains.contains(&crawl.domain) {
+            panic!("injected detect panic on {}", crawl.domain);
+        }
+        let mut span = pii_telemetry::span("detect.site");
+        span.add_arg("site", &crawl.domain);
+        let events_before = report.events.len();
         for (index, record) in crawl.records.iter().enumerate() {
             if !record.delivered() {
                 // Transport-aborted attempts carry no payload worth
@@ -199,16 +229,19 @@ impl<'a> LeakDetector<'a> {
                 // the §7.1 tables instead.
                 if record.error.is_some() {
                     report.skipped_records += 1;
+                    pii_telemetry::counter("detect.skipped_records", 1);
                 }
                 continue;
             }
             report.total_requests += 1;
+            pii_telemetry::counter("detect.requests", 1);
             let request = &record.request;
             // A Referer header that is present but unparseable means the
             // record is mangled: page attribution is impossible, so skip it
             // visibly rather than misfiling hits under "/".
             if request.headers.get("Referer").is_some() && request.referer().is_none() {
                 report.skipped_records += 1;
+                pii_telemetry::counter("detect.skipped_records", 1);
                 continue;
             }
             let host = &request.url.host;
@@ -231,12 +264,15 @@ impl<'a> LeakDetector<'a> {
                 }
             };
             report.third_party_requests += 1;
+            pii_telemetry::counter("detect.third_party", 1);
             let page_path = request
                 .referer()
                 .map(|r| r.path.clone())
                 .unwrap_or_else(|| "/".to_string());
             let mut emit = |method: LeakMethod, param: &str, token: &str| {
+                pii_telemetry::counter("detect.bytes_scanned", token.len() as u64);
                 if let Some(info) = self.tokens.lookup_normalized(token) {
+                    pii_telemetry::counter(leak_counter(method), 1);
                     report.events.push(LeakEvent {
                         sender: crawl.domain.clone(),
                         receiver_domain: receiver_domain.clone(),
@@ -265,9 +301,19 @@ impl<'a> LeakDetector<'a> {
                     emit(LeakMethod::Uri, &key, &String::from_utf8_lossy(&again));
                 }
             }
+            // Path segments are matched percent-decoded — `/track/foo%40x.com`
+            // carries the same leak as its query-value form — with the same
+            // one-extra-round rule for double-encoded segments as above.
             for segment in request.url.path.split('/') {
-                if !segment.is_empty() {
-                    emit(LeakMethod::Uri, "", segment);
+                if segment.is_empty() {
+                    continue;
+                }
+                let decoded = pii_encodings::percent::decode_lossy(segment);
+                let decoded = String::from_utf8_lossy(&decoded).into_owned();
+                emit(LeakMethod::Uri, "", &decoded);
+                if decoded.contains('%') {
+                    let again = pii_encodings::percent::decode_lossy(&decoded);
+                    emit(LeakMethod::Uri, "", &String::from_utf8_lossy(&again));
                 }
             }
 
@@ -290,14 +336,54 @@ impl<'a> LeakDetector<'a> {
             }
 
             // Channel 4: payload body — form-encoded pairs, else raw tokens.
+            // Pairs follow the `query_pairs` convention: a bare fragment is
+            // `(fragment, "")`, and parameter *names* are form-decoded so
+            // `user%5Femail` and `user_email` aggregate as one Table 1
+            // parameter. A bare fragment is additionally scanned as a value,
+            // since beacon bodies are sometimes just the token itself.
             if let Some(body) = request.body_text() {
                 for pair in body.split('&') {
-                    let (key, value) = pair.split_once('=').unwrap_or(("", pair));
-                    let decoded = pii_encodings::percent::decode_form_lossy(value);
-                    emit(LeakMethod::Payload, key, &String::from_utf8_lossy(&decoded));
+                    match pair.split_once('=') {
+                        Some((key, value)) => {
+                            let key = pii_encodings::percent::decode_form_lossy(key);
+                            let value = pii_encodings::percent::decode_form_lossy(value);
+                            emit(
+                                LeakMethod::Payload,
+                                &String::from_utf8_lossy(&key),
+                                &String::from_utf8_lossy(&value),
+                            );
+                        }
+                        None => {
+                            let token = pii_encodings::percent::decode_form_lossy(pair);
+                            emit(LeakMethod::Payload, "", &String::from_utf8_lossy(&token));
+                        }
+                    }
                 }
             }
         }
+        if pii_telemetry::enabled() {
+            span.add_arg("events", &(report.events.len() - events_before).to_string());
+        }
+    }
+}
+
+/// Per-method leak counter names (static so the hot path never allocates).
+fn leak_counter(method: LeakMethod) -> &'static str {
+    match method {
+        LeakMethod::Uri => "detect.leaks.uri",
+        LeakMethod::Referer => "detect.leaks.referer",
+        LeakMethod::Cookie => "detect.leaks.cookie",
+        LeakMethod::Payload => "detect.leaks.payload",
+    }
+}
+
+/// Degraded fragment for a site whose detect worker panicked: every record
+/// of the site is counted as skipped, nothing else is claimed about it.
+fn skipped_site(crawl: &SiteCrawl) -> DetectionReport {
+    pii_telemetry::counter("detect.sites_quarantined", 1);
+    DetectionReport {
+        skipped_records: crawl.records.len(),
+        ..DetectionReport::default()
     }
 }
 
@@ -458,6 +544,126 @@ mod tests {
         a.merge(b);
         assert_eq!(a.skipped_records, 5);
         assert_eq!(a.total_requests, 7);
+    }
+
+    /// One completed single-record crawl for a synthetic third-party request.
+    fn single_record_crawl(sender: &str, request: pii_net::Request) -> SiteCrawl {
+        SiteCrawl {
+            domain: sender.to_string(),
+            outcome: pii_crawler::CrawlOutcome::Completed {
+                email_confirmed: true,
+                bot_detection_passed: true,
+            },
+            records: vec![pii_browser::engine::FetchRecord {
+                request,
+                response: pii_net::Response::ok(),
+                blocked: None,
+                error: None,
+            }],
+            stored_cookies: Vec::new(),
+            resilience: None,
+        }
+    }
+
+    #[test]
+    fn path_segment_leaks_are_percent_decoded() {
+        let w = world();
+        let detector = LeakDetector::new(&w.tokens, &w.psl, &w.universe.zones);
+        let sender = w.universe.sender_sites().next().unwrap().domain.clone();
+        // Singly and doubly percent-encoded plaintext-email path segments
+        // must both resolve to the same leak as the query-value form.
+        for path in ["/track/foo%40mydom.com/pixel", "/track/foo%2540mydom.com/pixel"] {
+            let url = pii_net::Url::parse(&format!("https://facebook.com{path}")).unwrap();
+            let request =
+                pii_net::Request::new(pii_net::Method::Get, url, pii_net::http::ResourceKind::Image);
+            let mut report = DetectionReport::default();
+            detector.detect_site(&single_record_crawl(&sender, request), &mut report);
+            let hit = report
+                .events
+                .iter()
+                .find(|e| e.method == LeakMethod::Uri && e.param.is_empty())
+                .unwrap_or_else(|| panic!("no path-segment event for {path}"));
+            assert_eq!(hit.pii, PiiKind::Email);
+            assert_eq!(hit.bucket, "plaintext");
+            assert_eq!(hit.receiver_domain, "facebook.com");
+        }
+    }
+
+    #[test]
+    fn payload_keys_are_decoded_and_bare_fragments_follow_query_pairs_convention() {
+        let w = world();
+        let detector = LeakDetector::new(&w.tokens, &w.psl, &w.universe.zones);
+        let sender = w.universe.sender_sites().next().unwrap().domain.clone();
+        // An encoded parameter name plus a bare token fragment: the name
+        // must aggregate as `user_email`, and the bare fragment must be
+        // scanned as a value under an empty parameter — not the other way
+        // round (the old code inverted the `query_pairs` convention and
+        // never decoded names).
+        let body = "user%5Femail=foo%40mydom.com&foo%40mydom.com";
+        let url = pii_net::Url::parse("https://facebook.com/beacon").unwrap();
+        let request =
+            pii_net::Request::new(pii_net::Method::Post, url, pii_net::http::ResourceKind::Xhr)
+                .with_body(body.as_bytes().to_vec());
+        let mut report = DetectionReport::default();
+        detector.detect_site(&single_record_crawl(&sender, request), &mut report);
+        let payload: Vec<&LeakEvent> = report
+            .events
+            .iter()
+            .filter(|e| e.method == LeakMethod::Payload)
+            .collect();
+        assert!(
+            payload.iter().any(|e| e.param == "user_email"),
+            "encoded parameter name was not form-decoded: {payload:?}"
+        );
+        assert!(
+            !payload.iter().any(|e| e.param.contains('%')),
+            "raw encoded parameter name leaked into the aggregate: {payload:?}"
+        );
+        assert!(
+            payload
+                .iter()
+                .any(|e| e.param.is_empty() && e.pii == PiiKind::Email),
+            "bare payload fragment was not scanned as a value: {payload:?}"
+        );
+    }
+
+    #[test]
+    fn panicking_detect_worker_degrades_to_skipped_records() {
+        let w = world();
+        let mut detector = LeakDetector::new(&w.tokens, &w.psl, &w.universe.zones);
+        let baseline = detector.detect_parallel(&w.dataset, 4);
+        let victim = w
+            .dataset
+            .completed()
+            .find(|c| !c.records.is_empty())
+            .map(|c| c.domain.clone())
+            .unwrap();
+        let victim_records = w.dataset.site(&victim).unwrap().records.len();
+        // The victim's own faultless contribution to the skipped counter.
+        let mut victim_only = DetectionReport::default();
+        detector.detect_site(w.dataset.site(&victim).unwrap(), &mut victim_only);
+
+        detector.panic_domains.insert(victim.clone());
+        let degraded = detector.detect_parallel(&w.dataset, 4);
+
+        // The pass finishes; the victim degrades into skipped records while
+        // every other site's events survive byte-identically.
+        assert_eq!(
+            degraded.skipped_records,
+            baseline.skipped_records - victim_only.skipped_records + victim_records
+        );
+        assert_eq!(
+            degraded.total_requests,
+            baseline.total_requests - victim_only.total_requests
+        );
+        assert!(!degraded.senders().contains(&victim.as_str()));
+        let expected: Vec<LeakEvent> = baseline
+            .events
+            .iter()
+            .filter(|e| e.sender != victim)
+            .cloned()
+            .collect();
+        assert_eq!(degraded.events, expected);
     }
 
     #[test]

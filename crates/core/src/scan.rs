@@ -298,4 +298,56 @@ mod tests {
         assert_eq!(matches.len(), 1);
         assert_eq!(matches[0].pattern, 250);
     }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Differential: the automaton equals the naive scanner on fully
+        /// binary patterns and haystacks — no UTF-8 bias, duplicates and
+        /// cross-pattern overlaps allowed.
+        #[test]
+        fn find_all_matches_naive_on_binary_bytes(
+            patterns in proptest::collection::vec(
+                proptest::collection::vec(any::<u8>(), 1..5),
+                1..8,
+            ),
+            haystack in proptest::collection::vec(any::<u8>(), 0..128),
+        ) {
+            let ac = AhoCorasick::new(&patterns).unwrap();
+            let pat_bytes: Vec<&[u8]> = patterns.iter().map(|p| p.as_slice()).collect();
+            let mut fast = ac.find_all(&haystack);
+            let mut slow = naive_find_all(&pat_bytes, &haystack);
+            fast.sort_by_key(|m| (m.pattern, m.start));
+            slow.sort_by_key(|m| (m.pattern, m.start));
+            prop_assert_eq!(&fast, &slow);
+            prop_assert_eq!(ac.is_match(&haystack), !fast.is_empty());
+        }
+
+        /// Differential on the real workload's shape: hex digests sharing a
+        /// common prefix (deep fail-link chains in the trie), with the
+        /// haystack spliced from the patterns themselves so matches — and
+        /// near-miss prefixes — actually occur.
+        #[test]
+        fn find_all_matches_naive_on_shared_prefix_digests(
+            prefix in "[0-9a-f]{6}",
+            suffixes in proptest::collection::vec("[0-9a-f]{1,10}", 1..8),
+            picks in proptest::collection::vec(any::<u8>(), 0..5),
+            glue in "[g-z=&]{0,4}",
+        ) {
+            let patterns: Vec<String> =
+                suffixes.iter().map(|s| format!("{prefix}{s}")).collect();
+            let mut haystack = prefix.clone(); // a bare prefix: near-miss
+            for pick in &picks {
+                haystack.push_str(&glue);
+                haystack.push_str(&patterns[*pick as usize % patterns.len()]);
+            }
+            let ac = AhoCorasick::new(&patterns).unwrap();
+            let pat_bytes: Vec<&[u8]> = patterns.iter().map(|p| p.as_bytes()).collect();
+            let mut fast = ac.find_all(haystack.as_bytes());
+            let mut slow = naive_find_all(&pat_bytes, haystack.as_bytes());
+            fast.sort_by_key(|m| (m.pattern, m.start));
+            slow.sort_by_key(|m| (m.pattern, m.start));
+            prop_assert_eq!(fast, slow);
+        }
+    }
 }

@@ -108,14 +108,36 @@ impl<'a> Crawler<'a> {
                             }
                         };
                         let attempt = {
+                            let mut span = pii_telemetry::span("crawl.site");
+                            span.add_arg("site", &sites[index].domain);
                             let browser = &mut browser;
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-                                crawl_one(browser, sites[index], plan, &self.retry)
-                            }))
+                            let attempt =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                                    crawl_one(browser, sites[index], plan, &self.retry)
+                                }));
+                            if let Ok(crawl) = &attempt {
+                                if let Some(res) = &crawl.resilience {
+                                    span.set_virtual_ms(res.virtual_ms);
+                                }
+                            }
+                            attempt
                         };
                         match attempt {
-                            Ok(crawl) => results.lock().push((index, crawl)),
+                            Ok(crawl) => {
+                                pii_telemetry::counter("crawler.sites", 1);
+                                // Per-worker site claims are a scheduling
+                                // artifact, not a seed artifact; the name is
+                                // dynamic, so skip even the format when off.
+                                if pii_telemetry::enabled() {
+                                    pii_telemetry::counter(
+                                        &format!("crawler.worker.{worker_id}.sites"),
+                                        1,
+                                    );
+                                }
+                                results.lock().push((index, crawl));
+                            }
                             Err(payload) => {
+                                pii_telemetry::counter("crawler.panics", 1);
                                 // State of an unwound browser is suspect:
                                 // rebuild before the next site.
                                 browser = self.fresh_browser(profile, plan);
@@ -191,6 +213,7 @@ fn crawl_one(
 
 /// A site the pool gave up on after repeated worker panics.
 fn quarantined(site: &Site, reason: String) -> SiteCrawl {
+    pii_telemetry::counter("crawler.quarantined", 1);
     SiteCrawl {
         domain: site.domain.clone(),
         outcome: CrawlOutcome::Quarantined(reason),
@@ -342,6 +365,7 @@ impl PageRun<'_> {
                 Ok(mut records) => {
                     if attempt > 1 {
                         self.resilience.rescued = true;
+                        pii_telemetry::counter("crawler.rescued_pages", 1);
                     }
                     self.records.append(&mut records);
                     return Ok(());
@@ -365,6 +389,8 @@ impl PageRun<'_> {
                     }
                     self.clock.advance(delay);
                     self.resilience.retries += 1;
+                    pii_telemetry::counter("crawler.retries", 1);
+                    pii_telemetry::observe("crawler.backoff_ms", delay);
                     attempt += 1;
                 }
             }

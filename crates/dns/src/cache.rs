@@ -51,14 +51,21 @@ impl<'a> CachingResolver<'a> {
     }
 
     /// Resolve `name`, consulting the cache first.
+    ///
+    /// Telemetry note: `dns.queries` and `dns.aliased` are seed-deterministic,
+    /// but `dns.cache_hits` is not — each crawl worker's resolver cache
+    /// persists across whichever sites that worker happens to claim, so the
+    /// hit pattern depends on scheduling (`pii_telemetry::is_scheduling_dependent`).
     pub fn resolve(&self, name: &str) -> Resolution {
         let key = name.to_ascii_lowercase();
+        pii_telemetry::counter("dns.queries", 1);
         {
             let cache = self.cache.lock();
             if let Some(hit) = cache.get(&key) {
                 let mut stats = self.stats.lock();
                 stats.queries += 1;
                 stats.cache_hits += 1;
+                pii_telemetry::counter("dns.cache_hits", 1);
                 return hit.clone();
             }
         }
@@ -67,6 +74,7 @@ impl<'a> CachingResolver<'a> {
         stats.queries += 1;
         if resolution.is_aliased() {
             stats.aliased += 1;
+            pii_telemetry::counter("dns.aliased", 1);
         }
         drop(stats);
         self.cache.lock().insert(key, resolution.clone());

@@ -226,9 +226,11 @@ impl FaultPlan {
     }
 
     /// The fault (if any) a fetch of `path` on `host` hits on the given
-    /// 1-based attempt. Pure: same inputs, same answer.
+    /// 1-based attempt. Pure: same inputs, same answer. Delivered faults
+    /// tally into telemetry (the transport's callers always act on a
+    /// `Some`, so counting here counts faults actually observed).
     pub fn fault_for(&self, host: &str, path: &str, attempt: u32) -> Option<FetchError> {
-        match self.schedule_for(host)? {
+        let fault = match self.schedule_for(host)? {
             DomainSchedule::Dead(error) => Some(error.clone()),
             DomainSchedule::BotWall {
                 status,
@@ -240,20 +242,30 @@ impl FaultPlan {
                 (attempt <= *failures).then(|| error.clone())
             }
             DomainSchedule::Panic => None,
+        };
+        if let Some(error) = &fault {
+            tally_fault(error);
         }
+        fault
     }
 
     /// The DNS-level fault (if any) resolving `host` hits on the given
     /// attempt. Only schedules whose error is DNS-shaped fail resolution;
-    /// everything else fails later, at the connection.
+    /// everything else fails later, at the connection. The transport gate
+    /// consults this *instead of* (never in addition to) [`Self::fault_for`]
+    /// for a failing resolution, so each fault is tallied exactly once.
     pub fn dns_fault_for(&self, host: &str, attempt: u32) -> Option<FetchError> {
-        match self.schedule_for(host)? {
+        let fault = match self.schedule_for(host)? {
             DomainSchedule::Dead(error) if error.is_dns() => Some(error.clone()),
             DomainSchedule::Flaky { error, failures } if error.is_dns() => {
                 (attempt <= *failures).then(|| error.clone())
             }
             _ => None,
+        };
+        if let Some(error) = &fault {
+            tally_fault(error);
         }
+        fault
     }
 
     /// True when fetching `host` is scheduled to crash the worker.
@@ -269,6 +281,21 @@ impl FaultPlan {
         }
         det_hash(self.seed, domain, 0xba0f ^ u64::from(attempt)) % cap
     }
+}
+
+/// Count one delivered transport fault: the aggregate plus a per-kind
+/// counter (static names — the disabled path stays allocation-free).
+fn tally_fault(error: &FetchError) {
+    pii_telemetry::counter("net.fault.observed", 1);
+    let name = match error {
+        FetchError::DnsFailure => "net.fault.dns-failure",
+        FetchError::ConnectTimeout => "net.fault.connect-timeout",
+        FetchError::Reset => "net.fault.reset",
+        FetchError::Http5xx(_) => "net.fault.http-5xx",
+        FetchError::TruncatedBody => "net.fault.truncated-body",
+        FetchError::SlowResponse => "net.fault.slow-response",
+    };
+    pii_telemetry::counter(name, 1);
 }
 
 /// Deterministic 64-bit hash of `(seed, key, salt)`: an FNV-style byte mix

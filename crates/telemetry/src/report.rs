@@ -1,0 +1,110 @@
+//! The human-readable run report behind `--metrics`.
+//!
+//! Counters, gauges and histograms print verbatim (their values are
+//! deterministic under a fixed seed); spans are aggregated per name with
+//! both wall-clock and virtual-time totals, because individual span timings
+//! vary run to run while their *counts* do not.
+
+use crate::Snapshot;
+use std::collections::BTreeMap;
+
+/// Render the run report.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::from("== telemetry run report ==\n");
+
+    if !snapshot.counters.is_empty() {
+        out.push_str("\ncounters:\n");
+        for (name, value) in &snapshot.counters {
+            out.push_str(&format!("  {name:<34} {value:>12}\n"));
+        }
+    }
+
+    if !snapshot.gauges.is_empty() {
+        out.push_str("\ngauges:\n");
+        for (name, value) in &snapshot.gauges {
+            out.push_str(&format!("  {name:<34} {value:>12}\n"));
+        }
+    }
+
+    if !snapshot.histograms.is_empty() {
+        out.push_str("\nhistograms:                            count      min     mean      max\n");
+        for (name, h) in &snapshot.histograms {
+            out.push_str(&format!(
+                "  {name:<34} {:>7} {:>8} {:>8.1} {:>8}\n",
+                h.count,
+                h.min,
+                h.mean(),
+                h.max
+            ));
+        }
+    }
+
+    // Aggregate spans by name: count, wall-time total, virtual-time total.
+    let mut by_name: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+    for span in &snapshot.spans {
+        let entry = by_name.entry(span.name.as_str()).or_insert((0, 0, 0));
+        entry.0 += 1;
+        entry.1 = entry.1.saturating_add(span.dur_us);
+        entry.2 = entry.2.saturating_add(span.virtual_ms.unwrap_or(0));
+    }
+    if !by_name.is_empty() {
+        out.push_str("\nspans:                                 count  wall ms   virt ms\n");
+        for (name, (count, wall_us, virtual_ms)) in by_name {
+            out.push_str(&format!(
+                "  {name:<34} {count:>7} {:>8.1} {virtual_ms:>9}\n",
+                wall_us as f64 / 1000.0
+            ));
+        }
+    }
+
+    if snapshot.counters.is_empty()
+        && snapshot.gauges.is_empty()
+        && snapshot.histograms.is_empty()
+        && snapshot.spans.is_empty()
+    {
+        out.push_str("(nothing recorded — was telemetry enabled?)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Collector, SpanRecord};
+
+    #[test]
+    fn report_renders_every_section() {
+        let c = Collector::new();
+        c.enable();
+        c.counter("browser.pages", 2384);
+        c.gauge("study.sites", 404);
+        c.observe("crawler.backoff_ms", 250);
+        c.observe("crawler.backoff_ms", 500);
+        for _ in 0..3 {
+            c.record_span(SpanRecord {
+                name: "crawl.site".into(),
+                start_us: 0,
+                dur_us: 1500,
+                tid: 1,
+                virtual_ms: Some(100),
+                args: Vec::new(),
+            });
+        }
+        let text = render(&c.snapshot());
+        assert!(text.contains("counters:"));
+        assert!(text.contains("browser.pages"));
+        assert!(text.contains("2384"));
+        assert!(text.contains("gauges:"));
+        assert!(text.contains("histograms:"));
+        assert!(text.contains("spans:"));
+        // 3 spans × 1500 µs = 4.5 wall ms, 300 virtual ms.
+        assert!(text.contains("4.5"));
+        assert!(text.contains("300"));
+    }
+
+    #[test]
+    fn empty_snapshot_says_so() {
+        let text = render(&crate::Snapshot::default());
+        assert!(text.contains("nothing recorded"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Produces the JSON-object flavour of the [trace-event format] that
+//! Perfetto and `chrome://tracing` load directly: spans become complete
+//! (`"ph":"X"`) events with microsecond timestamps, metrics become counter
+//! (`"ph":"C"`) events. Serialisation is hand-rolled — the format is flat
+//! enough that a tiny escaper keeps this crate dependency-free.
+//!
+//! [trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::Snapshot;
+
+/// Render a snapshot as a complete Chrome trace-event JSON document.
+pub fn chrome_trace_json(snapshot: &Snapshot) -> String {
+    let mut events: Vec<String> = Vec::new();
+    events.push(
+        r#"{"name":"process_name","ph":"M","pid":1,"tid":0,"ts":0,"args":{"name":"pii-study"}}"#
+            .to_string(),
+    );
+    for span in &snapshot.spans {
+        let mut args: Vec<String> = span
+            .args
+            .iter()
+            .map(|(k, v)| format!("{}:{}", json_string(k), json_string(v)))
+            .collect();
+        if let Some(vms) = span.virtual_ms {
+            args.push(format!("\"virtual_ms\":{vms}"));
+        }
+        events.push(format!(
+            "{{\"name\":{},\"cat\":\"pii\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+            json_string(&span.name),
+            span.start_us,
+            span.dur_us,
+            span.tid,
+            args.join(",")
+        ));
+    }
+    for (name, value) in &snapshot.counters {
+        events.push(counter_event(name, &format!("{{\"value\":{value}}}")));
+    }
+    for (name, value) in &snapshot.gauges {
+        events.push(counter_event(name, &format!("{{\"value\":{value}}}")));
+    }
+    for (name, h) in &snapshot.histograms {
+        events.push(counter_event(
+            name,
+            &format!(
+                "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                h.count, h.sum, h.min, h.max
+            ),
+        ));
+    }
+    format!(
+        "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+        events.join(",")
+    )
+}
+
+fn counter_event(name: &str, args: &str) -> String {
+    format!(
+        "{{\"name\":{},\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{}}}",
+        json_string(name),
+        args
+    )
+}
+
+/// Minimal JSON string serialisation (quotes, escapes, control chars).
+pub(crate) fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Collector, SpanRecord};
+
+    #[test]
+    fn json_strings_escape_quotes_backslashes_and_controls() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\nb"), "\"a\\u000ab\"");
+        assert_eq!(json_string("héllo"), "\"héllo\"");
+    }
+
+    #[test]
+    fn trace_contains_spans_counters_and_metadata() {
+        let c = Collector::new();
+        c.enable();
+        c.counter("detect.leaks", 42);
+        c.gauge("study.sites", 404);
+        c.observe("crawler.backoff_ms", 250);
+        c.record_span(SpanRecord {
+            name: "crawl.site".into(),
+            start_us: 10,
+            dur_us: 500,
+            tid: 2,
+            virtual_ms: Some(750),
+            args: vec![("domain".into(), "shop.example".into())],
+        });
+        let json = chrome_trace_json(&c.snapshot());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(json.contains("\"name\":\"crawl.site\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"virtual_ms\":750"));
+        assert!(json.contains("\"domain\":\"shop.example\""));
+        assert!(json.contains("\"name\":\"detect.leaks\""));
+        assert!(json.contains("\"value\":42"));
+        assert!(json.contains("\"count\":1,\"sum\":250"));
+        // Balanced braces/brackets — a cheap well-formedness smoke check
+        // (the integration suite parses it with a real JSON parser).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_snapshot_is_still_a_valid_document() {
+        let json = chrome_trace_json(&crate::Snapshot::default());
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+    }
+}

@@ -31,6 +31,7 @@ pub use pii_dns as dns;
 pub use pii_encodings as encodings;
 pub use pii_hashes as hashes;
 pub use pii_net as net;
+pub use pii_telemetry as telemetry;
 pub use pii_web as web;
 
 /// The names most programs need.

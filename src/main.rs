@@ -12,6 +12,8 @@
 //! pii-study --workers <n> <subcommand> size of the crawl/detect worker pool
 //! pii-study --faults <profile> <cmd>   inject transport faults (none|paper-may-2021|hostile)
 //! pii-study --retries <n> <cmd>        max page-load attempts for the fault-injected crawl
+//! pii-study --metrics <cmd>            print the telemetry run report after the command
+//! pii-study --trace <out.json> <cmd>   write a Chrome trace-event file (Perfetto-loadable)
 //! ```
 
 use pii_suite::analysis::{
@@ -24,7 +26,7 @@ use pii_suite::web::UniverseSpec;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pii-study [seed|--seed <u64>] [--workers <n>] [--faults <none|paper-may-2021|hostile>] [--retries <n>] <full|tables|stats|sweep [N]|browsers|blocklists|ablations|counterfactual|crowdsource [K]|export <dir>>"
+        "usage: pii-study [seed|--seed <u64>] [--workers <n>] [--faults <none|paper-may-2021|hostile>] [--retries <n>] [--metrics] [--trace <out.json>] <full|tables|stats|sweep [N]|browsers|blocklists|ablations|counterfactual|crowdsource [K]|export <dir>>"
     );
     std::process::exit(2);
 }
@@ -34,6 +36,10 @@ struct StudyArgs {
     workers: Option<usize>,
     faults: FaultProfile,
     retries: Option<u32>,
+    /// Print the telemetry run report after the command.
+    metrics: bool,
+    /// Write a Chrome trace-event JSON file after the command.
+    trace: Option<String>,
 }
 
 fn run_study(args: &StudyArgs) -> StudyResults {
@@ -79,6 +85,8 @@ fn main() {
         workers: None,
         faults: FaultProfile::None,
         retries: None,
+        metrics: false,
+        trace: None,
     };
     loop {
         match args.first().map(String::as_str) {
@@ -114,8 +122,22 @@ fn main() {
                 study_args.retries = Some(value);
                 args = &args[2..];
             }
+            Some("--metrics") => {
+                study_args.metrics = true;
+                args = &args[1..];
+            }
+            Some("--trace") => {
+                let Some(path) = args.get(1) else { usage() };
+                study_args.trace = Some(path.clone());
+                args = &args[2..];
+            }
             _ => break,
         }
+    }
+    // Telemetry stays strictly pass-through unless asked for: the global
+    // collector is never even initialised without one of these flags.
+    if study_args.metrics || study_args.trace.is_some() {
+        pii_suite::telemetry::enable();
     }
     let Some(command) = args.first() else { usage() };
     match command.as_str() {
@@ -296,5 +318,16 @@ fn main() {
             );
         }
         _ => usage(),
+    }
+    if study_args.metrics || study_args.trace.is_some() {
+        let snapshot = pii_suite::telemetry::snapshot();
+        if study_args.metrics {
+            println!("{}", pii_suite::telemetry::report::render(&snapshot));
+        }
+        if let Some(path) = &study_args.trace {
+            let json = pii_suite::telemetry::trace::chrome_trace_json(&snapshot);
+            std::fs::write(path, json).expect("write trace");
+            eprintln!("wrote Chrome trace to {path} (load in Perfetto or chrome://tracing)");
+        }
     }
 }

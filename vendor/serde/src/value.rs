@@ -85,6 +85,16 @@ impl<'de> crate::de::Deserializer<'de> for ValueDeserializer {
     }
 }
 
+/// `Value` deserializes from any deserializer as the parsed tree itself —
+/// the identity, mirroring `serde_json::Value`'s self-describing behaviour.
+/// Lets callers inspect arbitrary JSON (`from_str::<Value>`) without a
+/// schema, e.g. to validate exporter output.
+impl<'de> crate::de::Deserialize<'de> for Value {
+    fn deserialize<D: crate::de::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.take_value()
+    }
+}
+
 /// Remove and return the entry for `key` from an object's entry list, or
 /// `Value::Null` if absent (missing optional fields deserialize to `None`).
 /// Used by derived `Deserialize` impls.
