@@ -1,6 +1,6 @@
-.PHONY: ci build test clippy bench fmt-check fault-matrix telemetry-smoke
+.PHONY: ci build test clippy bench fmt-check fault-matrix telemetry-smoke store-smoke
 
-ci: build test fault-matrix telemetry-smoke clippy
+ci: build test fault-matrix telemetry-smoke store-smoke clippy fmt-check
 
 build:
 	cargo build --release --workspace
@@ -21,6 +21,19 @@ telemetry-smoke:
 	cargo run --release -q -- --seed 7 --workers 4 --metrics --trace target/trace-a.json tables > /dev/null
 	cargo run --release -q -- --seed 7 --workers 2 --metrics --trace target/trace-b.json tables > /dev/null
 	cargo run --release -q --example validate_trace target/trace-a.json target/trace-b.json
+
+# Capture-once/analyze-many: a seeded crawl persisted to an archive must
+# replay byte-identically to the live pipeline, and a deliberately damaged
+# copy must replay with the loss reported instead of crashing.
+store-smoke:
+	cargo run --release -q -- --seed 7 crawl --out target/smoke.store > /dev/null
+	cargo run --release -q -- --seed 7 tables > target/smoke-live.txt
+	cargo run --release -q -- --from target/smoke.store tables > target/smoke-replay.txt
+	cmp target/smoke-live.txt target/smoke-replay.txt
+	cargo run --release -q --example corrupt_store target/smoke.store target/smoke-corrupt.store
+	cargo run --release -q -- --from target/smoke-corrupt.store tables > target/smoke-corrupt.txt
+	grep -q "archive segments skipped" target/smoke-corrupt.txt
+	! cmp -s target/smoke-live.txt target/smoke-corrupt.txt
 
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings

@@ -32,6 +32,21 @@ pub struct Degradation {
     pub quarantined: Vec<(String, String)>,
     /// Largest virtual-time budget any single site consumed (ms).
     pub max_site_virtual_ms: u64,
+    /// Archive segments a replay had to skip (corrupt or truncated), as
+    /// `(site or offset, reason)`. Empty for live crawls and for clean
+    /// replays — which is what keeps a clean replay byte-identical to the
+    /// live run.
+    pub archive_skipped: Vec<(String, String)>,
+    /// `(verified, indexed)` archive segments when replaying from a store.
+    pub archive_segments: Option<(usize, usize)>,
+}
+
+impl Degradation {
+    /// True when there is anything to show: an active fault profile, or
+    /// archive damage found during replay.
+    pub fn should_render(&self) -> bool {
+        self.profile != FaultProfile::None || !self.archive_skipped.is_empty()
+    }
 }
 
 /// Compute the degradation report for a crawl.
@@ -73,6 +88,8 @@ pub fn compute(dataset: &CrawlDataset, profile: FaultProfile) -> Degradation {
         error_counts: errors.into_iter().collect(),
         quarantined,
         max_site_virtual_ms,
+        archive_skipped: Vec::new(),
+        archive_segments: None,
     }
 }
 
@@ -124,6 +141,23 @@ pub fn table(d: &Degradation) -> Table {
     }
     for (domain, reason) in &d.quarantined {
         t.row(&[format!("quarantined {domain}"), reason.clone()]);
+    }
+    // Archive-replay damage: only present when segments were actually
+    // skipped, so a clean replay renders the same table as a live run.
+    if !d.archive_skipped.is_empty() {
+        if let Some((verified, total)) = d.archive_segments {
+            t.row(&[
+                "archive segments verified".to_string(),
+                format!("{verified}/{total}"),
+            ]);
+        }
+        t.row(&[
+            "archive segments skipped".to_string(),
+            d.archive_skipped.len().to_string(),
+        ]);
+        for (what, reason) in &d.archive_skipped {
+            t.row(&[format!("archive segment {what}"), reason.clone()]);
+        }
     }
     t
 }

@@ -37,4 +37,4 @@ pub mod table3;
 pub mod table4;
 
 pub use report::{Comparison, Table};
-pub use study::{Study, StudyResults};
+pub use study::{CaptureSource, Study, StudyResults};

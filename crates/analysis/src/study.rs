@@ -13,7 +13,24 @@ use pii_core::tracking::{analyze, TrackingAnalysis};
 use pii_crawler::{CrawlDataset, Crawler, RetryPolicy};
 use pii_dns::PublicSuffixList;
 use pii_net::fault::FaultProfile;
+use pii_store::{ArchiveMeta, ArchiveReader, ArchiveWriter, StoreSummary};
 use pii_web::{Universe, UniverseSpec};
+use std::path::{Path, PathBuf};
+
+/// Where the study's capture comes from: a live crawl of the simulated
+/// universe, or a `.store` archive written by an earlier crawl. Detection
+/// and every downstream analysis are source-agnostic — they only ever see
+/// the resulting [`CrawlDataset`].
+#[derive(Debug, Clone, Default)]
+pub enum CaptureSource {
+    /// Crawl the universe now (the original pipeline).
+    #[default]
+    Live,
+    /// Replay a persisted capture; the universe is regenerated from the
+    /// archive's recorded spec (a pure function of the seed), so only the
+    /// crawl itself is skipped.
+    Archive(PathBuf),
+}
 
 /// Study configuration.
 pub struct Study {
@@ -30,6 +47,10 @@ pub struct Study {
     pub faults: FaultProfile,
     /// Retry policy for the fault-injected crawl (ignored under `None`).
     pub retry: RetryPolicy,
+    /// Capture source. Under [`CaptureSource::Archive`] the `spec`,
+    /// `capture_browser` and `faults` fields are overridden by the
+    /// archive's recorded meta — the archive *is* the capture.
+    pub source: CaptureSource,
 }
 
 impl Study {
@@ -45,6 +66,7 @@ impl Study {
                 .unwrap_or(4),
             faults: FaultProfile::None,
             retry: RetryPolicy::default(),
+            source: CaptureSource::Live,
         }
     }
 
@@ -64,42 +86,91 @@ impl Study {
         }
     }
 
+    /// Paper configuration replaying a persisted capture instead of
+    /// crawling; spec/browser/faults come from the archive's meta.
+    pub fn from_archive(path: impl Into<PathBuf>) -> Study {
+        Study {
+            source: CaptureSource::Archive(path.into()),
+            ..Study::paper()
+        }
+    }
+
     /// Run §3 (crawl) + §4.1 (detection) + §5.2 (tracking analysis).
+    ///
+    /// # Panics
+    ///
+    /// Under [`CaptureSource::Archive`], panics when the archive cannot be
+    /// opened at all (missing file, foreign bytes, unreadable meta). Damage
+    /// *inside* an archive never panics — damaged segments are skipped and
+    /// reported through the degradation section.
     pub fn run(self) -> StudyResults {
-        let universe = {
-            let _span = pii_telemetry::span("study.generate");
-            Universe::generate_with(self.spec)
+        let workers = self.workers.max(1);
+        // Resolve the capture: live crawl, or archive replay. The universe
+        // is regenerated either way (it is a pure function of the spec), so
+        // detection and every analysis below are source-agnostic.
+        let (universe, dataset, faults, replay) = match &self.source {
+            CaptureSource::Live => {
+                let universe = {
+                    let _span = pii_telemetry::span("study.generate");
+                    Universe::generate_with(self.spec)
+                };
+                let mut crawler = Crawler::new(&universe);
+                crawler.workers = workers;
+                crawler.faults = universe.fault_plan(self.faults);
+                crawler.retry = self.retry;
+                let dataset = {
+                    let mut span = pii_telemetry::span("study.crawl");
+                    span.add_arg("browser", self.capture_browser.name());
+                    crawler.run(self.capture_browser)
+                };
+                (universe, dataset, self.faults, None)
+            }
+            CaptureSource::Archive(path) => {
+                let reader = ArchiveReader::open(path)
+                    .unwrap_or_else(|e| panic!("cannot replay {}: {e}", path.display()));
+                let meta = reader.meta().clone();
+                let universe = {
+                    let _span = pii_telemetry::span("study.generate");
+                    Universe::generate_with(meta.spec)
+                };
+                let replay = reader.read_dataset();
+                (universe, replay.dataset, meta.faults, Some(replay.report))
+            }
         };
         pii_telemetry::gauge("study.sites", universe.sites.len() as i64);
-        pii_telemetry::gauge("study.workers", self.workers.max(1) as i64);
+        pii_telemetry::gauge("study.workers", workers as i64);
         let psl = PublicSuffixList::embedded();
-        let mut crawler = Crawler::new(&universe);
-        crawler.workers = self.workers.max(1);
-        crawler.faults = universe.fault_plan(self.faults);
-        crawler.retry = self.retry;
-        let dataset = {
-            let mut span = pii_telemetry::span("study.crawl");
-            span.add_arg("browser", self.capture_browser.name());
-            crawler.run(self.capture_browser)
-        };
         let tokens = {
             let _span = pii_telemetry::span("study.tokens");
             self.tokens.build(&universe.persona)
         };
         pii_telemetry::gauge("study.tokens", tokens.len() as i64);
-        let report = {
+        let mut report = {
             let _span = pii_telemetry::span("study.detect");
-            LeakDetector::new(&tokens, &psl, &universe.zones)
-                .detect_parallel(&dataset, self.workers.max(1))
+            LeakDetector::new(&tokens, &psl, &universe.zones).detect_parallel(&dataset, workers)
         };
         pii_telemetry::gauge("study.leak_events", report.events.len() as i64);
-        let (tracking, degradation) = {
+        let (tracking, mut degradation) = {
             let _span = pii_telemetry::span("study.analyze");
             (
                 analyze(&report),
-                crate::degradation::compute(&dataset, self.faults),
+                crate::degradation::compute(&dataset, faults),
             )
         };
+        if let Some(rep) = replay {
+            // Records lost to archive damage are accounted for exactly like
+            // records lost to a panicking detect worker; a clean replay adds
+            // nothing, keeping its output byte-identical to a live run.
+            report.skipped_records += rep.skipped_records();
+            if !rep.skipped.is_empty() {
+                degradation.archive_segments = Some((rep.segments_verified, rep.segments_total));
+                degradation.archive_skipped = rep
+                    .skipped
+                    .iter()
+                    .map(|s| (s.describe(), s.reason.clone()))
+                    .collect();
+            }
+        }
         StudyResults {
             universe,
             psl,
@@ -109,6 +180,45 @@ impl Study {
             tracking,
             degradation,
         }
+    }
+
+    /// Run only §3 (the crawl), streaming each site's capture into the
+    /// archive at `path` as its shard completes. Returns the sealed
+    /// archive's summary plus the in-memory dataset (for the funnel
+    /// printout); replay the archive later with [`Study::from_archive`].
+    pub fn crawl_to_archive(self, path: &Path) -> std::io::Result<(StoreSummary, CrawlDataset)> {
+        let universe = {
+            let _span = pii_telemetry::span("study.generate");
+            Universe::generate_with(self.spec)
+        };
+        pii_telemetry::gauge("study.sites", universe.sites.len() as i64);
+        pii_telemetry::gauge("study.workers", self.workers.max(1) as i64);
+        let meta = ArchiveMeta {
+            spec: universe.spec.clone(),
+            browser: self.capture_browser,
+            faults: self.faults,
+        };
+        let mut crawler = Crawler::new(&universe);
+        crawler.workers = self.workers.max(1);
+        crawler.faults = universe.fault_plan(self.faults);
+        crawler.retry = self.retry;
+        let writer = std::sync::Mutex::new(ArchiveWriter::create(path, &meta)?);
+        let write_error: std::sync::Mutex<Option<std::io::Error>> = std::sync::Mutex::new(None);
+        let dataset = {
+            let mut span = pii_telemetry::span("study.crawl");
+            span.add_arg("browser", self.capture_browser.name());
+            crawler.run_streaming(self.capture_browser, &|index, crawl| {
+                let mut w = writer.lock().unwrap();
+                if let Err(e) = w.append_site(index, crawl) {
+                    write_error.lock().unwrap().get_or_insert(e);
+                }
+            })
+        };
+        if let Some(e) = write_error.into_inner().unwrap() {
+            return Err(e);
+        }
+        let summary = writer.into_inner().unwrap().finish()?;
+        Ok((summary, dataset))
     }
 }
 
@@ -150,7 +260,7 @@ impl StudyResults {
         out.push('\n');
         out.push_str(&crate::table3::table(self).render());
         out.push('\n');
-        if self.degradation.profile != FaultProfile::None {
+        if self.degradation.should_render() {
             out.push_str(&crate::degradation::table(&self.degradation).render());
             out.push('\n');
         }
@@ -168,6 +278,8 @@ impl StudyResults {
         out.extend(crate::table2::comparisons(self));
         out.extend(crate::table3::comparisons(self));
         if self.degradation.profile != FaultProfile::None {
+            // Archive damage alone adds no paper comparison — §3.2 was
+            // measured by the crawl, not by the replay.
             out.extend(crate::degradation::comparisons(&self.degradation));
         }
         out

@@ -1,0 +1,87 @@
+//! Replay vs re-crawl on a 10×-scaled universe: the whole point of the
+//! capture archive is that reading a crawl back beats re-running it.
+//!
+//! Three timings: the crawl itself (what every analysis paid before the
+//! store existed), a full archive replay (open + verify + inflate + decode),
+//! and random access to a single site (what targeted debugging pays). The
+//! bench also asserts the replayed dataset is identical to the crawled one
+//! before timing anything, so the speedup is for byte-equal output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pii_browser::profiles::BrowserKind;
+use pii_crawler::Crawler;
+use pii_net::fault::FaultProfile;
+use pii_store::{write_archive, ArchiveMeta, ArchiveReader};
+use pii_web::{Universe, UniverseSpec};
+
+fn bench_store(c: &mut Criterion) {
+    let spec = UniverseSpec::default().scaled(10);
+    eprintln!(
+        "[store] universe: {} sites ({} crawlable)",
+        spec.total_sites,
+        spec.crawlable()
+    );
+    let universe = Universe::generate_with(spec);
+    let crawler = Crawler::new(&universe);
+    let dataset = crawler.run(BrowserKind::Firefox88Vanilla);
+    let meta = ArchiveMeta {
+        spec: universe.spec.clone(),
+        browser: dataset.browser,
+        faults: FaultProfile::None,
+    };
+    let path = std::env::temp_dir().join("pii-bench-store-10x.store");
+    let summary = write_archive(&path, &meta, &dataset).expect("write archive");
+    eprintln!(
+        "[store] archive: {} segments, {} bytes ({:.2}x compression)",
+        summary.segments,
+        summary.bytes_written,
+        summary.compression_ratio()
+    );
+
+    // Sanity: replay reproduces the crawl exactly — the speedup below is
+    // for identical output, not an approximation.
+    let replay = ArchiveReader::open(&path).expect("open").read_dataset();
+    assert!(replay.report.skipped.is_empty());
+    assert_eq!(
+        serde_json::to_string(&replay.dataset).unwrap(),
+        serde_json::to_string(&dataset).unwrap()
+    );
+    let probe = dataset.crawls[dataset.crawls.len() / 2].domain.clone();
+
+    let mut group = c.benchmark_group("capture_10x_universe");
+    group.sample_size(10);
+    group.bench_function("recrawl", |b| {
+        b.iter(|| crawler.run(BrowserKind::Firefox88Vanilla).crawls.len());
+    });
+    group.bench_function("replay_archive", |b| {
+        b.iter(|| {
+            ArchiveReader::open(&path)
+                .expect("open")
+                .read_dataset()
+                .dataset
+                .crawls
+                .len()
+        });
+    });
+    group.bench_function("replay_one_site", |b| {
+        b.iter(|| {
+            ArchiveReader::open(&path)
+                .expect("open")
+                .site(&probe)
+                .expect("indexed")
+                .records
+                .len()
+        });
+    });
+    group.bench_function("write_archive", |b| {
+        b.iter(|| {
+            write_archive(&path, &meta, &dataset)
+                .expect("write")
+                .segments
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -572,10 +572,16 @@ mod tests {
         let sender = w.universe.sender_sites().next().unwrap().domain.clone();
         // Singly and doubly percent-encoded plaintext-email path segments
         // must both resolve to the same leak as the query-value form.
-        for path in ["/track/foo%40mydom.com/pixel", "/track/foo%2540mydom.com/pixel"] {
+        for path in [
+            "/track/foo%40mydom.com/pixel",
+            "/track/foo%2540mydom.com/pixel",
+        ] {
             let url = pii_net::Url::parse(&format!("https://facebook.com{path}")).unwrap();
-            let request =
-                pii_net::Request::new(pii_net::Method::Get, url, pii_net::http::ResourceKind::Image);
+            let request = pii_net::Request::new(
+                pii_net::Method::Get,
+                url,
+                pii_net::http::ResourceKind::Image,
+            );
             let mut report = DetectionReport::default();
             detector.detect_site(&single_record_crawl(&sender, request), &mut report);
             let hit = report

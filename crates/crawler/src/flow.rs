@@ -12,6 +12,11 @@ use pii_web::site::{BlockReason, Site, SiteOutcome};
 use pii_web::Universe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// Observer for [`Crawler::run_streaming`]: called with the site's
+/// canonical index and its finished crawl, from whichever worker thread
+/// completed the shard (hence `Sync`).
+pub type CrawlSink<'a> = &'a (dyn Fn(usize, &SiteCrawl) + Sync);
+
 /// Drives browsers through the site universe.
 pub struct Crawler<'a> {
     universe: &'a Universe,
@@ -50,6 +55,16 @@ impl<'a> Crawler<'a> {
         self.run_with_profile(kind.profile(), filter)
     }
 
+    /// [`Crawler::run`], additionally handing each site's finished crawl to
+    /// `sink` the moment its shard completes (from whichever worker thread
+    /// crawled it — completion order, not site order). The streaming
+    /// archive writer hangs off this hook so a capture is persisted as it
+    /// happens rather than after the fact; the `usize` is the site's
+    /// canonical index, which lets consumers restore universe order.
+    pub fn run_streaming(&self, kind: BrowserKind, sink: CrawlSink<'_>) -> CrawlDataset {
+        self.run_inner(kind.profile(), None, Some(sink))
+    }
+
     /// Crawl with an explicit (possibly counterfactual) browser profile —
     /// used by `pii-analysis::counterfactual` for the strict-referrer
     /// what-if experiment.
@@ -57,6 +72,15 @@ impl<'a> Crawler<'a> {
         &self,
         profile: pii_browser::profiles::BrowserProfile,
         filter: Option<&[String]>,
+    ) -> CrawlDataset {
+        self.run_inner(profile, filter, None)
+    }
+
+    fn run_inner(
+        &self,
+        profile: pii_browser::profiles::BrowserProfile,
+        filter: Option<&[String]>,
+        sink: Option<CrawlSink<'_>>,
     ) -> CrawlDataset {
         let sites: Vec<&Site> = self
             .universe
@@ -134,6 +158,9 @@ impl<'a> Crawler<'a> {
                                         1,
                                     );
                                 }
+                                if let Some(sink) = sink {
+                                    sink(index, &crawl);
+                                }
                                 results.lock().push((index, crawl));
                             }
                             Err(payload) => {
@@ -143,13 +170,14 @@ impl<'a> Crawler<'a> {
                                 browser = self.fresh_browser(profile, plan);
                                 let reason = panic_reason(payload.as_ref());
                                 if second_attempt {
-                                    results.lock().push((
-                                        index,
-                                        quarantined(
-                                            sites[index],
-                                            format!("crawl worker panicked twice: {reason}"),
-                                        ),
-                                    ));
+                                    let crawl = quarantined(
+                                        sites[index],
+                                        format!("crawl worker panicked twice: {reason}"),
+                                    );
+                                    if let Some(sink) = sink {
+                                        sink(index, &crawl);
+                                    }
+                                    results.lock().push((index, crawl));
                                 } else {
                                     requeued.lock().push((index, worker_id));
                                 }
@@ -172,8 +200,15 @@ impl<'a> Crawler<'a> {
         let crawls = by_index
             .into_iter()
             .zip(&sites)
-            .map(|(slot, site)| {
-                slot.unwrap_or_else(|| quarantined(site, "crawl worker lost".to_string()))
+            .enumerate()
+            .map(|(index, (slot, site))| {
+                slot.unwrap_or_else(|| {
+                    let crawl = quarantined(site, "crawl worker lost".to_string());
+                    if let Some(sink) = sink {
+                        sink(index, &crawl);
+                    }
+                    crawl
+                })
             })
             .collect();
         CrawlDataset {

@@ -141,6 +141,31 @@ impl<'a> BitReader<'a> {
         Ok(value)
     }
 
+    /// Look at the next `n` bits without consuming them, zero-padded past
+    /// the end of input (the fast Huffman path checks availability when it
+    /// consumes).
+    fn peek_bits(&mut self, n: u32) -> u32 {
+        while self.nbits < n {
+            let Some(&byte) = self.data.get(self.pos) else {
+                break;
+            };
+            self.acc |= (byte as u32) << self.nbits;
+            self.nbits += 8;
+            self.pos += 1;
+        }
+        self.acc & ((1u32 << n) - 1)
+    }
+
+    /// Consume `n` already-peeked bits.
+    fn consume(&mut self, n: u32) -> Result<(), DecodeError> {
+        if self.nbits < n {
+            return Err(DecodeError::Corrupt("unexpected end of stream"));
+        }
+        self.acc >>= n;
+        self.nbits -= n;
+        Ok(())
+    }
+
     /// Discard buffered bits to realign on a byte boundary (stored blocks).
     fn align(&mut self) {
         self.acc = 0;
@@ -156,12 +181,19 @@ impl<'a> BitReader<'a> {
 
 // --- canonical Huffman decoding (puff-style) --------------------------------
 
+/// Codes up to this many bits decode through one table lookup; longer (or
+/// invalid) codes fall back to the canonical bit-at-a-time walk.
+const FAST_BITS: u32 = 9;
+
 /// A canonical Huffman code built from symbol code lengths.
 struct HuffmanCode {
     /// count[len] = number of symbols with that code length.
     count: [u16; 16],
     /// Symbols sorted by (length, symbol).
     symbols: Vec<u16>,
+    /// Direct-lookup table over the next `FAST_BITS` stream bits:
+    /// `(code_len << 12) | symbol`, or 0 for "take the slow path".
+    table: Vec<u16>,
 }
 
 impl HuffmanCode {
@@ -195,10 +227,56 @@ impl HuffmanCode {
                 offsets[l as usize] += 1;
             }
         }
-        Ok(HuffmanCode { count, symbols })
+        // Fast-lookup table: assign canonical codes, then seed every table
+        // slot whose low bits equal the code's stream form (codes enter the
+        // stream MSB-first, so the index is the bit-reversed code).
+        let mut table = vec![0u16; 1 << FAST_BITS];
+        let mut next = [0u32; 16];
+        let mut code = 0u32;
+        for len in 1..16 {
+            // count[0] tallies unused symbols; it does not advance the code.
+            let prior = if len == 1 { 0 } else { count[len - 1] as u32 };
+            code = (code + prior) << 1;
+            next[len] = code;
+        }
+        for (sym, &l) in lengths.iter().enumerate() {
+            if l == 0 {
+                continue;
+            }
+            let c = next[l as usize];
+            next[l as usize] += 1;
+            let l = l as u32;
+            if l > FAST_BITS {
+                continue;
+            }
+            let mut rev = 0u32;
+            for i in 0..l {
+                rev |= ((c >> i) & 1) << (l - 1 - i);
+            }
+            let entry = ((l as u16) << 12) | sym as u16;
+            let mut idx = rev;
+            while idx < (1 << FAST_BITS) {
+                table[idx as usize] = entry;
+                idx += 1 << l;
+            }
+        }
+        Ok(HuffmanCode {
+            count,
+            symbols,
+            table,
+        })
     }
 
     fn decode(&self, reader: &mut BitReader) -> Result<u16, DecodeError> {
+        let entry = self.table[reader.peek_bits(FAST_BITS) as usize];
+        if entry != 0 {
+            reader.consume((entry >> 12) as u32)?;
+            return Ok(entry & 0x0fff);
+        }
+        self.decode_slow(reader)
+    }
+
+    fn decode_slow(&self, reader: &mut BitReader) -> Result<u16, DecodeError> {
         let mut code = 0i32;
         let mut first = 0i32;
         let mut index = 0i32;
@@ -714,10 +792,15 @@ fn inflate_block(
                 if d > out.len() {
                     return Err(DecodeError::Corrupt("distance beyond output"));
                 }
+                // Chunked copy: each pass can take everything between the
+                // match start and the current end, so overlapping matches
+                // (d < len) double the copied span per pass.
                 let start = out.len() - d;
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
+                let mut remaining = len;
+                while remaining > 0 {
+                    let take = remaining.min(out.len() - start);
+                    out.extend_from_within(start..start + take);
+                    remaining -= take;
                 }
             }
             _ => return Err(DecodeError::Corrupt("bad literal/length symbol")),

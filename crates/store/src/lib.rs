@@ -1,0 +1,247 @@
+//! # pii-store
+//!
+//! Durable capture archive for the measurement pipeline: an append-only,
+//! segmented binary store for [`pii_crawler::CrawlDataset`], decoupling the
+//! expensive crawl from the (cheap, iterated) analyses — the paper's own
+//! capture-once/analyze-many workflow. The May-2021 dataset was collected
+//! exactly once; every experiment afterwards replayed it. This crate gives
+//! the reproduction the same property: `pii-study crawl --out study.store`
+//! persists a capture, and every analysis subcommand replays it with
+//! `--from study.store`, byte-identical to a live run under the same seed.
+//!
+//! Properties, all with zero external dependencies:
+//!
+//! * **Streaming writes.** [`ArchiveWriter`] appends site segments as crawl
+//!   shards complete (any completion order); the footer index is sorted into
+//!   canonical site order at [`ArchiveWriter::finish`], so the replayed
+//!   dataset — and the archive's own footer — never depend on scheduling.
+//! * **Per-record integrity.** Every segment carries two CRC-32 checksums
+//!   (header and DEFLATE-compressed body, both from `pii-hashes`), so any
+//!   single bit flip is detected and attributed.
+//! * **Corruption-tolerant replay.** [`ArchiveReader`] skips damaged or
+//!   truncated segments instead of aborting, keeps a `Quarantined`
+//!   placeholder per lost site, and reports the loss through a
+//!   [`ReplayReport`] that the study pipes into its `skipped_records` and
+//!   degradation accounting. A truncated file still yields every complete
+//!   segment via the recovery scan.
+//! * **Random access.** The footer index maps domains to segment offsets;
+//!   [`ArchiveReader::site`] reads one site without touching the rest.
+//!
+//! See `DESIGN.md` §9 for the byte-level format.
+
+pub mod fast;
+pub mod format;
+pub mod reader;
+pub mod vbin;
+pub mod writer;
+
+pub use reader::{ArchiveReader, Replay, ReplayReport, SkippedSegment, StoreError};
+pub use writer::{write_archive, ArchiveMeta, ArchiveWriter, StoreSummary};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pii_browser::profiles::BrowserKind;
+    use pii_crawler::{CrawlDataset, CrawlOutcome, SiteCrawl};
+    use pii_net::fault::FaultProfile;
+    use pii_web::UniverseSpec;
+
+    fn meta() -> ArchiveMeta {
+        ArchiveMeta {
+            spec: UniverseSpec::default(),
+            browser: BrowserKind::Firefox88Vanilla,
+            faults: FaultProfile::None,
+        }
+    }
+
+    fn toy_dataset() -> CrawlDataset {
+        let site = |domain: &str| SiteCrawl {
+            domain: domain.to_string(),
+            outcome: CrawlOutcome::Completed {
+                email_confirmed: domain.len().is_multiple_of(2),
+                bot_detection_passed: false,
+            },
+            records: Vec::new(),
+            stored_cookies: Vec::new(),
+            resilience: None,
+        };
+        CrawlDataset {
+            browser: BrowserKind::Firefox88Vanilla,
+            crawls: vec![site("a.com"), site("bb.com"), site("ccc.com")],
+        }
+    }
+
+    fn archive_bytes(dataset: &CrawlDataset) -> Vec<u8> {
+        let mut writer = ArchiveWriter::new(Vec::new(), &meta()).unwrap();
+        for (i, crawl) in dataset.crawls.iter().enumerate() {
+            writer.append_site(i, crawl).unwrap();
+        }
+        writer.finish_with_sink().unwrap().1
+    }
+
+    #[test]
+    fn round_trips_a_toy_dataset() {
+        let ds = toy_dataset();
+        let bytes = archive_bytes(&ds);
+        let reader = ArchiveReader::from_bytes(bytes).unwrap();
+        assert_eq!(reader.len(), 3);
+        let replay = reader.read_dataset();
+        assert!(replay.report.used_footer);
+        assert_eq!(replay.report.segments_verified, 3);
+        assert!(replay.report.skipped.is_empty());
+        assert_eq!(
+            serde_json::to_string(&replay.dataset).unwrap(),
+            serde_json::to_string(&ds).unwrap()
+        );
+    }
+
+    #[test]
+    fn out_of_order_appends_replay_in_canonical_order() {
+        let ds = toy_dataset();
+        let mut writer = ArchiveWriter::new(Vec::new(), &meta()).unwrap();
+        for &i in &[2usize, 0, 1] {
+            writer.append_site(i, &ds.crawls[i]).unwrap();
+        }
+        let (_, bytes) = writer.finish_with_sink().unwrap();
+        let reader = ArchiveReader::from_bytes(bytes).unwrap();
+        let replay = reader.read_dataset();
+        let domains: Vec<&str> = replay
+            .dataset
+            .crawls
+            .iter()
+            .map(|c| c.domain.as_str())
+            .collect();
+        assert_eq!(domains, ["a.com", "bb.com", "ccc.com"]);
+        assert_eq!(
+            serde_json::to_string(&replay.dataset).unwrap(),
+            serde_json::to_string(&ds).unwrap()
+        );
+    }
+
+    #[test]
+    fn archive_size_does_not_depend_on_append_order() {
+        let ds = toy_dataset();
+        let write = |order: &[usize]| {
+            let mut w = ArchiveWriter::new(Vec::new(), &meta()).unwrap();
+            for &i in order {
+                w.append_site(i, &ds.crawls[i]).unwrap();
+            }
+            w.finish_with_sink().unwrap()
+        };
+        let (summary_a, bytes_a) = write(&[0, 1, 2]);
+        let (summary_b, bytes_b) = write(&[1, 2, 0]);
+        // Segment bytes move around but every total is order-independent,
+        // which keeps the store telemetry counters seed-deterministic.
+        assert_eq!(bytes_a.len(), bytes_b.len());
+        assert_eq!(summary_a, summary_b);
+        // And both index back into canonical order.
+        let labels = |bytes: Vec<u8>| {
+            let r = ArchiveReader::from_bytes(bytes).unwrap();
+            r.read_dataset()
+                .dataset
+                .crawls
+                .iter()
+                .map(|c| c.domain.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(labels(bytes_a), labels(bytes_b));
+    }
+
+    #[test]
+    fn random_access_by_domain() {
+        let ds = toy_dataset();
+        let reader = ArchiveReader::from_bytes(archive_bytes(&ds)).unwrap();
+        let crawl = reader.site("bb.com").expect("indexed site");
+        assert_eq!(crawl.domain, "bb.com");
+        assert!(reader.site("nosuch.com").is_none());
+    }
+
+    #[test]
+    fn foreign_bytes_are_rejected_cleanly() {
+        assert!(matches!(
+            ArchiveReader::from_bytes(b"GET / HTTP/1.1\r\n\r\n".to_vec()),
+            Err(StoreError::NotAnArchive)
+        ));
+        assert!(matches!(
+            ArchiveReader::from_bytes(Vec::new()),
+            Err(StoreError::NotAnArchive)
+        ));
+    }
+
+    #[test]
+    fn truncated_archive_recovers_complete_segments() {
+        let ds = toy_dataset();
+        let bytes = archive_bytes(&ds);
+        // Cut at every length from just-after-meta to full: never panic,
+        // never return more sites than survived, always keep whole ones.
+        let meta_end = {
+            let h = format::read_segment_header(&bytes, format::FILE_MAGIC.len()).unwrap();
+            format::FILE_MAGIC.len() + h.segment_len()
+        };
+        for cut in meta_end..bytes.len() {
+            let reader = match ArchiveReader::from_bytes(bytes[..cut].to_vec()) {
+                Ok(r) => r,
+                Err(e) => panic!("truncation to {cut} failed open: {e}"),
+            };
+            let replay = reader.read_dataset();
+            assert!(replay.report.segments_verified <= 3);
+            for crawl in &replay.dataset.crawls {
+                assert!(ds.crawls.iter().any(|c| c.domain == crawl.domain));
+            }
+        }
+        // The full file minus only the trailer still yields all 3 sites.
+        let cut = bytes.len() - format::TRAILER_LEN;
+        let reader = ArchiveReader::from_bytes(bytes[..cut].to_vec()).unwrap();
+        let replay = reader.read_dataset();
+        assert!(!replay.report.used_footer);
+        assert_eq!(replay.report.segments_verified, 3);
+    }
+
+    #[test]
+    fn bit_flip_in_a_body_skips_exactly_that_segment() {
+        let ds = toy_dataset();
+        let bytes = archive_bytes(&ds);
+        // Locate the second site segment via the footer and flip a payload
+        // byte in it.
+        let (f_off, f_len) = format::read_trailer(&bytes).unwrap();
+        let entries = format::read_footer(&bytes, f_off as usize, f_len as usize).unwrap();
+        let victim = &entries[1];
+        let header = format::read_segment_header(&bytes, victim.offset as usize).unwrap();
+        let payload_at = victim.offset as usize + header.encoded_len();
+        let mut mangled = bytes.clone();
+        mangled[payload_at] ^= 0x01;
+        let reader = ArchiveReader::from_bytes(mangled).unwrap();
+        let replay = reader.read_dataset();
+        assert_eq!(replay.report.segments_verified, 2);
+        assert_eq!(replay.report.skipped.len(), 1);
+        assert_eq!(replay.report.skipped[0].label.as_deref(), Some("bb.com"));
+        // The lost site keeps a quarantined row; the others decode intact.
+        assert_eq!(replay.dataset.crawls.len(), 3);
+        assert!(matches!(
+            replay.dataset.site("bb.com").unwrap().outcome,
+            CrawlOutcome::Quarantined(_)
+        ));
+        assert!(replay.dataset.site("a.com").unwrap().outcome.completed());
+        assert!(replay.dataset.site("ccc.com").unwrap().outcome.completed());
+    }
+
+    #[test]
+    fn skipped_records_are_counted_from_the_index() {
+        let mut ds = toy_dataset();
+        ds.crawls[1].records = Vec::new();
+        let bytes = archive_bytes(&ds);
+        let (f_off, f_len) = format::read_trailer(&bytes).unwrap();
+        let entries = format::read_footer(&bytes, f_off as usize, f_len as usize).unwrap();
+        assert_eq!(entries[1].records, 0);
+        let report = ReplayReport {
+            skipped: vec![SkippedSegment {
+                label: Some("x".into()),
+                offset: 0,
+                records: 17,
+                reason: "test".into(),
+            }],
+            ..ReplayReport::default()
+        };
+        assert_eq!(report.skipped_records(), 17);
+    }
+}

@@ -1,0 +1,310 @@
+//! The corruption-tolerant [`ArchiveReader`].
+//!
+//! Opening an archive locates the footer index via the fixed-size trailer;
+//! when the footer is damaged or the file was truncated, the reader falls
+//! back to a sequential scan that recovers every complete segment (resyncing
+//! on the segment magic after framing damage). Reading the dataset verifies
+//! each segment's CRC and *skips* bit-flipped or truncated segments instead
+//! of aborting: a skipped site surfaces as a `Quarantined` placeholder crawl
+//! (so the funnel still accounts for it) plus a [`SkippedSegment`] note with
+//! the record count the archive claimed, which the study feeds into the
+//! existing `skipped_records` / degradation machinery.
+
+use crate::format::{self, FrameError, IndexEntry, SegmentKind};
+use crate::writer::ArchiveMeta;
+use pii_crawler::{CrawlDataset, CrawlOutcome, SiteCrawl};
+use std::path::Path;
+
+/// Why an archive could not be opened at all. Damage *inside* the archive
+/// never produces this — only a missing/unreadable file, foreign bytes, or
+/// an unrecoverable meta segment do.
+#[derive(Debug)]
+pub enum StoreError {
+    Io(std::io::Error),
+    /// The file is not a `pii-store` archive (bad leading magic).
+    NotAnArchive,
+    /// The meta segment (spec, browser, fault profile) is unreadable, so
+    /// there is nothing to replay against.
+    MetaUnreadable(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "archive I/O: {e}"),
+            StoreError::NotAnArchive => f.write_str("not a pii-store archive"),
+            StoreError::MetaUnreadable(why) => write!(f, "archive meta unreadable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// One segment the reader had to give up on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedSegment {
+    /// Site domain when recoverable (from the footer index or an intact
+    /// header), else `None` for an anonymous damaged region.
+    pub label: Option<String>,
+    /// Byte offset of the segment (or damaged region) in the file.
+    pub offset: u64,
+    /// Fetch records the archive claimed for the segment (0 when unknown) —
+    /// fed into `DetectionReport::skipped_records` so the loss is counted.
+    pub records: u32,
+    pub reason: String,
+}
+
+impl SkippedSegment {
+    /// `domain` or `<offset NNN>` — the degradation table's row key.
+    pub fn describe(&self) -> String {
+        self.label
+            .clone()
+            .unwrap_or_else(|| format!("<offset {}>", self.offset))
+    }
+}
+
+/// Health accounting for one replay pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Site segments the index (or recovery scan) knows about.
+    pub segments_total: usize,
+    /// Segments whose checksums verified and whose payloads decoded.
+    pub segments_verified: usize,
+    /// Segments lost to corruption or truncation.
+    pub skipped: Vec<SkippedSegment>,
+    /// False when the footer was unusable and the reader recovered by
+    /// scanning segments sequentially.
+    pub used_footer: bool,
+}
+
+impl ReplayReport {
+    /// Total fetch records the skipped segments claimed to hold.
+    pub fn skipped_records(&self) -> usize {
+        self.skipped.iter().map(|s| s.records as usize).sum()
+    }
+}
+
+/// A replayed capture: the dataset plus what it cost to read it back.
+#[derive(Debug, Clone)]
+pub struct Replay {
+    pub dataset: CrawlDataset,
+    pub report: ReplayReport,
+}
+
+/// Random-access, checksum-verifying reader over one archive file.
+pub struct ArchiveReader {
+    bytes: Vec<u8>,
+    meta: ArchiveMeta,
+    /// Site-segment index in canonical (site-index) order.
+    index: Vec<IndexEntry>,
+    /// Anonymous damage found while building the index (recovery scan only).
+    scan_damage: Vec<SkippedSegment>,
+    used_footer: bool,
+}
+
+impl ArchiveReader {
+    /// Open and index an archive file.
+    pub fn open(path: &Path) -> Result<ArchiveReader, StoreError> {
+        let mut span = pii_telemetry::span("store.open");
+        span.add_arg("path", &path.display().to_string());
+        let bytes = std::fs::read(path)?;
+        ArchiveReader::from_bytes(bytes)
+    }
+
+    /// Open from in-memory bytes (tests, corruption suites).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<ArchiveReader, StoreError> {
+        if bytes.len() < format::FILE_MAGIC.len()
+            || &bytes[..format::FILE_MAGIC.len()] != format::FILE_MAGIC
+        {
+            return Err(StoreError::NotAnArchive);
+        }
+        let (index, scan_damage, used_footer) = match ArchiveReader::index_from_footer(&bytes) {
+            Some(index) => (index, Vec::new(), true),
+            None => {
+                let (index, damage) = ArchiveReader::index_from_scan(&bytes);
+                (index, damage, false)
+            }
+        };
+        // The meta segment is the one record replay cannot proceed without.
+        let meta_at = format::FILE_MAGIC.len();
+        let meta = format::read_segment_header(&bytes, meta_at)
+            .and_then(|h| format::verify_payload_at(&bytes, meta_at, &h).map(|p| (h, p)))
+            .and_then(|(h, payload)| {
+                if h.kind == SegmentKind::Meta {
+                    format::decode_record::<ArchiveMeta>(payload)
+                } else {
+                    Err(FrameError::Corrupt("first segment is not meta"))
+                }
+            })
+            .map_err(|e| StoreError::MetaUnreadable(e.to_string()))?;
+        pii_telemetry::counter("store.archives_opened", 1);
+        Ok(ArchiveReader {
+            bytes,
+            meta,
+            index,
+            scan_damage,
+            used_footer,
+        })
+    }
+
+    /// The capture's provenance (universe spec, browser, fault profile).
+    pub fn meta(&self) -> &ArchiveMeta {
+        &self.meta
+    }
+
+    /// Site segments the archive is indexed to contain.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    fn index_from_footer(bytes: &[u8]) -> Option<Vec<IndexEntry>> {
+        let (offset, len) = format::read_trailer(bytes).ok()?;
+        let mut index = format::read_footer(bytes, offset as usize, len as usize).ok()?;
+        index.sort_by_key(|e| e.site_index);
+        Some(index)
+    }
+
+    /// Rebuild the index by walking segments from the top of the file —
+    /// the path taken when the footer or trailer is lost. Framing damage
+    /// resyncs on the next segment magic; everything before EOF with an
+    /// intact header becomes an index entry (payloads are verified later,
+    /// per read, exactly like the footer path).
+    fn index_from_scan(bytes: &[u8]) -> (Vec<IndexEntry>, Vec<SkippedSegment>) {
+        let mut index = Vec::new();
+        let mut damage = Vec::new();
+        let mut at = format::FILE_MAGIC.len();
+        while at < bytes.len() {
+            // Reaching the footer (even one whose CRC failed, which is why
+            // we are scanning) or a bare trailer ends the segment region.
+            if bytes[at..].starts_with(format::FOOTER_MAGIC) {
+                break;
+            }
+            if bytes.len() - at == format::TRAILER_LEN && format::read_trailer(bytes).is_ok() {
+                break;
+            }
+            match format::read_segment_header(bytes, at) {
+                Ok(header) => {
+                    if header.kind == SegmentKind::Site {
+                        index.push(IndexEntry {
+                            site_index: header.site_index,
+                            offset: at as u64,
+                            segment_len: header.segment_len() as u32,
+                            records: header.records,
+                            label: header.label.clone(),
+                        });
+                    }
+                    at += header.segment_len();
+                }
+                Err(FrameError::Truncated) => {
+                    damage.push(SkippedSegment {
+                        label: None,
+                        offset: at as u64,
+                        records: 0,
+                        reason: "truncated tail".to_string(),
+                    });
+                    break;
+                }
+                Err(_) => {
+                    // Resync: find the next segment magic (or the footer)
+                    // past this damaged region.
+                    let resync = (at + 1..bytes.len().saturating_sub(3)).find(|&i| {
+                        &bytes[i..i + 4] == format::SEGMENT_MAGIC
+                            || &bytes[i..i + 4] == format::FOOTER_MAGIC
+                    });
+                    damage.push(SkippedSegment {
+                        label: None,
+                        offset: at as u64,
+                        records: 0,
+                        reason: "unreadable region (bad segment framing)".to_string(),
+                    });
+                    match resync {
+                        Some(next) if &bytes[next..next + 4] == format::SEGMENT_MAGIC => at = next,
+                        _ => break,
+                    }
+                }
+            }
+        }
+        index.sort_by_key(|e| e.site_index);
+        (index, damage)
+    }
+
+    /// Verify and decode the site crawl behind one index entry.
+    fn decode_entry(&self, entry: &IndexEntry) -> Result<SiteCrawl, FrameError> {
+        let offset = entry.offset as usize;
+        let header = format::read_segment_header(&self.bytes, offset)?;
+        if header.kind != SegmentKind::Site {
+            return Err(FrameError::Corrupt("expected a site segment"));
+        }
+        let payload = format::verify_payload_at(&self.bytes, offset, &header)?;
+        format::decode_site(payload)
+    }
+
+    /// Random access to one site's crawl (verified; `None` when the domain
+    /// is not indexed or its segment is damaged).
+    pub fn site(&self, domain: &str) -> Option<SiteCrawl> {
+        let entry = self.index.iter().find(|e| e.label == domain)?;
+        self.decode_entry(entry).ok()
+    }
+
+    /// Read the whole capture back, skipping damaged segments.
+    ///
+    /// Every indexed site keeps a row in the dataset: a damaged segment
+    /// yields a `Quarantined` placeholder (reason prefixed with
+    /// `archive:`), so the funnel and degradation report account for the
+    /// loss instead of the site silently vanishing.
+    pub fn read_dataset(&self) -> Replay {
+        let _span = pii_telemetry::span("store.read");
+        let mut report = ReplayReport {
+            segments_total: self.index.len(),
+            used_footer: self.used_footer,
+            skipped: self.scan_damage.clone(),
+            ..ReplayReport::default()
+        };
+        let mut crawls = Vec::with_capacity(self.index.len());
+        for entry in &self.index {
+            match self.decode_entry(entry) {
+                Ok(crawl) => {
+                    report.segments_verified += 1;
+                    pii_telemetry::counter("store.segments_verified", 1);
+                    crawls.push(crawl);
+                }
+                Err(e) => {
+                    pii_telemetry::counter("store.segments_skipped", 1);
+                    report.skipped.push(SkippedSegment {
+                        label: Some(entry.label.clone()),
+                        offset: entry.offset,
+                        records: entry.records,
+                        reason: e.to_string(),
+                    });
+                    crawls.push(SiteCrawl {
+                        domain: entry.label.clone(),
+                        outcome: CrawlOutcome::Quarantined(format!(
+                            "archive: segment {} ({} records lost)",
+                            e, entry.records
+                        )),
+                        records: Vec::new(),
+                        stored_cookies: Vec::new(),
+                        resilience: None,
+                    });
+                }
+            }
+        }
+        Replay {
+            dataset: CrawlDataset {
+                browser: self.meta.browser,
+                crawls,
+            },
+            report,
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The streaming [`ArchiveWriter`]: the crawler pool appends site segments
+//! as their shards complete; `finish` seals the archive with a canonical
+//! footer index and trailer.
+
+use crate::format::{self, IndexEntry, SegmentKind};
+use pii_browser::profiles::BrowserKind;
+use pii_crawler::{CrawlDataset, SiteCrawl};
+use pii_net::fault::FaultProfile;
+use pii_web::UniverseSpec;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// Everything replay needs to reconstruct the run that produced a capture:
+/// the universe is regenerated from `spec` (it is a pure function of the
+/// seed), only the expensive crawl itself is read back from disk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArchiveMeta {
+    pub spec: UniverseSpec,
+    pub browser: BrowserKind,
+    /// Fault profile the capture ran under — replay must report the same
+    /// degradation section a live run would.
+    pub faults: FaultProfile,
+}
+
+/// Append-only accounting for one finished archive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreSummary {
+    /// Site segments written (the meta segment is not counted).
+    pub segments: usize,
+    /// Total file size, header through trailer.
+    pub bytes_written: u64,
+    /// Uncompressed payload bytes across all segments.
+    pub raw_bytes: u64,
+    /// Compressed payload bytes across all segments.
+    pub compressed_bytes: u64,
+}
+
+impl StoreSummary {
+    /// Uncompressed-to-compressed payload ratio (1.0 = no gain).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.compressed_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.compressed_bytes as f64
+        }
+    }
+}
+
+/// Streaming archive writer. Segments may arrive in any order (worker
+/// completion order); the footer index is sorted by site index at `finish`,
+/// so everything derived from the archive is independent of scheduling.
+pub struct ArchiveWriter<W: Write> {
+    out: W,
+    offset: u64,
+    entries: Vec<IndexEntry>,
+    summary: StoreSummary,
+    buf: Vec<u8>,
+}
+
+impl ArchiveWriter<std::io::BufWriter<std::fs::File>> {
+    /// Create `path` (truncating any previous archive) and write the file
+    /// header plus the meta segment.
+    pub fn create(
+        path: &Path,
+        meta: &ArchiveMeta,
+    ) -> std::io::Result<ArchiveWriter<std::io::BufWriter<std::fs::File>>> {
+        let _span = pii_telemetry::span("store.open");
+        let file = std::fs::File::create(path)?;
+        ArchiveWriter::new(std::io::BufWriter::new(file), meta)
+    }
+}
+
+impl<W: Write> ArchiveWriter<W> {
+    /// Wrap any sink (tests use `Vec<u8>`); writes header + meta segment.
+    pub fn new(out: W, meta: &ArchiveMeta) -> std::io::Result<ArchiveWriter<W>> {
+        let mut writer = ArchiveWriter {
+            out,
+            offset: 0,
+            entries: Vec::new(),
+            summary: StoreSummary::default(),
+            buf: Vec::new(),
+        };
+        writer.write_all(&format::FILE_MAGIC[..])?;
+        writer.append_segment(SegmentKind::Meta, 0, 0, "meta", format::encode_record(meta))?;
+        Ok(writer)
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.out.write_all(bytes)?;
+        self.offset += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn append_segment(
+        &mut self,
+        kind: SegmentKind,
+        site_index: u32,
+        records: u32,
+        label: &str,
+        encoded: format::EncodedRecord,
+    ) -> std::io::Result<()> {
+        self.buf.clear();
+        format::write_segment(
+            &mut self.buf,
+            kind,
+            site_index,
+            records,
+            encoded.raw_len,
+            label,
+            &encoded.payload,
+        );
+        let offset = self.offset;
+        let segment = std::mem::take(&mut self.buf);
+        self.write_all(&segment)?;
+        self.buf = segment;
+        if kind == SegmentKind::Site {
+            self.entries.push(IndexEntry {
+                site_index,
+                offset,
+                segment_len: self.buf.len() as u32,
+                records,
+                label: label.to_string(),
+            });
+            self.summary.segments += 1;
+        }
+        self.summary.raw_bytes += u64::from(encoded.raw_len);
+        self.summary.compressed_bytes += encoded.payload.len() as u64;
+        pii_telemetry::counter("store.segments_written", 1);
+        pii_telemetry::observe("store.segment_bytes", self.buf.len() as u64);
+        Ok(())
+    }
+
+    /// Append one site's crawl. `site_index` is the site's canonical
+    /// position in the universe; replay restores that order no matter when
+    /// each shard completed.
+    pub fn append_site(&mut self, site_index: usize, crawl: &SiteCrawl) -> std::io::Result<()> {
+        self.append_segment(
+            SegmentKind::Site,
+            site_index as u32,
+            crawl.records.len() as u32,
+            &crawl.domain,
+            format::encode_site(crawl),
+        )
+    }
+
+    /// Seal the archive: canonical footer index, trailer, flush.
+    pub fn finish(self) -> std::io::Result<StoreSummary> {
+        self.finish_with_sink().map(|(summary, _)| summary)
+    }
+
+    /// [`ArchiveWriter::finish`], also handing back the sink (tests read
+    /// the produced bytes out of a `Vec<u8>` writer).
+    pub fn finish_with_sink(mut self) -> std::io::Result<(StoreSummary, W)> {
+        let _span = pii_telemetry::span("store.flush");
+        self.entries.sort_by_key(|e| e.site_index);
+        let footer_offset = self.offset;
+        let mut tail = Vec::new();
+        format::write_footer(&mut tail, &self.entries);
+        let footer_len = tail.len() as u32;
+        format::write_trailer(&mut tail, footer_offset, footer_len);
+        self.write_all(&tail)?;
+        self.out.flush()?;
+        self.summary.bytes_written = self.offset;
+        pii_telemetry::counter("store.bytes_written", self.summary.bytes_written);
+        pii_telemetry::counter("store.raw_bytes", self.summary.raw_bytes);
+        pii_telemetry::gauge(
+            "store.compression_ratio_pct",
+            (self.summary.compression_ratio() * 100.0) as i64,
+        );
+        Ok((self.summary, self.out))
+    }
+}
+
+/// Write a whole dataset as an archive in one call — the non-streaming
+/// convenience used by `pii-study export` (and tests). Site order in the
+/// dataset is taken as canonical.
+pub fn write_archive(
+    path: &Path,
+    meta: &ArchiveMeta,
+    dataset: &CrawlDataset,
+) -> std::io::Result<StoreSummary> {
+    let mut writer = ArchiveWriter::create(path, meta)?;
+    for (index, crawl) in dataset.crawls.iter().enumerate() {
+        writer.append_site(index, crawl)?;
+    }
+    writer.finish()
+}

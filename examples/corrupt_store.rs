@@ -1,0 +1,33 @@
+//! Flip one byte inside the first *site* segment of a capture archive —
+//! tooling for the `store-smoke` make target, which asserts that a damaged
+//! archive replays with the loss reported instead of crashing.
+//!
+//! ```text
+//! cargo run --release --example corrupt_store <in.store> <out.store>
+//! ```
+
+use pii_suite::store::format;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let (Some(input), Some(output)) = (args.next(), args.next()) else {
+        eprintln!("usage: corrupt_store <in.store> <out.store>");
+        std::process::exit(2);
+    };
+    let mut bytes = std::fs::read(&input).expect("read archive");
+    // Skip the meta segment (damaging it makes the archive unopenable —
+    // the one loss replay cannot degrade around) and flip a byte in the
+    // middle of the first site segment's compressed body, where only the
+    // payload CRC can catch it.
+    let meta_at = format::FILE_MAGIC.len();
+    let meta = format::read_segment_header(&bytes, meta_at).expect("meta header");
+    let site_at = meta_at + meta.segment_len();
+    let site = format::read_segment_header(&bytes, site_at).expect("site header");
+    let target = site_at + site.encoded_len() + site.payload_len as usize / 2;
+    bytes[target] ^= 0x20;
+    std::fs::write(&output, bytes).expect("write corrupted copy");
+    eprintln!(
+        "flipped one bit of byte {target} (inside the segment for {}) -> {output}",
+        site.label
+    );
+}

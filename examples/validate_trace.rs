@@ -39,8 +39,8 @@ fn as_str(value: &Value) -> Option<&str> {
 /// Parse one trace file, validate its structure, and return its
 /// seed-deterministic counter map (ph "C" events with a `value` arg).
 fn load(path: &str) -> BTreeMap<String, u64> {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
     let doc: Value = serde_json::from_str(&text)
         .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")));
     if field(&doc, "displayTimeUnit").and_then(as_str) != Some("ms") {

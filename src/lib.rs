@@ -31,12 +31,13 @@ pub use pii_dns as dns;
 pub use pii_encodings as encodings;
 pub use pii_hashes as hashes;
 pub use pii_net as net;
+pub use pii_store as store;
 pub use pii_telemetry as telemetry;
 pub use pii_web as web;
 
 /// The names most programs need.
 pub mod prelude {
-    pub use pii_analysis::{Study, StudyResults};
+    pub use pii_analysis::{CaptureSource, Study, StudyResults};
     pub use pii_browser::engine::{Browser, PageContext};
     pub use pii_browser::profiles::BrowserKind;
     pub use pii_core::detect::{DetectionReport, LeakDetector};
@@ -45,5 +46,6 @@ pub mod prelude {
     pub use pii_crawler::{CrawlDataset, Crawler};
     pub use pii_dns::{PublicSuffixList, ZoneStore};
     pub use pii_net::Url;
+    pub use pii_store::{ArchiveMeta, ArchiveReader, ArchiveWriter};
     pub use pii_web::{Persona, Universe, UniverseSpec};
 }

@@ -3,12 +3,17 @@
 //! ```text
 //! pii-study full                       run everything, print all tables
 //! pii-study tables                     tables 1–3 + figure 2 (no re-crawls)
+//! pii-study stats                      simulated-universe statistics
 //! pii-study browsers                   §7.1 six-browser comparison
 //! pii-study blocklists                 Table 4 + §7.2 misses
 //! pii-study ablations                  chain-depth + scanning ablations
+//! pii-study counterfactual             strict-referrer + host-only-blocking what-ifs
 //! pii-study crowdsource [K]            future-work extension with K personas
-//! pii-study export <dir>               write dataset artifacts + HAR
+//! pii-study sweep [N]                  headline metrics across N seeds
+//! pii-study crawl --out <store>        crawl once, persist the capture archive
+//! pii-study export <dir>               write dataset artifacts + HAR + capture archive
 //! pii-study seed <u64> <subcommand>    run any of the above on another seed
+//! pii-study --from <store> <cmd>       replay a capture archive instead of crawling
 //! pii-study --workers <n> <subcommand> size of the crawl/detect worker pool
 //! pii-study --faults <profile> <cmd>   inject transport faults (none|paper-may-2021|hostile)
 //! pii-study --retries <n> <cmd>        max page-load attempts for the fault-injected crawl
@@ -26,7 +31,7 @@ use pii_suite::web::UniverseSpec;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pii-study [seed|--seed <u64>] [--workers <n>] [--faults <none|paper-may-2021|hostile>] [--retries <n>] [--metrics] [--trace <out.json>] <full|tables|stats|sweep [N]|browsers|blocklists|ablations|counterfactual|crowdsource [K]|export <dir>>"
+        "usage: pii-study [seed|--seed <u64>] [--from <store>] [--workers <n>] [--faults <none|paper-may-2021|hostile>] [--retries <n>] [--metrics] [--trace <out.json>] <full|tables|stats|sweep [N]|browsers|blocklists|ablations|counterfactual|crowdsource [K]|crawl --out <store>|export <dir>>"
     );
     std::process::exit(2);
 }
@@ -40,9 +45,11 @@ struct StudyArgs {
     metrics: bool,
     /// Write a Chrome trace-event JSON file after the command.
     trace: Option<String>,
+    /// Replay this capture archive instead of crawling.
+    from: Option<String>,
 }
 
-fn run_study(args: &StudyArgs) -> StudyResults {
+fn configure_study(args: &StudyArgs) -> Study {
     let mut study = Study::paper();
     if let Some(seed) = args.seed {
         study.spec = UniverseSpec {
@@ -57,10 +64,25 @@ fn run_study(args: &StudyArgs) -> StudyResults {
     if let Some(retries) = args.retries {
         study.retry = RetryPolicy::with_max_attempts(retries);
     }
-    eprintln!(
-        "running the measurement study (seed {:#x}, {} workers, fault profile {})…",
-        study.spec.seed, study.workers, study.faults
-    );
+    study
+}
+
+fn run_study(args: &StudyArgs) -> StudyResults {
+    let mut study = configure_study(args);
+    if let Some(path) = &args.from {
+        // The archive carries its own seed/browser/fault meta; only the
+        // worker count still applies (it sizes the detection shards).
+        study.source = pii_suite::analysis::CaptureSource::Archive(path.into());
+        eprintln!(
+            "replaying capture archive {path} ({} workers)…",
+            study.workers
+        );
+    } else {
+        eprintln!(
+            "running the measurement study (seed {:#x}, {} workers, fault profile {})…",
+            study.spec.seed, study.workers, study.faults
+        );
+    }
     study.run()
 }
 
@@ -72,7 +94,7 @@ fn print_tables(r: &StudyResults) {
     println!("{}", figure2::table(r).render());
     println!("{}", table2::table(r).render());
     println!("{}", table3::table(r).render());
-    if r.degradation.profile != FaultProfile::None {
+    if r.degradation.should_render() {
         println!("{}", degradation::table(&r.degradation).render());
     }
 }
@@ -87,6 +109,7 @@ fn main() {
         retries: None,
         metrics: false,
         trace: None,
+        from: None,
     };
     loop {
         match args.first().map(String::as_str) {
@@ -129,6 +152,11 @@ fn main() {
             Some("--trace") => {
                 let Some(path) = args.get(1) else { usage() };
                 study_args.trace = Some(path.clone());
+                args = &args[2..];
+            }
+            Some("--from") => {
+                let Some(path) = args.get(1) else { usage() };
+                study_args.from = Some(path.clone());
                 args = &args[2..];
             }
             _ => break,
@@ -267,6 +295,35 @@ fn main() {
                 cloak.surviving_cloaked_events, cloak.surviving_senders
             );
         }
+        "crawl" => {
+            let out = match (args.get(1).map(String::as_str), args.get(2)) {
+                (Some("--out"), Some(path)) => std::path::PathBuf::from(path),
+                _ => usage(),
+            };
+            if study_args.from.is_some() {
+                eprintln!("crawl writes a new archive; --from does not apply");
+                usage();
+            }
+            let study = configure_study(&study_args);
+            eprintln!(
+                "crawling (seed {:#x}, {} workers, fault profile {}) into {}…",
+                study.spec.seed,
+                study.workers,
+                study.faults,
+                out.display()
+            );
+            let (summary, dataset) = study.crawl_to_archive(&out).expect("write archive");
+            let funnel = dataset.funnel();
+            println!(
+                "crawled {} sites ({} completed auth flows); archived {} segments, {} bytes ({:.2}x compression)",
+                funnel.total,
+                funnel.completed,
+                summary.segments,
+                summary.bytes_written,
+                summary.compression_ratio()
+            );
+            println!("replay with: pii-study --from {} tables", out.display());
+        }
         "export" => {
             let Some(dir) = args.get(1) else { usage() };
             let r = run_study(&study_args);
@@ -312,8 +369,16 @@ fn main() {
                 pii_suite::web::stats::compute(&r.universe).render(),
             )
             .expect("write stats");
+            // The capture itself, replayable with `--from <dir>/study.store`.
+            let meta = pii_suite::store::ArchiveMeta {
+                spec: r.universe.spec.clone(),
+                browser: r.dataset.browser,
+                faults: r.degradation.profile,
+            };
+            pii_suite::store::write_archive(&dir.join("study.store"), &meta, &r.dataset)
+                .expect("write capture archive");
             println!(
-                "wrote dataset + HAR + comparisons + universe to {}",
+                "wrote dataset + HAR + comparisons + universe + capture archive to {}",
                 dir.display()
             );
         }

@@ -68,10 +68,14 @@ fn disabled_telemetry_leaves_study_output_byte_identical() {
     let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     telemetry::disable();
     telemetry::reset();
-    let plain = small_study(3, FaultProfile::PaperMay2021).run().render_all();
+    let plain = small_study(3, FaultProfile::PaperMay2021)
+        .run()
+        .render_all();
 
     telemetry::enable();
-    let instrumented = small_study(3, FaultProfile::PaperMay2021).run().render_all();
+    let instrumented = small_study(3, FaultProfile::PaperMay2021)
+        .run()
+        .render_all();
     let snapshot = telemetry::snapshot();
     telemetry::disable();
     telemetry::reset();
@@ -102,7 +106,10 @@ fn seeded_counters_reproduce_across_runs_and_worker_counts() {
     telemetry::reset();
 
     assert_eq!(runs[0], runs[1], "same-seed same-workers runs must agree");
-    assert_eq!(runs[0], runs[2], "worker count must not change the counters");
+    assert_eq!(
+        runs[0], runs[2],
+        "worker count must not change the counters"
+    );
     for key in [
         "browser.pages",
         "browser.requests",
@@ -118,7 +125,9 @@ fn seeded_counters_reproduce_across_runs_and_worker_counts() {
         );
     }
     // The scheduling artifacts were filtered out, not merely equal by luck.
-    assert!(runs[0].keys().all(|k| !telemetry::is_scheduling_dependent(k)));
+    assert!(runs[0]
+        .keys()
+        .all(|k| !telemetry::is_scheduling_dependent(k)));
 }
 
 #[test]

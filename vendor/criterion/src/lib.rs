@@ -21,7 +21,9 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
-        BenchmarkId { id: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 }
 
@@ -70,7 +72,11 @@ fn run_benchmark(
     throughput: Option<Throughput>,
     run: impl FnOnce(&mut Bencher),
 ) {
-    let mut b = Bencher { bench_mode, sample_size, measurement: None };
+    let mut b = Bencher {
+        bench_mode,
+        sample_size,
+        measurement: None,
+    };
     run(&mut b);
     let Some((total, iters)) = b.measurement else {
         println!("{name}: no measurement recorded");
@@ -83,7 +89,10 @@ fn run_benchmark(
         if secs > 0.0 {
             match tp {
                 Throughput::Bytes(n) => {
-                    line.push_str(&format!(", {:.1} MiB/s", n as f64 / secs / (1024.0 * 1024.0)));
+                    line.push_str(&format!(
+                        ", {:.1} MiB/s",
+                        n as f64 / secs / (1024.0 * 1024.0)
+                    ));
                 }
                 Throughput::Elements(n) => {
                     line.push_str(&format!(", {:.1} elem/s", n as f64 / secs));

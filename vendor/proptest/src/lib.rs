@@ -561,7 +561,10 @@ mod tests {
     fn alternation_with_escape() {
         for s in samples("[a-z]{1,8}\\.(com|co\\.jp|org|io)") {
             assert!(
-                s.ends_with(".com") || s.ends_with(".co.jp") || s.ends_with(".org") || s.ends_with(".io"),
+                s.ends_with(".com")
+                    || s.ends_with(".co.jp")
+                    || s.ends_with(".org")
+                    || s.ends_with(".io"),
                 "{s:?}"
             );
         }
@@ -575,7 +578,8 @@ mod tests {
         for _ in 0..2000 {
             let s = generate(&ast, &mut rng);
             assert!(
-                s.chars().all(|c| c.is_ascii_alphanumeric() || "%~-".contains(c)),
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || "%~-".contains(c)),
                 "{s:?}"
             );
             saw_dash |= s.contains('-');

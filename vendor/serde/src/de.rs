@@ -26,7 +26,10 @@ pub trait Deserialize<'de>: Sized {
 }
 
 fn type_err<E: Error>(expected: &str, got: &Value) -> E {
-    E::custom(format!("invalid type: expected {expected}, found {}", got.kind()))
+    E::custom(format!(
+        "invalid type: expected {expected}, found {}",
+        got.kind()
+    ))
 }
 
 // ---- impls for primitives ------------------------------------------------

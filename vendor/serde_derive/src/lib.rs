@@ -21,7 +21,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = parse_input(input);
     let src = gen_deserialize(&shape);
-    src.parse().expect("generated Deserialize impl should parse")
+    src.parse()
+        .expect("generated Deserialize impl should parse")
 }
 
 // ---------------------------------------------------------------- parsing
@@ -51,10 +52,21 @@ struct Variant {
 }
 
 enum Shape {
-    NamedStruct { name: String, fields: Vec<NamedField> },
-    TupleStruct { name: String, fields: Vec<FieldAttrs> },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<NamedField>,
+    },
+    TupleStruct {
+        name: String,
+        fields: Vec<FieldAttrs>,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 struct Cursor {
@@ -64,7 +76,10 @@ struct Cursor {
 
 impl Cursor {
     fn new(ts: TokenStream) -> Self {
-        Cursor { tokens: ts.into_iter().collect(), pos: 0 }
+        Cursor {
+            tokens: ts.into_iter().collect(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<&TokenTree> {
@@ -116,11 +131,15 @@ fn parse_input(input: TokenStream) -> Shape {
     if c.eat_ident("struct") {
         let name = c.expect_ident();
         match c.next() {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Shape::NamedStruct { name, fields: parse_named_fields(g.stream()) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                Shape::TupleStruct { name, fields: parse_tuple_fields(g.stream()) }
+                Shape::TupleStruct {
+                    name,
+                    fields: parse_tuple_fields(g.stream()),
+                }
             }
             Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
             other => panic!("unsupported struct body for `{name}`: {other:?}"),
@@ -128,9 +147,10 @@ fn parse_input(input: TokenStream) -> Shape {
     } else if c.eat_ident("enum") {
         let name = c.expect_ident();
         match c.next() {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                Shape::Enum { name, variants: parse_variants(g.stream()) }
-            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
             other => panic!("unsupported enum body for `{name}`: {other:?}"),
         }
     } else {
@@ -375,9 +395,10 @@ fn gen_serialize(shape: &Shape) -> String {
             );
             (name, body)
         }
-        Shape::UnitStruct { name } => {
-            (name, "__serializer.serialize_value(::serde::Value::Null)".to_string())
-        }
+        Shape::UnitStruct { name } => (
+            name,
+            "__serializer.serialize_value(::serde::Value::Null)".to_string(),
+        ),
         Shape::Enum { name, variants } => {
             let mut arms = String::new();
             for v in variants {
@@ -416,8 +437,7 @@ fn gen_serialize(shape: &Shape) -> String {
                         ));
                     }
                     VariantKind::Struct(fields) => {
-                        let binds: Vec<String> =
-                            fields.iter().map(|f| f.name.clone()).collect();
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         let body = ser_named_fields(fields, |f| f.to_string());
                         arms.push_str(&format!(
                             "{name}::{vname} {{ {binds} }} => {{\n\

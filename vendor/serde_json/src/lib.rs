@@ -41,7 +41,10 @@ pub fn from_str<T>(s: &str) -> Result<T>
 where
     T: for<'de> serde::Deserialize<'de>,
 {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
@@ -61,19 +64,35 @@ fn write_value(v: &Value, indent: Option<usize>, depth: usize, out: &mut String)
         Value::U64(n) => out.push_str(&n.to_string()),
         Value::F64(f) => write_f64(*f, out),
         Value::Str(s) => write_string(s, out),
-        Value::Arr(items) => write_seq(items.iter(), items.len(), indent, depth, out, '[', ']', |item, ind, d, o| {
-            write_value(item, ind, d, o);
-        }),
-        Value::Obj(entries) => {
-            write_seq(entries.iter(), entries.len(), indent, depth, out, '{', '}', |(k, val), ind, d, o| {
+        Value::Arr(items) => write_seq(
+            items.iter(),
+            items.len(),
+            indent,
+            depth,
+            out,
+            '[',
+            ']',
+            |item, ind, d, o| {
+                write_value(item, ind, d, o);
+            },
+        ),
+        Value::Obj(entries) => write_seq(
+            entries.iter(),
+            entries.len(),
+            indent,
+            depth,
+            out,
+            '{',
+            '}',
+            |(k, val), ind, d, o| {
                 write_string(k, o);
                 o.push(':');
                 if ind.is_some() {
                     o.push(' ');
                 }
                 write_value(val, ind, d, o);
-            })
-        }
+            },
+        ),
     }
 }
 
@@ -133,7 +152,12 @@ fn write_f64(f: f64, out: &mut String) {
 
 fn write_string(s: &str, out: &mut String) {
     out.push('"');
-    for c in s.chars() {
+    // Copy maximal runs that need no escaping in one push_str; only `"`,
+    // `\` and control characters break a run.
+    let mut rest = s;
+    while let Some(stop) = rest.find(|c: char| matches!(c, '"' | '\\') || (c as u32) < 0x20) {
+        out.push_str(&rest[..stop]);
+        let c = rest[stop..].chars().next().unwrap();
         match c {
             '"' => out.push_str("\\\""),
             '\\' => out.push_str("\\\\"),
@@ -142,12 +166,11 @@ fn write_string(s: &str, out: &mut String) {
             '\t' => out.push_str("\\t"),
             '\u{08}' => out.push_str("\\b"),
             '\u{0c}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
+            c => out.push_str(&format!("\\u{:04x}", c as u32)),
         }
+        rest = &rest[stop + c.len_utf8()..];
     }
+    out.push_str(rest);
     out.push('"');
 }
 
@@ -220,7 +243,9 @@ impl<'a> Parser<'a> {
                             self.pos += 1;
                             return Ok(Value::Arr(items));
                         }
-                        _ => return Err(Error(format!("expected `,` or `]` at byte {}", self.pos))),
+                        _ => {
+                            return Err(Error(format!("expected `,` or `]` at byte {}", self.pos)))
+                        }
                     }
                 }
             }
@@ -248,7 +273,9 @@ impl<'a> Parser<'a> {
                             self.pos += 1;
                             return Ok(Value::Obj(entries));
                         }
-                        _ => return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos))),
+                        _ => {
+                            return Err(Error(format!("expected `,` or `}}` at byte {}", self.pos)))
+                        }
                     }
                 }
             }
@@ -265,6 +292,22 @@ impl<'a> Parser<'a> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            // Bulk-copy the run of unescaped bytes. `"` and `\` are ASCII,
+            // so they can never appear inside a multi-byte UTF-8 sequence —
+            // stopping on them cannot split a character, and the whole run
+            // is validated in one pass instead of per char.
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error("invalid UTF-8 in string".into()))?;
+                out.push_str(run);
+            }
             match self.peek() {
                 Some(b'"') => {
                     self.pos += 1;
@@ -301,14 +344,8 @@ impl<'a> Parser<'a> {
                     }
                     self.pos += 1;
                 }
-                Some(_) => {
-                    // Consume one UTF-8 encoded char.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error("invalid UTF-8 in string".into()))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
+                // The scan above only stops on `"`, `\` or end of input.
+                Some(_) => unreachable!(),
                 None => return Err(Error("unterminated string".into())),
             }
         }
@@ -365,7 +402,10 @@ mod tests {
             out
         };
         assert_eq!(s, r#"{"a":1,"b":[true,null],"c":"x\"y\n"}"#);
-        let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
         assert_eq!(p.parse_value().unwrap(), v);
     }
 
@@ -379,7 +419,10 @@ mod tests {
 
     #[test]
     fn negative_and_float_numbers() {
-        let mut p = Parser { bytes: b"[-3,1.5,2.0]", pos: 0 };
+        let mut p = Parser {
+            bytes: b"[-3,1.5,2.0]",
+            pos: 0,
+        };
         assert_eq!(
             p.parse_value().unwrap(),
             Value::Arr(vec![Value::I64(-3), Value::F64(1.5), Value::F64(2.0)])
