@@ -1,6 +1,6 @@
-.PHONY: ci build test clippy bench fmt-check fault-matrix telemetry-smoke store-smoke
+.PHONY: ci build test clippy bench fmt-check fault-matrix telemetry-smoke store-smoke stream-smoke bench-trajectory
 
-ci: build test fault-matrix telemetry-smoke store-smoke clippy fmt-check
+ci: build test fault-matrix telemetry-smoke store-smoke stream-smoke clippy fmt-check
 
 build:
 	cargo build --release --workspace
@@ -34,6 +34,23 @@ store-smoke:
 	cargo run --release -q -- --from target/smoke-corrupt.store tables > target/smoke-corrupt.txt
 	grep -q "archive segments skipped" target/smoke-corrupt.txt
 	! cmp -s target/smoke-live.txt target/smoke-corrupt.txt
+
+# Constant-memory pipeline: the streaming replay of a capture archive must
+# render byte-identically to the materialized replay of the same archive,
+# and the spooled live streaming run must match a plain live run.
+stream-smoke:
+	cargo run --release -q -- --seed 7 crawl --out target/stream-smoke.store > /dev/null
+	cargo run --release -q -- --from target/stream-smoke.store tables > target/stream-materialized.txt
+	cargo run --release -q -- --from target/stream-smoke.store --stream tables > target/stream-streamed.txt
+	cmp target/stream-materialized.txt target/stream-streamed.txt
+	cargo run --release -q -- --seed 7 tables > target/stream-live.txt
+	cargo run --release -q -- --seed 7 --stream tables > target/stream-live-streamed.txt
+	cmp target/stream-live.txt target/stream-live-streamed.txt
+
+# Scale trajectory for the streaming pipeline: crawl + replay at 1x/10x/100x
+# universe scale, refreshing BENCH_streaming.json at the workspace root.
+bench-trajectory:
+	cargo bench -p pii-bench --bench streaming
 
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings

@@ -61,7 +61,7 @@ pub fn compute(r: &StudyResults) -> Aggregates {
 
 pub fn render(r: &StudyResults) -> String {
     let a = compute(r);
-    let funnel = r.dataset.funnel();
+    let funnel = r.funnel;
     let mut t = Table::new(
         "§3–§4 headline aggregates",
         &["Metric", "Paper", "Measured"],
@@ -116,7 +116,7 @@ pub fn render(r: &StudyResults) -> String {
 
 pub fn comparisons(r: &StudyResults) -> Vec<Comparison> {
     let a = compute(r);
-    let funnel = r.dataset.funnel();
+    let funnel = r.funnel;
     vec![
         Comparison::counts("§3.2 / completed auth flows", 307, funnel.completed, 0),
         Comparison::counts(

@@ -49,47 +49,70 @@ impl Degradation {
     }
 }
 
-/// Compute the degradation report for a crawl.
+/// Compute the degradation report for a materialized crawl.
 pub fn compute(dataset: &CrawlDataset, profile: FaultProfile) -> Degradation {
-    let mut rescued_sites = Vec::new();
-    let mut histogram: BTreeMap<u32, usize> = BTreeMap::new();
-    let mut errors: BTreeMap<String, usize> = BTreeMap::new();
-    let mut quarantined = Vec::new();
-    let mut total_attempts = 0u64;
-    let mut total_retries = 0u64;
-    let mut max_site_virtual_ms = 0u64;
+    let mut builder = DegradationBuilder::default();
     for crawl in &dataset.crawls {
+        builder.observe(crawl);
+    }
+    builder.finish(profile, dataset.funnel())
+}
+
+/// Incremental form of [`compute`]: the streaming replay folds each site in
+/// as it is decoded, then seals the report — so degradation accounting needs
+/// no materialized dataset. `compute` itself is a fold over this builder,
+/// which keeps the two paths byte-identical by construction.
+#[derive(Debug, Default)]
+pub struct DegradationBuilder {
+    rescued_sites: Vec<String>,
+    histogram: BTreeMap<u32, usize>,
+    errors: BTreeMap<String, usize>,
+    quarantined: Vec<(String, String)>,
+    total_attempts: u64,
+    total_retries: u64,
+    max_site_virtual_ms: u64,
+}
+
+impl DegradationBuilder {
+    /// Fold one site's crawl into the accounting. Call in canonical site
+    /// order — `rescued_sites` and `quarantined` keep insertion order.
+    pub fn observe(&mut self, crawl: &pii_crawler::capture::SiteCrawl) {
         if let CrawlOutcome::Quarantined(reason) = &crawl.outcome {
-            quarantined.push((crawl.domain.clone(), reason.clone()));
+            self.quarantined
+                .push((crawl.domain.clone(), reason.clone()));
         }
         let Some(res) = &crawl.resilience else {
-            continue;
+            return;
         };
-        total_attempts += u64::from(res.attempts);
-        total_retries += u64::from(res.retries);
-        max_site_virtual_ms = max_site_virtual_ms.max(res.virtual_ms);
-        *histogram.entry(res.attempts).or_default() += 1;
+        self.total_attempts += u64::from(res.attempts);
+        self.total_retries += u64::from(res.retries);
+        self.max_site_virtual_ms = self.max_site_virtual_ms.max(res.virtual_ms);
+        *self.histogram.entry(res.attempts).or_default() += 1;
         if res.rescued {
-            rescued_sites.push(crawl.domain.clone());
+            self.rescued_sites.push(crawl.domain.clone());
         }
         for entry in &res.errors {
             // Entries are "label@path#attempt"; aggregate by label.
             let label = entry.split('@').next().unwrap_or(entry).to_string();
-            *errors.entry(label).or_default() += 1;
+            *self.errors.entry(label).or_default() += 1;
         }
     }
-    Degradation {
-        profile,
-        funnel: dataset.funnel(),
-        rescued_sites,
-        attempts_histogram: histogram.into_iter().collect(),
-        total_attempts,
-        total_retries,
-        error_counts: errors.into_iter().collect(),
-        quarantined,
-        max_site_virtual_ms,
-        archive_skipped: Vec::new(),
-        archive_segments: None,
+
+    /// Seal the report with the crawl's profile and funnel.
+    pub fn finish(self, profile: FaultProfile, funnel: FunnelStats) -> Degradation {
+        Degradation {
+            profile,
+            funnel,
+            rescued_sites: self.rescued_sites,
+            attempts_histogram: self.histogram.into_iter().collect(),
+            total_attempts: self.total_attempts,
+            total_retries: self.total_retries,
+            error_counts: self.errors.into_iter().collect(),
+            quarantined: self.quarantined,
+            max_site_virtual_ms: self.max_site_virtual_ms,
+            archive_skipped: Vec::new(),
+            archive_segments: None,
+        }
     }
 }
 

@@ -10,7 +10,7 @@ use pii_browser::profiles::BrowserKind;
 use pii_core::detect::{DetectionReport, LeakDetector};
 use pii_core::tokens::{TokenSet, TokenSetBuilder};
 use pii_core::tracking::{analyze, TrackingAnalysis};
-use pii_crawler::{CrawlDataset, Crawler, RetryPolicy};
+use pii_crawler::{CrawlDataset, CrawlSummary, Crawler, FunnelStats, RetryPolicy};
 use pii_dns::PublicSuffixList;
 use pii_net::fault::FaultProfile;
 use pii_store::{ArchiveMeta, ArchiveReader, ArchiveWriter, StoreSummary};
@@ -171,22 +171,127 @@ impl Study {
                     .collect();
             }
         }
+        let funnel = dataset.funnel();
         StudyResults {
             universe,
             psl,
             dataset,
+            funnel,
             tokens,
             report,
             tracking,
             degradation,
+            stream: None,
+        }
+    }
+
+    /// [`Study::run`] in streaming, constant-memory mode: the capture is
+    /// replayed from its archive segment by segment (never materializing a
+    /// [`CrawlDataset`]), in batches sized by
+    /// [`crate::streaming::STREAM_BATCH`]. Output is byte-identical to the
+    /// materialized path — same tables, same degradation, same counters —
+    /// for any worker count; only `StudyResults::dataset` differs (it stays
+    /// empty, because not holding it is the point).
+    ///
+    /// Under [`CaptureSource::Live`] the crawl is first spooled to a
+    /// temporary archive ([`Study::crawl_to_archive`], itself streaming),
+    /// then replayed from it and the spool deleted — so even a live
+    /// streaming study never holds more than one batch of sites.
+    ///
+    /// # Panics
+    ///
+    /// As [`Study::run`]: only when the archive cannot be opened at all, or
+    /// (live mode) when the spool archive cannot be written.
+    pub fn run_streaming(self) -> StudyResults {
+        let workers = self.workers.max(1);
+        match self.source.clone() {
+            CaptureSource::Archive(path) => Study::stream_from(&path, self.tokens.clone(), workers),
+            CaptureSource::Live => {
+                static SPOOL: std::sync::atomic::AtomicUsize =
+                    std::sync::atomic::AtomicUsize::new(0);
+                let spool = std::env::temp_dir().join(format!(
+                    "pii-stream-spool-{}-{}.store",
+                    std::process::id(),
+                    SPOOL.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                ));
+                let tokens = self.tokens.clone();
+                self.crawl_to_archive(&spool).unwrap_or_else(|e| {
+                    panic!("cannot spool streaming capture to {}: {e}", spool.display())
+                });
+                let results = Study::stream_from(&spool, tokens, workers);
+                let _ = std::fs::remove_file(&spool);
+                results
+            }
+        }
+    }
+
+    /// The replay half of streaming mode: batch replay of one archive.
+    fn stream_from(path: &Path, tokens: TokenSetBuilder, workers: usize) -> StudyResults {
+        let reader = ArchiveReader::open(path)
+            .unwrap_or_else(|e| panic!("cannot replay {}: {e}", path.display()));
+        let meta = reader.meta().clone();
+        let universe = {
+            let _span = pii_telemetry::span("study.generate");
+            Universe::generate_with(meta.spec)
+        };
+        pii_telemetry::gauge("study.sites", universe.sites.len() as i64);
+        pii_telemetry::gauge("study.workers", workers as i64);
+        let psl = PublicSuffixList::embedded();
+        let tokens = {
+            let _span = pii_telemetry::span("study.tokens");
+            tokens.build(&universe.persona)
+        };
+        pii_telemetry::gauge("study.tokens", tokens.len() as i64);
+        let detector = LeakDetector::new(&tokens, &psl, &universe.zones);
+        let stream = crate::streaming::replay(&reader, &detector, workers);
+        pii_telemetry::gauge("study.leak_events", stream.report.events.len() as i64);
+        let mut report = stream.report;
+        let (tracking, mut degradation) = {
+            let _span = pii_telemetry::span("study.analyze");
+            (
+                analyze(&report),
+                stream.degradation.finish(meta.faults, stream.funnel),
+            )
+        };
+        // Records lost to archive damage are accounted for exactly like
+        // records lost to a panicking detect worker; a clean replay adds
+        // nothing, keeping its output byte-identical to a live run.
+        report.skipped_records += stream.replay.skipped_records();
+        if !stream.replay.skipped.is_empty() {
+            degradation.archive_segments = Some((
+                stream.replay.segments_verified,
+                stream.replay.segments_total,
+            ));
+            degradation.archive_skipped = stream
+                .replay
+                .skipped
+                .iter()
+                .map(|s| (s.describe(), s.reason.clone()))
+                .collect();
+        }
+        StudyResults {
+            dataset: CrawlDataset {
+                browser: meta.browser,
+                crawls: Vec::new(),
+            },
+            universe,
+            psl,
+            funnel: stream.funnel,
+            tokens,
+            report,
+            tracking,
+            degradation,
+            stream: Some(stream.stats),
         }
     }
 
     /// Run only §3 (the crawl), streaming each site's capture into the
-    /// archive at `path` as its shard completes. Returns the sealed
-    /// archive's summary plus the in-memory dataset (for the funnel
-    /// printout); replay the archive later with [`Study::from_archive`].
-    pub fn crawl_to_archive(self, path: &Path) -> std::io::Result<(StoreSummary, CrawlDataset)> {
+    /// archive at `path` as its shard completes — and dropping it once
+    /// written, so the crawl is constant-memory in the site count. Returns
+    /// the sealed archive's summary plus the funnel accounting (for the
+    /// `crawl` subcommand's printout); replay the archive later with
+    /// [`Study::from_archive`].
+    pub fn crawl_to_archive(self, path: &Path) -> std::io::Result<(StoreSummary, CrawlSummary)> {
         let universe = {
             let _span = pii_telemetry::span("study.generate");
             Universe::generate_with(self.spec)
@@ -204,7 +309,7 @@ impl Study {
         crawler.retry = self.retry;
         let writer = std::sync::Mutex::new(ArchiveWriter::create(path, &meta)?);
         let write_error: std::sync::Mutex<Option<std::io::Error>> = std::sync::Mutex::new(None);
-        let dataset = {
+        let crawl_summary = {
             let mut span = pii_telemetry::span("study.crawl");
             span.add_arg("browser", self.capture_browser.name());
             crawler.run_streaming(self.capture_browser, &|index, crawl| {
@@ -218,7 +323,7 @@ impl Study {
             return Err(e);
         }
         let summary = writer.into_inner().unwrap().finish()?;
-        Ok((summary, dataset))
+        Ok((summary, crawl_summary))
     }
 }
 
@@ -226,12 +331,22 @@ impl Study {
 pub struct StudyResults {
     pub universe: Universe,
     pub psl: PublicSuffixList,
+    /// The materialized capture. **Empty under streaming mode** — the whole
+    /// point of [`Study::run_streaming`] is never holding it; consumers that
+    /// need raw crawls (table 4, ablations) must use the materialized path.
     pub dataset: CrawlDataset,
+    /// §3.2 funnel accounting, valid in both execution modes (streaming
+    /// folds it incrementally; the rendered tables read it from here, never
+    /// from `dataset`).
+    pub funnel: FunnelStats,
     pub tokens: TokenSet,
     pub report: DetectionReport,
     pub tracking: TrackingAnalysis,
     /// Self-healing accounting; only rendered when a fault profile was active.
     pub degradation: crate::degradation::Degradation,
+    /// Streaming-replay stats (batch count, peak resident bytes); `None`
+    /// for materialized runs.
+    pub stream: Option<crate::streaming::StreamStats>,
 }
 
 impl StudyResults {

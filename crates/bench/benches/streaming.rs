@@ -1,0 +1,129 @@
+//! Streaming-pipeline trajectory: crawl → archive → batch replay at 1x/10x/
+//! 100x universe scale, emitting `BENCH_streaming.json` next to the
+//! workspace root.
+//!
+//! Not a criterion bench: each scale point is one timed end-to-end pass, and
+//! the artifact is the point — sites/sec and bytes/sec should hold roughly
+//! flat across scales while `peak_stream_bytes` (the replay's deterministic
+//! residency bound) stays pinned to one batch and `vm_hwm_kb` (the OS view)
+//! grows far slower than the universe.
+
+use pii_analysis::Study;
+use pii_web::UniverseSpec;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct ScalePoint {
+    factor: usize,
+    sites: usize,
+    archive_bytes: u64,
+    crawl_secs: f64,
+    replay_secs: f64,
+    sites_per_sec: f64,
+    bytes_per_sec: f64,
+    peak_stream_bytes: u64,
+    vm_hwm_kb: u64,
+}
+
+#[derive(Serialize)]
+struct BenchArtifact {
+    bench: &'static str,
+    points: Vec<ScalePoint>,
+}
+
+/// Peak resident set size so far, from `/proc/self/status` (kB). Zero when
+/// the platform does not expose it; the JSON still records the field so the
+/// trajectory stays comparable across environments.
+fn vm_hwm_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+fn run_scale(factor: usize) -> ScalePoint {
+    let spec = UniverseSpec::default().scaled(factor);
+    let sites = spec.total_sites;
+    let path = std::env::temp_dir().join(format!(
+        "pii-bench-streaming-{}-{factor}x.store",
+        std::process::id()
+    ));
+
+    let mut study = Study::paper();
+    study.spec = spec;
+    let crawl_start = Instant::now();
+    let (summary, _) = study
+        .crawl_to_archive(&path)
+        .expect("write capture archive");
+    let crawl_secs = crawl_start.elapsed().as_secs_f64();
+
+    let replay_start = Instant::now();
+    let r = Study::from_archive(&path).run_streaming();
+    let replay_secs = replay_start.elapsed().as_secs_f64();
+    let stats = r.stream.expect("streaming run reports its stats");
+    assert_eq!(stats.sites, sites, "replay covered every site at {factor}x");
+
+    let _ = std::fs::remove_file(&path);
+    ScalePoint {
+        factor,
+        sites,
+        archive_bytes: summary.bytes_written,
+        crawl_secs,
+        replay_secs,
+        sites_per_sec: sites as f64 / (crawl_secs + replay_secs),
+        bytes_per_sec: summary.bytes_written as f64 / replay_secs,
+        peak_stream_bytes: stats.peak_resident_bytes,
+        vm_hwm_kb: vm_hwm_kb(),
+    }
+}
+
+fn main() {
+    let factors: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let factors = if factors.is_empty() {
+        vec![1, 10, 100]
+    } else {
+        factors
+    };
+
+    let mut points = Vec::new();
+    for factor in factors {
+        let p = run_scale(factor);
+        eprintln!(
+            "[streaming {}x] {} sites | archive {} bytes | crawl {:.2}s | replay {:.2}s | \
+             {:.0} sites/s | {:.0} bytes/s | peak stream {} bytes | VmHWM {} kB",
+            p.factor,
+            p.sites,
+            p.archive_bytes,
+            p.crawl_secs,
+            p.replay_secs,
+            p.sites_per_sec,
+            p.bytes_per_sec,
+            p.peak_stream_bytes,
+            p.vm_hwm_kb
+        );
+        points.push(p);
+    }
+
+    let artifact = BenchArtifact {
+        bench: "streaming",
+        points,
+    };
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_streaming.json");
+    std::fs::write(
+        &out,
+        serde_json::to_string_pretty(&artifact).expect("serialize") + "\n",
+    )
+    .expect("write BENCH_streaming.json");
+    eprintln!("wrote {}", out.display());
+}

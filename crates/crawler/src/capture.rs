@@ -93,30 +93,9 @@ impl CrawlDataset {
     /// §3.2 funnel summary: (total, unreachable, no-auth, blocked, failed,
     /// completed).
     pub fn funnel(&self) -> FunnelStats {
-        let mut stats = FunnelStats {
-            total: self.crawls.len(),
-            ..FunnelStats::default()
-        };
+        let mut stats = FunnelStats::default();
         for c in &self.crawls {
-            match &c.outcome {
-                CrawlOutcome::Completed {
-                    email_confirmed,
-                    bot_detection_passed,
-                } => {
-                    stats.completed += 1;
-                    if *email_confirmed {
-                        stats.email_confirmed += 1;
-                    }
-                    if *bot_detection_passed {
-                        stats.bot_detection += 1;
-                    }
-                }
-                CrawlOutcome::Unreachable => stats.unreachable += 1,
-                CrawlOutcome::NoAuthFlow => stats.no_auth_flow += 1,
-                CrawlOutcome::SignupBlocked(_) => stats.signup_blocked += 1,
-                CrawlOutcome::SignupFailed(_) => stats.signup_failed += 1,
-                CrawlOutcome::Quarantined(_) => stats.quarantined += 1,
-            }
+            stats.observe(&c.outcome);
         }
         stats
     }
@@ -147,6 +126,34 @@ pub struct FunnelStats {
     /// skipped when zero so faultless funnels serialize as before).
     #[serde(skip_serializing_if = "usize_is_zero")]
     pub quarantined: usize,
+}
+
+impl FunnelStats {
+    /// Fold one site outcome into the funnel — the incremental form of
+    /// [`CrawlDataset::funnel`], used by the streaming path where no
+    /// materialized `crawls` vector exists to iterate.
+    pub fn observe(&mut self, outcome: &CrawlOutcome) {
+        self.total += 1;
+        match outcome {
+            CrawlOutcome::Completed {
+                email_confirmed,
+                bot_detection_passed,
+            } => {
+                self.completed += 1;
+                if *email_confirmed {
+                    self.email_confirmed += 1;
+                }
+                if *bot_detection_passed {
+                    self.bot_detection += 1;
+                }
+            }
+            CrawlOutcome::Unreachable => self.unreachable += 1,
+            CrawlOutcome::NoAuthFlow => self.no_auth_flow += 1,
+            CrawlOutcome::SignupBlocked(_) => self.signup_blocked += 1,
+            CrawlOutcome::SignupFailed(_) => self.signup_failed += 1,
+            CrawlOutcome::Quarantined(_) => self.quarantined += 1,
+        }
+    }
 }
 
 fn usize_is_zero(n: &usize) -> bool {

@@ -17,6 +17,16 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// completed the shard (hence `Sync`).
 pub type CrawlSink<'a> = &'a (dyn Fn(usize, &SiteCrawl) + Sync);
 
+/// What a streaming crawl returns instead of a materialized dataset: the
+/// funnel accounting accumulated shard by shard. The crawls themselves went
+/// to the sink and were dropped — the pool never held more than the shards
+/// in flight.
+#[derive(Debug, Clone)]
+pub struct CrawlSummary {
+    pub browser: BrowserKind,
+    pub funnel: crate::capture::FunnelStats,
+}
+
 /// Drives browsers through the site universe.
 pub struct Crawler<'a> {
     universe: &'a Universe,
@@ -55,14 +65,23 @@ impl<'a> Crawler<'a> {
         self.run_with_profile(kind.profile(), filter)
     }
 
-    /// [`Crawler::run`], additionally handing each site's finished crawl to
-    /// `sink` the moment its shard completes (from whichever worker thread
-    /// crawled it — completion order, not site order). The streaming
-    /// archive writer hangs off this hook so a capture is persisted as it
-    /// happens rather than after the fact; the `usize` is the site's
-    /// canonical index, which lets consumers restore universe order.
-    pub fn run_streaming(&self, kind: BrowserKind, sink: CrawlSink<'_>) -> CrawlDataset {
-        self.run_inner(kind.profile(), None, Some(sink))
+    /// Streaming crawl: hands each site's finished crawl to `sink` the
+    /// moment its shard completes (from whichever worker thread crawled it —
+    /// completion order, not site order) and then **drops it**, returning
+    /// only the accumulated funnel. Peak memory is bounded by the shards in
+    /// flight, not the universe size; the streaming archive writer hangs off
+    /// this hook so a capture is persisted as it happens. The `usize` is the
+    /// site's canonical index, which lets consumers restore universe order.
+    pub fn run_streaming(&self, kind: BrowserKind, sink: CrawlSink<'_>) -> CrawlSummary {
+        let funnel = Mutex::new(crate::capture::FunnelStats::default());
+        self.run_pool(kind.profile(), None, &|index, crawl| {
+            sink(index, &crawl);
+            funnel.lock().observe(&crawl.outcome);
+        });
+        CrawlSummary {
+            browser: kind,
+            funnel: funnel.into_inner(),
+        }
     }
 
     /// Crawl with an explicit (possibly counterfactual) browser profile —
@@ -73,15 +92,32 @@ impl<'a> Crawler<'a> {
         profile: pii_browser::profiles::BrowserProfile,
         filter: Option<&[String]>,
     ) -> CrawlDataset {
-        self.run_inner(profile, filter, None)
+        // The materialized view is itself just a consumer of the streaming
+        // pool: collect the shards, then restore canonical site order.
+        let results: Mutex<Vec<(usize, SiteCrawl)>> = Mutex::new(Vec::new());
+        let browser = self.run_pool(profile, filter, &|index, crawl| {
+            results.lock().push((index, crawl));
+        });
+        let mut results = results.into_inner();
+        results.sort_by_key(|(i, _)| *i);
+        CrawlDataset {
+            browser,
+            crawls: results.into_iter().map(|(_, crawl)| crawl).collect(),
+        }
     }
 
-    fn run_inner(
+    /// The worker pool underneath both execution modes. `deliver` receives
+    /// every site exactly once, by value: completed shards in completion
+    /// order from the worker threads, then — after the pool drains — a
+    /// quarantined placeholder in index order for any site nobody delivered
+    /// (worker lost outside the panic guard), so no site is silently
+    /// dropped. The pool itself holds no results.
+    fn run_pool(
         &self,
         profile: pii_browser::profiles::BrowserProfile,
         filter: Option<&[String]>,
-        sink: Option<CrawlSink<'_>>,
-    ) -> CrawlDataset {
+        deliver: &(dyn Fn(usize, SiteCrawl) + Sync),
+    ) -> BrowserKind {
         let sites: Vec<&Site> = self
             .universe
             .sites
@@ -89,7 +125,7 @@ impl<'a> Crawler<'a> {
             .filter(|s| filter.is_none_or(|f| f.contains(&s.domain)))
             .collect();
         let plan = (!self.faults.is_inert()).then_some(&self.faults);
-        let results: Mutex<Vec<(usize, SiteCrawl)>> = Mutex::new(Vec::with_capacity(sites.len()));
+        let delivered: Mutex<Vec<bool>> = Mutex::new(vec![false; sites.len()]);
         let next = AtomicUsize::new(0);
         // Sites whose worker panicked, tagged with the panicking worker so a
         // *different* worker retries them when possible.
@@ -100,8 +136,8 @@ impl<'a> Crawler<'a> {
         // aborting the crawl.
         let _ = crossbeam::thread::scope(|scope| {
             for worker_id in 0..self.workers.max(1) {
-                let (sites, results, next, requeued, profile) =
-                    (&sites, &results, &next, &requeued, &profile);
+                let (sites, delivered, next, requeued, profile) =
+                    (&sites, &delivered, &next, &requeued, &profile);
                 scope.spawn(move |_| {
                     let mut browser = self.fresh_browser(profile, plan);
                     loop {
@@ -158,10 +194,8 @@ impl<'a> Crawler<'a> {
                                         1,
                                     );
                                 }
-                                if let Some(sink) = sink {
-                                    sink(index, &crawl);
-                                }
-                                results.lock().push((index, crawl));
+                                delivered.lock()[index] = true;
+                                deliver(index, crawl);
                             }
                             Err(payload) => {
                                 pii_telemetry::counter("crawler.panics", 1);
@@ -174,10 +208,8 @@ impl<'a> Crawler<'a> {
                                         sites[index],
                                         format!("crawl worker panicked twice: {reason}"),
                                     );
-                                    if let Some(sink) = sink {
-                                        sink(index, &crawl);
-                                    }
-                                    results.lock().push((index, crawl));
+                                    delivered.lock()[index] = true;
+                                    deliver(index, crawl);
                                 } else {
                                     requeued.lock().push((index, worker_id));
                                 }
@@ -187,34 +219,17 @@ impl<'a> Crawler<'a> {
                 });
             }
         });
-        let mut results = results.into_inner();
-        results.sort_by_key(|(i, _)| *i);
         // Gap-fill: a site nobody delivered (worker lost outside the panic
         // guard) is quarantined rather than silently dropped.
-        let mut by_index: Vec<Option<SiteCrawl>> = sites.iter().map(|_| None).collect();
-        for (index, crawl) in results {
-            if index < by_index.len() {
-                by_index[index] = Some(crawl);
+        for (index, seen) in delivered.into_inner().into_iter().enumerate() {
+            if !seen {
+                deliver(
+                    index,
+                    quarantined(sites[index], "crawl worker lost".to_string()),
+                );
             }
         }
-        let crawls = by_index
-            .into_iter()
-            .zip(&sites)
-            .enumerate()
-            .map(|(index, (slot, site))| {
-                slot.unwrap_or_else(|| {
-                    let crawl = quarantined(site, "crawl worker lost".to_string());
-                    if let Some(sink) = sink {
-                        sink(index, &crawl);
-                    }
-                    crawl
-                })
-            })
-            .collect();
-        CrawlDataset {
-            browser: profile.kind,
-            crawls,
-        }
+        profile.kind
     }
 
     fn fresh_browser<'b>(

@@ -32,5 +32,5 @@ pub mod har;
 pub mod retry;
 
 pub use capture::{CrawlDataset, CrawlOutcome, FunnelStats, SiteCrawl, SiteResilience};
-pub use flow::{CrawlSink, Crawler};
+pub use flow::{CrawlSink, CrawlSummary, Crawler};
 pub use retry::{RetryPolicy, SimClock};

@@ -9,11 +9,27 @@
 //! (so the funnel still accounts for it) plus a [`SkippedSegment`] note with
 //! the record count the archive claimed, which the study feeds into the
 //! existing `skipped_records` / degradation machinery.
+//!
+//! The reader has two backends behind one [`Source`]: in-memory bytes
+//! (tests, corruption suites) and a buffered seekable file. The file backend
+//! is what makes replay constant-memory: [`ArchiveReader::open`] reads only
+//! the leading magic, the trailer, the footer, and the meta segment — never
+//! the segment region — and every site's bytes are fetched on demand through
+//! the footer index ([`ArchiveReader::read_entry`]). The recovery scan works
+//! the same way, walking headers with bounded reads and resyncing through a
+//! sliding window instead of a whole-file buffer. Both backends share every
+//! line of framing, CRC, and quarantine logic, so the corruption proptests
+//! that pin the memory backend pin the file backend too.
 
 use crate::format::{self, FrameError, IndexEntry, SegmentKind};
 use crate::writer::ArchiveMeta;
+use parking_lot::Mutex;
 use pii_crawler::{CrawlDataset, CrawlOutcome, SiteCrawl};
+use std::io::{Read, Seek, SeekFrom};
 use std::path::Path;
+
+/// Window size for the bounded resync scan over a damaged region.
+const SCAN_WINDOW: usize = 64 * 1024;
 
 /// Why an archive could not be opened at all. Damage *inside* the archive
 /// never produces this — only a missing/unreadable file, foreign bytes, or
@@ -97,9 +113,61 @@ pub struct Replay {
     pub report: ReplayReport,
 }
 
-/// Random-access, checksum-verifying reader over one archive file.
+/// Where archive bytes come from. Both variants expose the same bounded
+/// random-access read, so every framing/CRC decision above them is shared.
+enum Source {
+    /// The whole archive in memory (tests, corruption suites).
+    Memory(Vec<u8>),
+    /// A seekable file handle; only the requested ranges are ever read.
+    /// The mutex serialises seek+read pairs so `&self` reads stay coherent
+    /// across the parallel replay workers.
+    File {
+        file: Mutex<std::fs::File>,
+        len: u64,
+    },
+}
+
+impl Source {
+    fn len(&self) -> u64 {
+        match self {
+            Source::Memory(bytes) => bytes.len() as u64,
+            Source::File { len, .. } => *len,
+        }
+    }
+
+    /// Up to `len` bytes at `offset`, clamped to EOF: a short (or empty)
+    /// result means the range ran off the end, exactly like a slice `get`
+    /// on the memory backend. The clamp also caps the allocation, so a
+    /// corrupt length field can never ask for more than the file holds.
+    fn read_at(&self, offset: u64, len: usize) -> std::io::Result<Vec<u8>> {
+        let available = self.len().saturating_sub(offset);
+        let want = (len as u64).min(available) as usize;
+        match self {
+            Source::Memory(bytes) => {
+                let at = (offset as usize).min(bytes.len());
+                Ok(bytes[at..at + want].to_vec())
+            }
+            Source::File { file, .. } => {
+                let mut buf = vec![0u8; want];
+                let mut file = file.lock();
+                file.seek(SeekFrom::Start(offset))?;
+                file.read_exact(&mut buf)?;
+                Ok(buf)
+            }
+        }
+    }
+
+    /// [`Source::read_at`] with I/O failure degraded to an empty buffer —
+    /// the recovery scan treats an unreadable range like EOF and keeps
+    /// whatever it already indexed, rather than aborting the replay.
+    fn read_or_eof(&self, offset: u64, len: usize) -> Vec<u8> {
+        self.read_at(offset, len).unwrap_or_default()
+    }
+}
+
+/// Random-access, checksum-verifying reader over one archive.
 pub struct ArchiveReader {
-    bytes: Vec<u8>,
+    source: Source,
     meta: ArchiveMeta,
     /// Site-segment index in canonical (site-index) order.
     index: Vec<IndexEntry>,
@@ -109,35 +177,46 @@ pub struct ArchiveReader {
 }
 
 impl ArchiveReader {
-    /// Open and index an archive file.
+    /// Open and index an archive file **without reading its body**: only
+    /// the leading magic, the trailer, the footer index (or, on damage, a
+    /// bounded sequential scan), and the meta segment are fetched. Segment
+    /// bytes are read per site, so opening a multi-gigabyte archive costs
+    /// the footer, not the file.
     pub fn open(path: &Path) -> Result<ArchiveReader, StoreError> {
         let mut span = pii_telemetry::span("store.open");
         span.add_arg("path", &path.display().to_string());
-        let bytes = std::fs::read(path)?;
-        ArchiveReader::from_bytes(bytes)
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len();
+        ArchiveReader::from_source(Source::File {
+            file: Mutex::new(file),
+            len,
+        })
     }
 
     /// Open from in-memory bytes (tests, corruption suites).
     pub fn from_bytes(bytes: Vec<u8>) -> Result<ArchiveReader, StoreError> {
-        if bytes.len() < format::FILE_MAGIC.len()
-            || &bytes[..format::FILE_MAGIC.len()] != format::FILE_MAGIC
-        {
+        ArchiveReader::from_source(Source::Memory(bytes))
+    }
+
+    fn from_source(source: Source) -> Result<ArchiveReader, StoreError> {
+        let magic = source.read_at(0, format::FILE_MAGIC.len())?;
+        if magic.as_slice() != format::FILE_MAGIC {
             return Err(StoreError::NotAnArchive);
         }
-        let (index, scan_damage, used_footer) = match ArchiveReader::index_from_footer(&bytes) {
+        let (index, scan_damage, used_footer) = match ArchiveReader::index_from_footer(&source) {
             Some(index) => (index, Vec::new(), true),
             None => {
-                let (index, damage) = ArchiveReader::index_from_scan(&bytes);
+                let (index, damage) = ArchiveReader::index_from_scan(&source);
                 (index, damage, false)
             }
         };
         // The meta segment is the one record replay cannot proceed without.
-        let meta_at = format::FILE_MAGIC.len();
-        let meta = format::read_segment_header(&bytes, meta_at)
-            .and_then(|h| format::verify_payload_at(&bytes, meta_at, &h).map(|p| (h, p)))
+        let meta_at = format::FILE_MAGIC.len() as u64;
+        let meta = read_header_at(&source, meta_at)
+            .and_then(|h| verify_payload_for(&source, meta_at, &h).map(|p| (h, p)))
             .and_then(|(h, payload)| {
                 if h.kind == SegmentKind::Meta {
-                    format::decode_record::<ArchiveMeta>(payload)
+                    format::decode_record::<ArchiveMeta>(&payload)
                 } else {
                     Err(FrameError::Corrupt("first segment is not meta"))
                 }
@@ -145,7 +224,7 @@ impl ArchiveReader {
             .map_err(|e| StoreError::MetaUnreadable(e.to_string()))?;
         pii_telemetry::counter("store.archives_opened", 1);
         Ok(ArchiveReader {
-            bytes,
+            source,
             meta,
             index,
             scan_damage,
@@ -167,9 +246,39 @@ impl ArchiveReader {
         self.index.is_empty()
     }
 
-    fn index_from_footer(bytes: &[u8]) -> Option<Vec<IndexEntry>> {
-        let (offset, len) = format::read_trailer(bytes).ok()?;
-        let mut index = format::read_footer(bytes, offset as usize, len as usize).ok()?;
+    /// The site-segment index in canonical (site-index) order — the
+    /// iteration spine for streaming replay.
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.index
+    }
+
+    /// Anonymous damaged regions found while indexing (recovery scan only);
+    /// a streaming replay seeds its skip list with these, exactly as
+    /// [`ArchiveReader::read_dataset`] does.
+    pub fn scan_damage(&self) -> &[SkippedSegment] {
+        &self.scan_damage
+    }
+
+    /// False when the footer was unusable and the reader recovered by
+    /// scanning segments sequentially.
+    pub fn used_footer(&self) -> bool {
+        self.used_footer
+    }
+
+    fn index_from_footer(source: &Source) -> Option<Vec<IndexEntry>> {
+        let len = source.len();
+        if len < format::TRAILER_LEN as u64 {
+            return None;
+        }
+        let tail = source
+            .read_at(len - format::TRAILER_LEN as u64, format::TRAILER_LEN)
+            .ok()?;
+        let (offset, flen) = format::read_trailer(&tail).ok()?;
+        let footer = source.read_at(offset, flen as usize).ok()?;
+        if footer.len() != flen as usize {
+            return None; // claimed footer runs past EOF — truncated
+        }
+        let mut index = format::read_footer(&footer, 0, footer.len()).ok()?;
         index.sort_by_key(|e| e.site_index);
         Some(index)
     }
@@ -178,57 +287,56 @@ impl ArchiveReader {
     /// the path taken when the footer or trailer is lost. Framing damage
     /// resyncs on the next segment magic; everything before EOF with an
     /// intact header becomes an index entry (payloads are verified later,
-    /// per read, exactly like the footer path).
-    fn index_from_scan(bytes: &[u8]) -> (Vec<IndexEntry>, Vec<SkippedSegment>) {
+    /// per read, exactly like the footer path). All reads are bounded:
+    /// headers cost their own size, resync slides a [`SCAN_WINDOW`] buffer.
+    fn index_from_scan(source: &Source) -> (Vec<IndexEntry>, Vec<SkippedSegment>) {
+        let len = source.len();
         let mut index = Vec::new();
         let mut damage = Vec::new();
-        let mut at = format::FILE_MAGIC.len();
-        while at < bytes.len() {
+        let mut at = format::FILE_MAGIC.len() as u64;
+        while at < len {
             // Reaching the footer (even one whose CRC failed, which is why
             // we are scanning) or a bare trailer ends the segment region.
-            if bytes[at..].starts_with(format::FOOTER_MAGIC) {
+            let peek = source.read_or_eof(at, format::FOOTER_MAGIC.len());
+            if peek.as_slice() == format::FOOTER_MAGIC {
                 break;
             }
-            if bytes.len() - at == format::TRAILER_LEN && format::read_trailer(bytes).is_ok() {
+            if len - at == format::TRAILER_LEN as u64
+                && format::read_trailer(&source.read_or_eof(at, format::TRAILER_LEN)).is_ok()
+            {
                 break;
             }
-            match format::read_segment_header(bytes, at) {
+            match read_header_at(source, at) {
                 Ok(header) => {
                     if header.kind == SegmentKind::Site {
                         index.push(IndexEntry {
                             site_index: header.site_index,
-                            offset: at as u64,
+                            offset: at,
                             segment_len: header.segment_len() as u32,
                             records: header.records,
                             label: header.label.clone(),
                         });
                     }
-                    at += header.segment_len();
+                    at += header.segment_len() as u64;
                 }
                 Err(FrameError::Truncated) => {
                     damage.push(SkippedSegment {
                         label: None,
-                        offset: at as u64,
+                        offset: at,
                         records: 0,
                         reason: "truncated tail".to_string(),
                     });
                     break;
                 }
                 Err(_) => {
-                    // Resync: find the next segment magic (or the footer)
-                    // past this damaged region.
-                    let resync = (at + 1..bytes.len().saturating_sub(3)).find(|&i| {
-                        &bytes[i..i + 4] == format::SEGMENT_MAGIC
-                            || &bytes[i..i + 4] == format::FOOTER_MAGIC
-                    });
                     damage.push(SkippedSegment {
                         label: None,
-                        offset: at as u64,
+                        offset: at,
                         records: 0,
                         reason: "unreadable region (bad segment framing)".to_string(),
                     });
-                    match resync {
-                        Some(next) if &bytes[next..next + 4] == format::SEGMENT_MAGIC => at = next,
+                    match ArchiveReader::resync(source, at + 1) {
+                        Some((next, true)) => at = next,
                         _ => break,
                     }
                 }
@@ -238,14 +346,47 @@ impl ArchiveReader {
         (index, damage)
     }
 
-    /// Verify and decode the site crawl behind one index entry.
+    /// Find the next segment (or footer) magic at/after `from`, reading
+    /// through a sliding window instead of the whole tail. Returns the
+    /// match offset and whether it was a *segment* magic (scanning resumes
+    /// there; a footer magic ends the segment region instead).
+    fn resync(source: &Source, from: u64) -> Option<(u64, bool)> {
+        let len = source.len();
+        let mut pos = from;
+        while pos + 4 <= len {
+            let want = SCAN_WINDOW.min((len - pos) as usize);
+            let buf = source.read_or_eof(pos, want);
+            if buf.len() < 4 {
+                return None;
+            }
+            for i in 0..=buf.len() - 4 {
+                let word = &buf[i..i + 4];
+                if word == format::SEGMENT_MAGIC {
+                    return Some((pos + i as u64, true));
+                }
+                if word == format::FOOTER_MAGIC {
+                    return Some((pos + i as u64, false));
+                }
+            }
+            // Overlap by 3 bytes so a magic straddling the window edge is
+            // still found.
+            pos += (buf.len() - 3) as u64;
+        }
+        None
+    }
+
+    /// Verify and decode the site crawl behind one index entry. Exactly one
+    /// bounded read: the segment's own bytes, via the entry's offset/length.
     fn decode_entry(&self, entry: &IndexEntry) -> Result<SiteCrawl, FrameError> {
-        let offset = entry.offset as usize;
-        let header = format::read_segment_header(&self.bytes, offset)?;
+        let segment = self
+            .source
+            .read_at(entry.offset, entry.segment_len as usize)
+            .map_err(|_| FrameError::Corrupt("archive I/O"))?;
+        let header = format::read_segment_header(&segment, 0)?;
         if header.kind != SegmentKind::Site {
             return Err(FrameError::Corrupt("expected a site segment"));
         }
-        let payload = format::verify_payload_at(&self.bytes, offset, &header)?;
+        let payload = format::verify_payload_at(&segment, 0, &header)?;
         format::decode_site(payload)
     }
 
@@ -254,6 +395,30 @@ impl ArchiveReader {
     pub fn site(&self, domain: &str) -> Option<SiteCrawl> {
         let entry = self.index.iter().find(|e| e.label == domain)?;
         self.decode_entry(entry).ok()
+    }
+
+    /// Verify and decode one indexed segment — the streaming replay's
+    /// per-site read. Shares the CRC/decode path with
+    /// [`ArchiveReader::read_dataset`]; on failure the caller builds the
+    /// same placeholder via [`ArchiveReader::quarantine_placeholder`].
+    pub fn read_entry(&self, entry: &IndexEntry) -> Result<SiteCrawl, FrameError> {
+        self.decode_entry(entry)
+    }
+
+    /// The `Quarantined` placeholder row standing in for a damaged segment —
+    /// one shared constructor so the materialized and streaming replays
+    /// degrade identically, byte for byte.
+    pub fn quarantine_placeholder(entry: &IndexEntry, error: &FrameError) -> SiteCrawl {
+        SiteCrawl {
+            domain: entry.label.clone(),
+            outcome: CrawlOutcome::Quarantined(format!(
+                "archive: segment {} ({} records lost)",
+                error, entry.records
+            )),
+            records: Vec::new(),
+            stored_cookies: Vec::new(),
+            resilience: None,
+        }
     }
 
     /// Read the whole capture back, skipping damaged segments.
@@ -286,16 +451,7 @@ impl ArchiveReader {
                         records: entry.records,
                         reason: e.to_string(),
                     });
-                    crawls.push(SiteCrawl {
-                        domain: entry.label.clone(),
-                        outcome: CrawlOutcome::Quarantined(format!(
-                            "archive: segment {} ({} records lost)",
-                            e, entry.records
-                        )),
-                        records: Vec::new(),
-                        stored_cookies: Vec::new(),
-                        resilience: None,
-                    });
+                    crawls.push(ArchiveReader::quarantine_placeholder(entry, &e));
                 }
             }
         }
@@ -307,4 +463,45 @@ impl ArchiveReader {
             report,
         }
     }
+}
+
+/// Read and CRC-verify the segment header at `at` with two bounded reads:
+/// the fixed header part (which carries the label length), then the label
+/// and header CRC. Parsing is delegated to [`format::read_segment_header`]
+/// over the assembled buffer, so truncation/corruption classification is
+/// bit-identical to the in-memory path.
+fn read_header_at(source: &Source, at: u64) -> Result<format::SegmentHeader, FrameError> {
+    let mut buf = source
+        .read_at(at, format::SEGMENT_FIXED_LEN)
+        .map_err(|_| FrameError::Corrupt("archive I/O"))?;
+    if buf.len() == format::SEGMENT_FIXED_LEN {
+        let label_len = u16::from_le_bytes([
+            buf[format::SEGMENT_FIXED_LEN - 2],
+            buf[format::SEGMENT_FIXED_LEN - 1],
+        ]) as usize;
+        let rest = source
+            .read_at(at + format::SEGMENT_FIXED_LEN as u64, label_len + 4)
+            .map_err(|_| FrameError::Corrupt("archive I/O"))?;
+        buf.extend_from_slice(&rest);
+    }
+    format::read_segment_header(&buf, 0)
+}
+
+/// Read and CRC-verify the payload for a header parsed at `at`.
+fn verify_payload_for(
+    source: &Source,
+    at: u64,
+    header: &format::SegmentHeader,
+) -> Result<Vec<u8>, FrameError> {
+    let start = at + header.encoded_len() as u64;
+    let payload = source
+        .read_at(start, header.payload_len as usize)
+        .map_err(|_| FrameError::Corrupt("archive I/O"))?;
+    if payload.len() != header.payload_len as usize {
+        return Err(FrameError::Truncated);
+    }
+    if format::crc32(&payload) != header.payload_crc {
+        return Err(FrameError::Corrupt("segment payload CRC"));
+    }
+    Ok(payload)
 }

@@ -35,7 +35,7 @@ use serde::{Deserialize, Serialize};
 pub const DEFAULT_SEED: u64 = 0x434f_4e45_5854;
 
 /// Tunable universe parameters (defaults reproduce the paper).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UniverseSpec {
     pub seed: u64,
     /// Total candidate shopping sites.
@@ -79,31 +79,72 @@ impl UniverseSpec {
     /// Site-funnel quotas and mail volume grow linearly; `senders` stays at
     /// the paper's 130 because the leak edges are bound to the fixed Table 2
     /// provider catalog, and `seed` is kept so scaled runs stay reproducible.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when any scaled quota overflows its
+    /// integer type. Unchecked multiplication here would panic opaquely in
+    /// debug builds and *wrap silently* in release builds, quietly distorting
+    /// every downstream count — failing loudly is the only safe behaviour.
     pub fn scaled(&self, factor: usize) -> UniverseSpec {
         let factor = factor.max(1);
+        let scale = |name: &str, n: usize| -> usize {
+            n.checked_mul(factor).unwrap_or_else(|| {
+                panic!("universe spec overflow: {name} ({n}) x factor {factor} exceeds usize")
+            })
+        };
+        let scale_mail = |name: &str, n: u32| -> u32 {
+            u64::from(n)
+                .checked_mul(factor as u64)
+                .and_then(|v| u32::try_from(v).ok())
+                .unwrap_or_else(|| {
+                    panic!("universe spec overflow: {name} ({n}) x factor {factor} exceeds u32")
+                })
+        };
         UniverseSpec {
             seed: self.seed,
-            total_sites: self.total_sites * factor,
-            unreachable: self.unreachable * factor,
-            no_auth_flow: self.no_auth_flow * factor,
-            blocked_phone: self.blocked_phone * factor,
-            blocked_id_docs: self.blocked_id_docs * factor,
-            blocked_geo: self.blocked_geo * factor,
-            email_confirmation: self.email_confirmation * factor,
-            bot_detection: self.bot_detection * factor,
+            total_sites: scale("total_sites", self.total_sites),
+            unreachable: scale("unreachable", self.unreachable),
+            no_auth_flow: scale("no_auth_flow", self.no_auth_flow),
+            blocked_phone: scale("blocked_phone", self.blocked_phone),
+            blocked_id_docs: scale("blocked_id_docs", self.blocked_id_docs),
+            blocked_geo: scale("blocked_geo", self.blocked_geo),
+            email_confirmation: scale("email_confirmation", self.email_confirmation),
+            bot_detection: scale("bot_detection", self.bot_detection),
             senders: self.senders,
-            emails: (self.emails.0 * factor as u32, self.emails.1 * factor as u32),
+            emails: (
+                scale_mail("emails.inbox", self.emails.0),
+                scale_mail("emails.spam", self.emails.1),
+            ),
         }
     }
 
     /// Crawlable site count implied by the funnel.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a descriptive message when the funnel quotas are
+    /// inconsistent (they sum past `total_sites`, or the sum itself
+    /// overflows). The previous chained subtraction underflowed here —
+    /// panicking in debug, wrapping to an absurd site count in release.
     pub fn crawlable(&self) -> usize {
-        self.total_sites
-            - self.unreachable
-            - self.no_auth_flow
-            - self.blocked_phone
-            - self.blocked_id_docs
-            - self.blocked_geo
+        let quotas = [
+            self.unreachable,
+            self.no_auth_flow,
+            self.blocked_phone,
+            self.blocked_id_docs,
+            self.blocked_geo,
+        ];
+        let excluded = quotas
+            .iter()
+            .try_fold(0usize, |sum, &q| sum.checked_add(q))
+            .unwrap_or_else(|| panic!("inconsistent universe spec: funnel quotas overflow usize"));
+        self.total_sites.checked_sub(excluded).unwrap_or_else(|| {
+            panic!(
+                "inconsistent universe spec: funnel quotas ({excluded}) exceed total_sites ({})",
+                self.total_sites
+            )
+        })
     }
 }
 
@@ -247,18 +288,30 @@ impl Generator {
         const TLDS: [&str; 8] = [
             "com", "com", "com", "net", "co.jp", "co.uk", "shop", "store",
         ];
+        // Every index below cycles with period lcm(360, 8, 97, 3): past one
+        // full cycle the candidate stream repeats verbatim, so the cyclic
+        // pool tops out at ~23k distinct names and the loop would spin
+        // forever on larger scaled universes.
+        const DOMAIN_CYCLE: usize = 34_920;
         let mut out = vec!["loccitane.com".to_string(), "nykaa.com".to_string()];
+        // Linear-scan dedup is quadratic in the site count; a side set keeps
+        // scaled universes (100x and up) generating in linear time.
+        let mut seen: std::collections::HashSet<String> = out.iter().cloned().collect();
         let mut n = 0usize;
         while out.len() < self.spec.total_sites {
             let p = PREFIXES[n % PREFIXES.len()];
             let s = STEMS[(n / PREFIXES.len() + n) % STEMS.len()];
             let t = TLDS[n % TLDS.len()];
-            let candidate = if n.is_multiple_of(3) {
+            let candidate = if n >= DOMAIN_CYCLE {
+                // The raw counter never repeats, and at five-plus digits it
+                // cannot collide with the `n % 97` names of the first cycle.
+                format!("{p}{s}{n}.{t}")
+            } else if n.is_multiple_of(3) {
                 format!("{p}{s}.{t}")
             } else {
                 format!("{p}{s}{}.{t}", n % 97)
             };
-            if !out.contains(&candidate) {
+            if seen.insert(candidate.clone()) {
                 out.push(candidate);
             }
             n += 1;
@@ -845,6 +898,62 @@ mod tests {
 
     fn universe() -> Universe {
         Universe::generate()
+    }
+
+    #[test]
+    fn scaled_multiplies_every_funnel_quota() {
+        let s = UniverseSpec::default().scaled(10);
+        let base = UniverseSpec::default();
+        assert_eq!(s.total_sites, base.total_sites * 10);
+        assert_eq!(s.unreachable, base.unreachable * 10);
+        assert_eq!(s.emails.0, base.emails.0 * 10);
+        assert_eq!(s.emails.1, base.emails.1 * 10);
+        assert_eq!(s.senders, base.senders, "sender catalog is fixed");
+        assert_eq!(s.seed, base.seed, "seed survives scaling");
+        assert_eq!(s.crawlable(), base.crawlable() * 10);
+    }
+
+    #[test]
+    fn scaled_by_zero_or_one_is_identity() {
+        let base = UniverseSpec::default();
+        assert_eq!(base.scaled(0), base);
+        assert_eq!(base.scaled(1), base);
+    }
+
+    #[test]
+    fn scaled_accepts_the_largest_factor_that_fits() {
+        // emails.inbox is the tightest field (u32); the largest safe factor
+        // must scale without panicking, and one more must fail loudly.
+        let base = UniverseSpec::default();
+        let limit = (u32::MAX / base.emails.1.max(base.emails.0)) as usize;
+        let s = base.scaled(limit);
+        assert_eq!(s.emails.1, base.emails.1 * limit as u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe spec overflow")]
+    fn scaled_overflow_fails_loudly_on_usize_fields() {
+        UniverseSpec::default().scaled(usize::MAX / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe spec overflow: emails.inbox")]
+    fn scaled_overflow_fails_loudly_on_mail_volume() {
+        let base = UniverseSpec::default();
+        let too_big = (u32::MAX / base.emails.1.max(base.emails.0)) as usize + 1;
+        base.scaled(too_big);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent universe spec")]
+    fn crawlable_underflow_fails_loudly() {
+        let spec = UniverseSpec {
+            total_sites: 10,
+            unreachable: 8,
+            no_auth_flow: 7,
+            ..UniverseSpec::default()
+        };
+        spec.crawlable();
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! pii-study export <dir>               write dataset artifacts + HAR + capture archive
 //! pii-study seed <u64> <subcommand>    run any of the above on another seed
 //! pii-study --from <store> <cmd>       replay a capture archive instead of crawling
+//! pii-study --stream tables            constant-memory pipeline: crawls spool straight to
+//!                                      disk, detection replays the archive batch by batch —
+//!                                      same bytes out, peak memory bounded by one batch
 //! pii-study --workers <n> <subcommand> size of the crawl/detect worker pool
 //! pii-study --faults <profile> <cmd>   inject transport faults (none|paper-may-2021|hostile)
 //! pii-study --retries <n> <cmd>        max page-load attempts for the fault-injected crawl
@@ -31,7 +34,7 @@ use pii_suite::web::UniverseSpec;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pii-study [seed|--seed <u64>] [--from <store>] [--workers <n>] [--faults <none|paper-may-2021|hostile>] [--retries <n>] [--metrics] [--trace <out.json>] <full|tables|stats|sweep [N]|browsers|blocklists|ablations|counterfactual|crowdsource [K]|crawl --out <store>|export <dir>>"
+        "usage: pii-study [seed|--seed <u64>] [--from <store>] [--stream] [--workers <n>] [--faults <none|paper-may-2021|hostile>] [--retries <n>] [--metrics] [--trace <out.json>] <full|tables|stats|sweep [N]|browsers|blocklists|ablations|counterfactual|crowdsource [K]|crawl --out <store>|export <dir>>"
     );
     std::process::exit(2);
 }
@@ -47,6 +50,10 @@ struct StudyArgs {
     trace: Option<String>,
     /// Replay this capture archive instead of crawling.
     from: Option<String>,
+    /// Run the constant-memory streaming pipeline instead of materializing
+    /// the crawl dataset. Only `tables` supports it — Table 4 and the
+    /// ablations revisit raw crawl records and need the materialized path.
+    stream: bool,
 }
 
 fn configure_study(args: &StudyArgs) -> Study {
@@ -83,7 +90,12 @@ fn run_study(args: &StudyArgs) -> StudyResults {
             study.spec.seed, study.workers, study.faults
         );
     }
-    study.run()
+    if args.stream {
+        eprintln!("streaming mode: batch replay, no materialized dataset…");
+        study.run_streaming()
+    } else {
+        study.run()
+    }
 }
 
 fn print_tables(r: &StudyResults) {
@@ -110,6 +122,7 @@ fn main() {
         metrics: false,
         trace: None,
         from: None,
+        stream: false,
     };
     loop {
         match args.first().map(String::as_str) {
@@ -159,6 +172,10 @@ fn main() {
                 study_args.from = Some(path.clone());
                 args = &args[2..];
             }
+            Some("--stream") => {
+                study_args.stream = true;
+                args = &args[1..];
+            }
             _ => break,
         }
     }
@@ -168,6 +185,10 @@ fn main() {
         pii_suite::telemetry::enable();
     }
     let Some(command) = args.first() else { usage() };
+    if study_args.stream && command != "tables" {
+        eprintln!("--stream only applies to `tables`: the other subcommands revisit raw crawl records and need the materialized dataset");
+        usage();
+    }
     match command.as_str() {
         "full" => {
             let r = run_study(&study_args);
@@ -191,6 +212,12 @@ fn main() {
         "tables" => {
             let r = run_study(&study_args);
             print_tables(&r);
+            if let Some(s) = r.stream {
+                eprintln!(
+                    "streamed {} sites in {} batches; peak resident segment bytes: {}",
+                    s.sites, s.batches, s.peak_resident_bytes
+                );
+            }
         }
         "browsers" => {
             let r = run_study(&study_args);
@@ -312,8 +339,8 @@ fn main() {
                 study.faults,
                 out.display()
             );
-            let (summary, dataset) = study.crawl_to_archive(&out).expect("write archive");
-            let funnel = dataset.funnel();
+            let (summary, crawl) = study.crawl_to_archive(&out).expect("write archive");
+            let funnel = crawl.funnel;
             println!(
                 "crawled {} sites ({} completed auth flows); archived {} segments, {} bytes ({:.2}x compression)",
                 funnel.total,
