@@ -1,6 +1,6 @@
-.PHONY: ci build test clippy bench fmt-check fault-matrix telemetry-smoke store-smoke stream-smoke bench-trajectory
+.PHONY: ci build test clippy bench fmt-check fault-matrix telemetry-smoke store-smoke stream-smoke chaos-smoke bench-trajectory
 
-ci: build test fault-matrix telemetry-smoke store-smoke stream-smoke clippy fmt-check
+ci: build test fault-matrix telemetry-smoke store-smoke stream-smoke chaos-smoke clippy fmt-check
 
 build:
 	cargo build --release --workspace
@@ -46,6 +46,24 @@ stream-smoke:
 	cargo run --release -q -- --seed 7 tables > target/stream-live.txt
 	cargo run --release -q -- --seed 7 --stream tables > target/stream-live-streamed.txt
 	cmp target/stream-live.txt target/stream-live-streamed.txt
+
+# Crash-consistency smoke: kill the archive writer at a segment boundary,
+# confirm `store verify` flags the torn file, resume the crawl, and require
+# the finished archive to be byte-identical to an uninterrupted run and to
+# verify clean. Then flip a byte, and require verify → repair → verify to go
+# dirty → fixed → clean.
+chaos-smoke:
+	rm -f target/chaos.store
+	! cargo run --release -q -- --seed 7 --workers 1 crawl --out target/chaos.store --kill after-segment:100 2> /dev/null
+	! cargo run --release -q -- store verify target/chaos.store > /dev/null
+	cargo run --release -q -- --seed 7 --workers 1 crawl --out target/chaos.store --resume > /dev/null
+	cargo run --release -q -- store verify target/chaos.store > /dev/null
+	cargo run --release -q -- --seed 7 --workers 1 crawl --out target/chaos-uncut.store > /dev/null
+	cmp target/chaos.store target/chaos-uncut.store
+	cargo run --release -q --example corrupt_store target/chaos.store target/chaos-corrupt.store
+	! cargo run --release -q -- store verify target/chaos-corrupt.store > /dev/null
+	cargo run --release -q -- store repair target/chaos-corrupt.store > /dev/null
+	cargo run --release -q -- store verify target/chaos-corrupt.store > /dev/null
 
 # Scale trajectory for the streaming pipeline: crawl + replay at 1x/10x/100x
 # universe scale, refreshing BENCH_streaming.json at the workspace root.

@@ -10,10 +10,10 @@ use pii_browser::profiles::BrowserKind;
 use pii_core::detect::{DetectionReport, LeakDetector};
 use pii_core::tokens::{TokenSet, TokenSetBuilder};
 use pii_core::tracking::{analyze, TrackingAnalysis};
-use pii_crawler::{CrawlDataset, CrawlSummary, Crawler, FunnelStats, RetryPolicy};
+use pii_crawler::{CrawlDataset, CrawlOutcome, CrawlSummary, Crawler, FunnelStats, RetryPolicy};
 use pii_dns::PublicSuffixList;
 use pii_net::fault::FaultProfile;
-use pii_store::{ArchiveMeta, ArchiveReader, ArchiveWriter, StoreSummary};
+use pii_store::{ArchiveMeta, ArchiveReader, ArchiveWriter, FailPoint, StoreSummary};
 use pii_web::{Universe, UniverseSpec};
 use std::path::{Path, PathBuf};
 
@@ -51,6 +51,9 @@ pub struct Study {
     /// `capture_browser` and `faults` fields are overridden by the
     /// archive's recorded meta — the archive *is* the capture.
     pub source: CaptureSource,
+    /// Per-site virtual-time deadline for live crawls (CLI
+    /// `--watchdog-ms`); see [`Crawler::watchdog_ms`]. `None` disables it.
+    pub watchdog_ms: Option<u64>,
 }
 
 impl Study {
@@ -67,6 +70,7 @@ impl Study {
             faults: FaultProfile::None,
             retry: RetryPolicy::default(),
             source: CaptureSource::Live,
+            watchdog_ms: None,
         }
     }
 
@@ -118,6 +122,7 @@ impl Study {
                 crawler.workers = workers;
                 crawler.faults = universe.fault_plan(self.faults);
                 crawler.retry = self.retry;
+                crawler.watchdog_ms = self.watchdog_ms;
                 let dataset = {
                     let mut span = pii_telemetry::span("study.crawl");
                     span.add_arg("browser", self.capture_browser.name());
@@ -215,12 +220,18 @@ impl Study {
                     SPOOL.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
                 ));
                 let tokens = self.tokens.clone();
-                self.crawl_to_archive(&spool).unwrap_or_else(|e| {
-                    panic!("cannot spool streaming capture to {}: {e}", spool.display())
+                // The guard owns the spool from before the first byte is
+                // written: a panicking crawl, replay, or detection pass
+                // unwinds through it and the temp archive is deleted
+                // instead of leaking into the temp dir.
+                let guard = SpoolGuard(spool);
+                self.crawl_to_archive(&guard.0).unwrap_or_else(|e| {
+                    panic!(
+                        "cannot spool streaming capture to {}: {e}",
+                        guard.0.display()
+                    )
                 });
-                let results = Study::stream_from(&spool, tokens, workers);
-                let _ = std::fs::remove_file(&spool);
-                results
+                Study::stream_from(&guard.0, tokens, workers)
             }
         }
     }
@@ -292,6 +303,32 @@ impl Study {
     /// `crawl` subcommand's printout); replay the archive later with
     /// [`Study::from_archive`].
     pub fn crawl_to_archive(self, path: &Path) -> std::io::Result<(StoreSummary, CrawlSummary)> {
+        self.crawl_to_archive_with(path, false, None)
+    }
+
+    /// [`Study::crawl_to_archive`] with crash-recovery controls (CLI
+    /// `crawl --out X --resume [--kill <point>]`).
+    ///
+    /// With `resume`, a partial archive at `path` is reopened via
+    /// [`ArchiveWriter::open_append`]: its torn tail is truncated, every
+    /// committed site is kept, and only the sites that are missing — or
+    /// whose kept outcome is `Quarantined` (a crashed worker's placeholder
+    /// is worth one more try) — are recrawled, through the same pool core
+    /// as a full crawl. The returned funnel folds the kept outcomes
+    /// together with the recrawled ones, so it matches an uninterrupted
+    /// run's funnel exactly. Without `resume`, any existing file is
+    /// truncated and the full universe is crawled.
+    ///
+    /// `kill` arms a deterministic [`FailPoint`] on the writer: the crawl
+    /// runs until the archive hits that point, then every append fails and
+    /// this returns the kill error with the torn file left on disk —
+    /// exactly what a process death at that byte would leave.
+    pub fn crawl_to_archive_with(
+        self,
+        path: &Path,
+        resume: bool,
+        kill: Option<FailPoint>,
+    ) -> std::io::Result<(StoreSummary, CrawlSummary)> {
         let universe = {
             let _span = pii_telemetry::span("study.generate");
             Universe::generate_with(self.spec)
@@ -307,14 +344,53 @@ impl Study {
         crawler.workers = self.workers.max(1);
         crawler.faults = universe.fault_plan(self.faults);
         crawler.retry = self.retry;
-        let writer = std::sync::Mutex::new(ArchiveWriter::create(path, &meta)?);
+        crawler.watchdog_ms = self.watchdog_ms;
+        let (writer, kept) = if resume {
+            let (writer, state) = ArchiveWriter::open_append_with_failpoint(path, &meta, kill)?;
+            (writer, state.kept)
+        } else {
+            (
+                ArchiveWriter::create_with_failpoint(path, &meta, kill)?,
+                Vec::new(),
+            )
+        };
+        // Which canonical sites are already done? Kept non-quarantined
+        // segments count (their outcomes fold straight into the funnel);
+        // quarantined ones are recrawled — a crashed worker's placeholder
+        // is worth one more try, and determinism makes the retry converge.
+        let total = universe.sites.len();
+        let mut done = vec![false; total];
+        let mut kept_funnel = FunnelStats::default();
+        for k in &kept {
+            let index = k.site_index as usize;
+            if index >= total || done[index] || matches!(k.outcome, CrawlOutcome::Quarantined(_)) {
+                continue;
+            }
+            done[index] = true;
+            kept_funnel.observe(&k.outcome);
+        }
+        let missing: Vec<usize> = (0..total).filter(|&i| !done[i]).collect();
+        if resume {
+            pii_telemetry::counter("store.resume.sites_requeued", missing.len() as u64);
+        }
+        // Recrawl only the missing sites. The pool preserves universe order
+        // within the filtered subset and `missing` is sorted ascending, so
+        // the sink's filtered index k maps back to canonical site index
+        // `missing[k]`.
+        let filter: Option<Vec<String>> = (missing.len() != total).then(|| {
+            missing
+                .iter()
+                .map(|&i| universe.sites[i].domain.clone())
+                .collect()
+        });
+        let writer = std::sync::Mutex::new(writer);
         let write_error: std::sync::Mutex<Option<std::io::Error>> = std::sync::Mutex::new(None);
         let crawl_summary = {
             let mut span = pii_telemetry::span("study.crawl");
             span.add_arg("browser", self.capture_browser.name());
-            crawler.run_streaming(self.capture_browser, &|index, crawl| {
+            crawler.run_streaming_on(self.capture_browser, filter.as_deref(), &|k, crawl| {
                 let mut w = writer.lock().unwrap();
-                if let Err(e) = w.append_site(index, crawl) {
+                if let Err(e) = w.append_site(missing[k], crawl) {
                     write_error.lock().unwrap().get_or_insert(e);
                 }
             })
@@ -323,7 +399,25 @@ impl Study {
             return Err(e);
         }
         let summary = writer.into_inner().unwrap().finish()?;
-        Ok((summary, crawl_summary))
+        let mut funnel = kept_funnel;
+        funnel.merge(&crawl_summary.funnel);
+        Ok((
+            summary,
+            CrawlSummary {
+                browser: crawl_summary.browser,
+                funnel,
+            },
+        ))
+    }
+}
+
+/// Owns the temporary spool archive a live streaming run writes; deletes it
+/// on drop, including the unwind path when replay or detection panics.
+struct SpoolGuard(PathBuf);
+
+impl Drop for SpoolGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
     }
 }
 
@@ -417,6 +511,27 @@ pub(crate) mod testutil {
 #[cfg(test)]
 mod tests {
     use super::testutil::shared;
+    use super::SpoolGuard;
+
+    #[test]
+    fn spool_guard_removes_the_spool_even_across_a_panic() {
+        let path = std::env::temp_dir().join(format!(
+            "pii-spool-guard-panic-{}.store",
+            std::process::id()
+        ));
+        std::fs::write(&path, b"half-written spool").unwrap();
+        assert!(path.exists());
+        let guarded = path.clone();
+        let unwound = std::panic::catch_unwind(move || {
+            let _guard = SpoolGuard(guarded);
+            panic!("detect worker died mid-stream");
+        });
+        assert!(unwound.is_err(), "the panic must propagate");
+        assert!(
+            !path.exists(),
+            "the guard must delete the spool during unwind, not leak it"
+        );
+    }
 
     #[test]
     fn full_pipeline_headlines() {

@@ -154,8 +154,62 @@ impl FunnelStats {
             CrawlOutcome::Quarantined(_) => self.quarantined += 1,
         }
     }
+
+    /// Combine two partial funnels counter by counter. Observing outcomes
+    /// in any split across two accumulators and merging equals observing
+    /// them all in one — which is what lets a resumed crawl fold the
+    /// outcomes kept from the partial archive together with the funnel of
+    /// the recrawled remainder.
+    pub fn merge(&mut self, other: &FunnelStats) {
+        self.total += other.total;
+        self.completed += other.completed;
+        self.unreachable += other.unreachable;
+        self.no_auth_flow += other.no_auth_flow;
+        self.signup_blocked += other.signup_blocked;
+        self.signup_failed += other.signup_failed;
+        self.email_confirmed += other.email_confirmed;
+        self.bot_detection += other.bot_detection;
+        self.quarantined += other.quarantined;
+    }
 }
 
 fn usize_is_zero(n: &usize) -> bool {
     *n == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_split_funnels_equal_the_unsplit_fold() {
+        let outcomes = vec![
+            CrawlOutcome::Completed {
+                email_confirmed: true,
+                bot_detection_passed: false,
+            },
+            CrawlOutcome::Unreachable,
+            CrawlOutcome::Completed {
+                email_confirmed: false,
+                bot_detection_passed: true,
+            },
+            CrawlOutcome::NoAuthFlow,
+            CrawlOutcome::SignupBlocked("phone".into()),
+            CrawlOutcome::SignupFailed("captcha".into()),
+            CrawlOutcome::Quarantined("panic".into()),
+        ];
+        let mut whole = FunnelStats::default();
+        for o in &outcomes {
+            whole.observe(o);
+        }
+        for split in 0..=outcomes.len() {
+            let (left, right) = outcomes.split_at(split);
+            let mut a = FunnelStats::default();
+            let mut b = FunnelStats::default();
+            left.iter().for_each(|o| a.observe(o));
+            right.iter().for_each(|o| b.observe(o));
+            a.merge(&b);
+            assert_eq!(a, whole, "split at {split}");
+        }
+    }
 }

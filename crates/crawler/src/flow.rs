@@ -39,6 +39,14 @@ pub struct Crawler<'a> {
     pub faults: FaultPlan,
     /// Retry/backoff policy for the measured crawl.
     pub retry: RetryPolicy,
+    /// Per-site virtual-time deadline. A measured crawl whose `SimClock`
+    /// exceeds this many virtual milliseconds (retry backoff is the only
+    /// thing that advances it) is quarantined instead of stalling the run —
+    /// the simulation's equivalent of a watchdog killing a hung worker.
+    /// `None` (the default) disables the deadline; the decision depends only
+    /// on the seeded fault schedule, never on wall-clock or scheduling, so
+    /// a watchdogged run is exactly as deterministic as a plain one.
+    pub watchdog_ms: Option<u64>,
 }
 
 impl<'a> Crawler<'a> {
@@ -51,6 +59,7 @@ impl<'a> Crawler<'a> {
                 .unwrap_or(4),
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
+            watchdog_ms: None,
         }
     }
 
@@ -73,8 +82,23 @@ impl<'a> Crawler<'a> {
     /// this hook so a capture is persisted as it happens. The `usize` is the
     /// site's canonical index, which lets consumers restore universe order.
     pub fn run_streaming(&self, kind: BrowserKind, sink: CrawlSink<'_>) -> CrawlSummary {
+        self.run_streaming_on(kind, None, sink)
+    }
+
+    /// [`Crawler::run_streaming`] over a subset of sites — the resume path
+    /// recrawls only the sites missing from a partial archive. With a
+    /// filter, the index handed to `sink` is the site's position within the
+    /// filtered subset (which preserves universe order); the caller maps it
+    /// back to the canonical index, since only the caller knows which sites
+    /// it asked for.
+    pub fn run_streaming_on(
+        &self,
+        kind: BrowserKind,
+        filter: Option<&[String]>,
+        sink: CrawlSink<'_>,
+    ) -> CrawlSummary {
         let funnel = Mutex::new(crate::capture::FunnelStats::default());
-        self.run_pool(kind.profile(), None, &|index, crawl| {
+        self.run_pool(kind.profile(), filter, &|index, crawl| {
             sink(index, &crawl);
             funnel.lock().observe(&crawl.outcome);
         });
@@ -118,11 +142,19 @@ impl<'a> Crawler<'a> {
         filter: Option<&[String]>,
         deliver: &(dyn Fn(usize, SiteCrawl) + Sync),
     ) -> BrowserKind {
+        // Hash the filter once: the resume path passes hundreds of missing
+        // domains, and a per-site linear scan over that list is O(n·m).
+        let filter: Option<std::collections::HashSet<&str>> =
+            filter.map(|f| f.iter().map(|d| d.as_str()).collect());
         let sites: Vec<&Site> = self
             .universe
             .sites
             .iter()
-            .filter(|s| filter.is_none_or(|f| f.contains(&s.domain)))
+            .filter(|s| {
+                filter
+                    .as_ref()
+                    .is_none_or(|f| f.contains(s.domain.as_str()))
+            })
             .collect();
         let plan = (!self.faults.is_inert()).then_some(&self.faults);
         let delivered: Mutex<Vec<bool>> = Mutex::new(vec![false; sites.len()]);
@@ -173,7 +205,13 @@ impl<'a> Crawler<'a> {
                             let browser = &mut browser;
                             let attempt =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-                                    crawl_one(browser, sites[index], plan, &self.retry)
+                                    crawl_one(
+                                        browser,
+                                        sites[index],
+                                        plan,
+                                        &self.retry,
+                                        self.watchdog_ms,
+                                    )
                                 }));
                             if let Ok(crawl) = &attempt {
                                 if let Some(res) = &crawl.resilience {
@@ -248,16 +286,43 @@ impl<'a> Crawler<'a> {
     }
 }
 
-/// Crawl one site, dispatching on whether faults are being injected.
+/// Crawl one site, dispatching on whether faults are being injected, then
+/// apply the per-site watchdog deadline (if armed).
 fn crawl_one(
     browser: &mut Browser,
     site: &Site,
     plan: Option<&FaultPlan>,
     retry: &RetryPolicy,
+    watchdog_ms: Option<u64>,
 ) -> SiteCrawl {
-    match plan {
+    let crawl = match plan {
         Some(plan) => crawl_site_measured(browser, site, plan, retry),
         None => crawl_site(browser, site),
+    };
+    apply_watchdog(crawl, watchdog_ms)
+}
+
+/// Quarantine a crawl whose virtual clock blew past the watchdog deadline.
+/// The traffic of a site that would have hung the run is discarded (as a
+/// killed worker's would be), but its resilience accounting is kept so the
+/// degradation report can say *why* the site was given up on.
+fn apply_watchdog(crawl: SiteCrawl, watchdog_ms: Option<u64>) -> SiteCrawl {
+    let Some(limit) = watchdog_ms else {
+        return crawl;
+    };
+    let spent = match &crawl.resilience {
+        Some(res) if res.virtual_ms > limit => res.virtual_ms,
+        _ => return crawl,
+    };
+    pii_telemetry::counter("crawler.watchdog_quarantined", 1);
+    SiteCrawl {
+        domain: crawl.domain,
+        outcome: CrawlOutcome::Quarantined(format!(
+            "watchdog: {spent} virtual ms exceeded the {limit} ms per-site deadline"
+        )),
+        records: Vec::new(),
+        stored_cookies: Vec::new(),
+        resilience: crawl.resilience,
     }
 }
 
@@ -429,8 +494,7 @@ impl PageRun<'_> {
                     self.records.push(*failure.record);
                     let delay = self.retry.backoff_ms(self.plan, &site.domain, attempt);
                     let out_of_attempts = attempt >= self.retry.max_attempts;
-                    let out_of_budget =
-                        self.clock.now_ms().saturating_add(delay) > self.retry.per_site_budget_ms;
+                    let out_of_budget = !self.retry.budget_allows(self.clock.now_ms(), delay);
                     if out_of_attempts || out_of_budget {
                         return Err(PageFailure {
                             error: failure.error,
@@ -441,7 +505,7 @@ impl PageRun<'_> {
                     self.resilience.retries += 1;
                     pii_telemetry::counter("crawler.retries", 1);
                     pii_telemetry::observe("crawler.backoff_ms", delay);
-                    attempt += 1;
+                    attempt = attempt.saturating_add(1);
                 }
             }
         }
@@ -664,6 +728,50 @@ mod tests {
             .collect();
         assert_eq!(failed, vec!["nykaa.com"]);
         assert_eq!(ds.funnel().completed, 306);
+    }
+
+    #[test]
+    fn watchdog_quarantines_only_sites_over_the_virtual_deadline() {
+        let u = Universe::generate();
+        let mut crawler = Crawler::new(&u);
+        crawler.faults = u.fault_plan(pii_net::fault::FaultProfile::Hostile);
+        let baseline = crawler.run(BrowserKind::Firefox88Vanilla);
+        // Deadline below the slowest site but above the fastest retried one:
+        // some (not all) sites must trip it.
+        let max_ms = baseline
+            .crawls
+            .iter()
+            .filter_map(|c| c.resilience.as_ref())
+            .map(|r| r.virtual_ms)
+            .max()
+            .expect("hostile profile produces retried sites");
+        assert!(max_ms > 0, "hostile profile should advance virtual time");
+        crawler.watchdog_ms = Some(max_ms / 2);
+        let dogged = crawler.run(BrowserKind::Firefox88Vanilla);
+        let mut tripped = 0;
+        for (plain, watched) in baseline.crawls.iter().zip(&dogged.crawls) {
+            let spent = plain.resilience.as_ref().map_or(0, |r| r.virtual_ms);
+            if spent > max_ms / 2 {
+                tripped += 1;
+                match &watched.outcome {
+                    CrawlOutcome::Quarantined(reason) => {
+                        assert!(reason.starts_with("watchdog:"), "{reason}")
+                    }
+                    other => panic!("{} should be watchdogged, got {other:?}", plain.domain),
+                }
+                assert!(watched.records.is_empty());
+                // Resilience survives so degradation can account for it.
+                assert_eq!(watched.resilience, plain.resilience);
+            } else {
+                assert_eq!(watched.outcome, plain.outcome, "{}", plain.domain);
+            }
+        }
+        assert!(tripped > 0, "deadline of {}ms tripped nothing", max_ms / 2);
+        // And the watchdogged run is itself deterministic.
+        let again = crawler.run(BrowserKind::Firefox88Vanilla);
+        for (a, b) in dogged.crawls.iter().zip(&again.crawls) {
+            assert_eq!(a.outcome, b.outcome, "{}", a.domain);
+        }
     }
 
     #[test]

@@ -40,11 +40,22 @@ impl RetryPolicy {
     }
 
     /// Backoff before retrying `domain` after failed attempt `attempt`
-    /// (1-based): exponential in virtual time plus seeded jitter.
+    /// (1-based): exponential in virtual time plus seeded jitter. Every
+    /// step saturates — the shift is clamped, the multiply and the jitter
+    /// add pin at `u64::MAX` — so no attempt count or base can wrap the
+    /// delay back down to something small.
     pub fn backoff_ms(&self, plan: &FaultPlan, domain: &str, attempt: u32) -> u64 {
         let shift = attempt.saturating_sub(1).min(16);
-        let exponential = self.backoff_base_ms.saturating_mul(1 << shift);
+        let exponential = self.backoff_base_ms.saturating_mul(1u64 << shift);
         exponential.saturating_add(plan.jitter_ms(domain, attempt, self.backoff_base_ms))
+    }
+
+    /// Whether one more backoff of `delay_ms` starting at virtual time
+    /// `now_ms` stays within the per-site budget. Saturating: a budget of
+    /// `u64::MAX` means "never give up on time", even when `now + delay`
+    /// would overflow.
+    pub fn budget_allows(&self, now_ms: u64, delay_ms: u64) -> bool {
+        now_ms.saturating_add(delay_ms) <= self.per_site_budget_ms
     }
 }
 
@@ -94,6 +105,43 @@ mod tests {
         };
         let d = policy.backoff_ms(&plan, "shop.example", 40);
         assert_eq!(d, u64::MAX);
+    }
+
+    #[test]
+    fn budget_boundary_is_inclusive_and_saturates() {
+        let policy = RetryPolicy {
+            per_site_budget_ms: 1_000,
+            ..RetryPolicy::default()
+        };
+        // Landing exactly on the budget is allowed; one ms past is not.
+        assert!(policy.budget_allows(750, 250));
+        assert!(!policy.budget_allows(750, 251));
+        assert!(policy.budget_allows(0, 1_000));
+        assert!(!policy.budget_allows(1_000, 1));
+        // An unlimited budget never refuses, even when now + delay would
+        // overflow a u64.
+        let unlimited = RetryPolicy {
+            per_site_budget_ms: u64::MAX,
+            ..RetryPolicy::default()
+        };
+        assert!(unlimited.budget_allows(u64::MAX, u64::MAX));
+        // A saturated clock against a finite budget always refuses.
+        assert!(!policy.budget_allows(u64::MAX, 0));
+    }
+
+    #[test]
+    fn backoff_shift_is_clamped_at_extreme_attempt_counts() {
+        let plan = FaultPlan::new(7, FaultProfile::None);
+        let policy = RetryPolicy {
+            backoff_base_ms: 1,
+            ..RetryPolicy::default()
+        };
+        // Beyond attempt 17 the exponent pins at 2^16; u32::MAX attempts
+        // must not wrap the shift (1 << (attempt - 1) would).
+        let plateau = policy.backoff_ms(&plan, "shop.example", 17);
+        assert_eq!(plateau, policy.backoff_ms(&plan, "shop.example", 200));
+        assert_eq!(plateau, policy.backoff_ms(&plan, "shop.example", u32::MAX));
+        assert!(plateau >= 1 << 16);
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Deterministic fault injection for the archive writer — the chaos half of
+//! the crash-consistency story.
+//!
+//! A [`FailPoint`] names one place in the archive byte stream where the
+//! writer "dies": every byte before the point reaches the sink (and is
+//! flushed, so a file sink really holds the torn prefix), every byte after
+//! it is lost, and the writer returns [`FailPoint::killed`] errors from then
+//! on. Because the writer is strictly append-only, this is byte-for-byte
+//! what a process kill at that moment leaves on disk — which makes the
+//! recovery contract testable in-process: `tests/chaos.rs` kills the writer
+//! at every structural point (and, via proptest, at arbitrary byte
+//! offsets), resumes with [`crate::ArchiveWriter::open_append`], and asserts
+//! the finalized archive replays byte-identically to an uninterrupted run.
+//!
+//! Points are deterministic: the same point against the same append
+//! sequence tears the same byte. [`FailPoint::sample`] derives a point from
+//! a seed for randomized chaos runs; [`std::str::FromStr`] parses the CLI
+//! spelling used by `pii-study crawl --kill <point>`.
+
+use std::str::FromStr;
+
+/// Where to kill the archive writer. Segment numbers count *site* segments
+/// in append order, 1-based; the meta segment can only be torn via
+/// [`FailPoint::AtByte`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailPoint {
+    /// Die right after the 8-byte file magic: no meta, no segments.
+    AfterHeader,
+    /// Tear midway through the `n`-th site segment's header.
+    MidHeader(u32),
+    /// Tear midway through the `n`-th site segment's compressed payload —
+    /// the header (and its CRCs) landed, the body did not.
+    MidPayload(u32),
+    /// Die cleanly after the `n`-th site segment's last byte: its payload
+    /// CRC is on disk, nothing after it is. (The in-memory index append
+    /// never happened, as far as the file is concerned.)
+    AfterSegment(u32),
+    /// Die at finalize time: every appended segment persisted, but no
+    /// footer or trailer.
+    BeforeFinalize,
+    /// Tear midway through the footer index.
+    MidFooter,
+    /// Tear midway through the fixed trailer.
+    MidTrailer,
+    /// Die once `n` total bytes have been persisted — arbitrary truncation.
+    AtByte(u64),
+}
+
+impl FailPoint {
+    /// The error every write after the kill returns. `is_kill` recognises
+    /// it, so chaos drivers can tell an injected death from a real I/O
+    /// failure.
+    pub fn killed(self) -> std::io::Error {
+        std::io::Error::other(format!("failpoint: writer killed at {self}"))
+    }
+
+    /// True when `e` was produced by [`FailPoint::killed`].
+    pub fn is_kill(e: &std::io::Error) -> bool {
+        e.to_string().starts_with("failpoint: writer killed at ")
+    }
+
+    /// A deterministic point derived from `seed`, spread across every
+    /// variant; segment-indexed variants target a segment in
+    /// `1..=segments.max(1)` and byte kills an offset in
+    /// `0..approx_bytes.max(1)`.
+    pub fn sample(seed: u64, segments: u32, approx_bytes: u64) -> FailPoint {
+        // splitmix64 finalizer: cheap, well-mixed, no dependencies.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let segment = (z >> 8) as u32 % segments.max(1) + 1;
+        match z % 8 {
+            0 => FailPoint::AfterHeader,
+            1 => FailPoint::MidHeader(segment),
+            2 => FailPoint::MidPayload(segment),
+            3 => FailPoint::AfterSegment(segment),
+            4 => FailPoint::BeforeFinalize,
+            5 => FailPoint::MidFooter,
+            6 => FailPoint::MidTrailer,
+            _ => FailPoint::AtByte((z >> 16) % approx_bytes.max(1)),
+        }
+    }
+}
+
+impl std::fmt::Display for FailPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailPoint::AfterHeader => f.write_str("after-header"),
+            FailPoint::MidHeader(n) => write!(f, "mid-header:{n}"),
+            FailPoint::MidPayload(n) => write!(f, "mid-payload:{n}"),
+            FailPoint::AfterSegment(n) => write!(f, "after-segment:{n}"),
+            FailPoint::BeforeFinalize => f.write_str("before-finalize"),
+            FailPoint::MidFooter => f.write_str("mid-footer"),
+            FailPoint::MidTrailer => f.write_str("mid-trailer"),
+            FailPoint::AtByte(n) => write!(f, "at-byte:{n}"),
+        }
+    }
+}
+
+impl FromStr for FailPoint {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<FailPoint, String> {
+        let (name, arg) = match s.split_once(':') {
+            Some((name, arg)) => (name, Some(arg)),
+            None => (s, None),
+        };
+        let n_u32 = || -> Result<u32, String> {
+            arg.and_then(|a| a.parse().ok())
+                .ok_or_else(|| format!("fail point {name} needs a 1-based segment number"))
+        };
+        match name {
+            "after-header" => Ok(FailPoint::AfterHeader),
+            "mid-header" => Ok(FailPoint::MidHeader(n_u32()?)),
+            "mid-payload" => Ok(FailPoint::MidPayload(n_u32()?)),
+            "after-segment" => Ok(FailPoint::AfterSegment(n_u32()?)),
+            "before-finalize" => Ok(FailPoint::BeforeFinalize),
+            "mid-footer" => Ok(FailPoint::MidFooter),
+            "mid-trailer" => Ok(FailPoint::MidTrailer),
+            "at-byte" => arg
+                .and_then(|a| a.parse().ok())
+                .map(FailPoint::AtByte)
+                .ok_or_else(|| "fail point at-byte needs a byte offset".to_string()),
+            other => Err(format!("unknown fail point {other:?}")),
+        }
+    }
+}
+
+/// Live kill state carried by an armed [`crate::ArchiveWriter`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FailState {
+    pub(crate) point: FailPoint,
+    /// Site segments appended so far (so segment-indexed points know when
+    /// they are due).
+    pub(crate) site_segments: u32,
+    /// Set once the point fired; every later write fails immediately.
+    pub(crate) dead: bool,
+}
+
+impl FailState {
+    pub(crate) fn new(point: FailPoint) -> FailState {
+        FailState {
+            point,
+            site_segments: 0,
+            dead: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_point_round_trips_through_its_cli_spelling() {
+        for point in [
+            FailPoint::AfterHeader,
+            FailPoint::MidHeader(3),
+            FailPoint::MidPayload(7),
+            FailPoint::AfterSegment(120),
+            FailPoint::BeforeFinalize,
+            FailPoint::MidFooter,
+            FailPoint::MidTrailer,
+            FailPoint::AtByte(123_456),
+        ] {
+            assert_eq!(point.to_string().parse::<FailPoint>(), Ok(point));
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        for bad in ["", "mid-payload", "mid-payload:x", "at-byte", "explode:3"] {
+            assert!(bad.parse::<FailPoint>().is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_in_range() {
+        for seed in 0..64u64 {
+            let a = FailPoint::sample(seed, 10, 1000);
+            assert_eq!(a, FailPoint::sample(seed, 10, 1000));
+            match a {
+                FailPoint::MidHeader(n) | FailPoint::MidPayload(n) | FailPoint::AfterSegment(n) => {
+                    assert!((1..=10).contains(&n))
+                }
+                FailPoint::AtByte(b) => assert!(b < 1000),
+                _ => {}
+            }
+        }
+        // All eight variants are reachable.
+        let kinds: std::collections::BTreeSet<String> = (0..256u64)
+            .map(|s| {
+                let p = FailPoint::sample(s, 10, 1000);
+                p.to_string()
+                    .split(':')
+                    .next()
+                    .expect("split is never empty")
+                    .to_string()
+            })
+            .collect();
+        assert_eq!(kinds.len(), 8, "{kinds:?}");
+    }
+
+    #[test]
+    fn killed_errors_are_recognisable() {
+        let e = FailPoint::MidFooter.killed();
+        assert!(FailPoint::is_kill(&e));
+        assert!(!FailPoint::is_kill(&std::io::Error::other("disk on fire")));
+    }
+}

@@ -293,6 +293,30 @@ pub struct IndexEntry {
     pub label: String,
 }
 
+/// Put an index into canonical form: sorted by site index, one entry per
+/// site. When the same site index appears more than once — a resumed crawl
+/// re-appended a site whose earlier segment was kept in the file (e.g. a
+/// quarantined crawl recrawled after `--resume`) — the entry at the highest
+/// offset wins: the archive is append-only, so later bytes are the newer
+/// record. Both the writer's finalize and the reader's index paths run
+/// through this one helper, so "which segment speaks for site N" can never
+/// differ between a footer and a recovery scan.
+pub fn canonicalize_index(entries: &mut Vec<IndexEntry>) {
+    entries.sort_by(|a, b| {
+        a.site_index
+            .cmp(&b.site_index)
+            .then(a.offset.cmp(&b.offset))
+    });
+    entries.dedup_by(|later, kept| {
+        if later.site_index == kept.site_index {
+            std::mem::swap(later, kept);
+            true
+        } else {
+            false
+        }
+    });
+}
+
 /// Serialize the footer index. Entries must already be in canonical
 /// (site-index) order so the footer bytes are deterministic regardless of
 /// the completion order the segments were appended in.
@@ -492,6 +516,33 @@ mod tests {
         let mut mangled = out.clone();
         mangled[10] ^= 0x40;
         assert!(read_footer(&mangled, 0, mangled.len()).is_err());
+    }
+
+    #[test]
+    fn canonicalize_keeps_the_highest_offset_entry_per_site() {
+        let entry = |site_index: u32, offset: u64, label: &str| IndexEntry {
+            site_index,
+            offset,
+            segment_len: 64,
+            records: 1,
+            label: label.into(),
+        };
+        let mut entries = vec![
+            entry(2, 300, "c.com"),
+            entry(0, 8, "a.com"),
+            entry(1, 100, "b.com-old"),
+            entry(1, 500, "b.com-new"),
+            entry(1, 200, "b.com-mid"),
+        ];
+        canonicalize_index(&mut entries);
+        assert_eq!(
+            entries,
+            vec![
+                entry(0, 8, "a.com"),
+                entry(1, 500, "b.com-new"),
+                entry(2, 300, "c.com"),
+            ]
+        );
     }
 
     #[test]

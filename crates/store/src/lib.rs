@@ -29,14 +29,20 @@
 //!
 //! See `DESIGN.md` §9 for the byte-level format.
 
+pub mod failpoint;
 pub mod fast;
 pub mod format;
 pub mod reader;
 pub mod vbin;
+pub mod verify;
 pub mod writer;
 
+pub use failpoint::FailPoint;
 pub use reader::{ArchiveReader, Replay, ReplayReport, SkippedSegment, StoreError};
-pub use writer::{write_archive, ArchiveMeta, ArchiveWriter, StoreSummary};
+pub use verify::{repair, verify, RepairSummary, VerifyReport};
+pub use writer::{
+    write_archive, ArchiveMeta, ArchiveWriter, KeptSegment, ResumeState, StoreSummary,
+};
 
 #[cfg(test)]
 mod tests {

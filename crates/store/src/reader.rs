@@ -115,7 +115,9 @@ pub struct Replay {
 
 /// Where archive bytes come from. Both variants expose the same bounded
 /// random-access read, so every framing/CRC decision above them is shared.
-enum Source {
+/// Crate-visible so `ArchiveWriter::open_append` can run the same tail scan
+/// over the file it is about to truncate and continue.
+pub(crate) enum Source {
     /// The whole archive in memory (tests, corruption suites).
     Memory(Vec<u8>),
     /// A seekable file handle; only the requested ranges are ever read.
@@ -128,7 +130,7 @@ enum Source {
 }
 
 impl Source {
-    fn len(&self) -> u64 {
+    pub(crate) fn len(&self) -> u64 {
         match self {
             Source::Memory(bytes) => bytes.len() as u64,
             Source::File { len, .. } => *len,
@@ -139,7 +141,7 @@ impl Source {
     /// result means the range ran off the end, exactly like a slice `get`
     /// on the memory backend. The clamp also caps the allocation, so a
     /// corrupt length field can never ask for more than the file holds.
-    fn read_at(&self, offset: u64, len: usize) -> std::io::Result<Vec<u8>> {
+    pub(crate) fn read_at(&self, offset: u64, len: usize) -> std::io::Result<Vec<u8>> {
         let available = self.len().saturating_sub(offset);
         let want = (len as u64).min(available) as usize;
         match self {
@@ -237,6 +239,11 @@ impl ArchiveReader {
         &self.meta
     }
 
+    /// Total archive size in bytes (whatever the backend holds).
+    pub fn size_bytes(&self) -> u64 {
+        self.source.len()
+    }
+
     /// Site segments the archive is indexed to contain.
     pub fn len(&self) -> usize {
         self.index.len()
@@ -279,7 +286,7 @@ impl ArchiveReader {
             return None; // claimed footer runs past EOF — truncated
         }
         let mut index = format::read_footer(&footer, 0, footer.len()).ok()?;
-        index.sort_by_key(|e| e.site_index);
+        format::canonicalize_index(&mut index);
         Some(index)
     }
 
@@ -342,7 +349,7 @@ impl ArchiveReader {
                 }
             }
         }
-        index.sort_by_key(|e| e.site_index);
+        format::canonicalize_index(&mut index);
         (index, damage)
     }
 
@@ -470,7 +477,10 @@ impl ArchiveReader {
 /// and header CRC. Parsing is delegated to [`format::read_segment_header`]
 /// over the assembled buffer, so truncation/corruption classification is
 /// bit-identical to the in-memory path.
-fn read_header_at(source: &Source, at: u64) -> Result<format::SegmentHeader, FrameError> {
+pub(crate) fn read_header_at(
+    source: &Source,
+    at: u64,
+) -> Result<format::SegmentHeader, FrameError> {
     let mut buf = source
         .read_at(at, format::SEGMENT_FIXED_LEN)
         .map_err(|_| FrameError::Corrupt("archive I/O"))?;
@@ -488,7 +498,7 @@ fn read_header_at(source: &Source, at: u64) -> Result<format::SegmentHeader, Fra
 }
 
 /// Read and CRC-verify the payload for a header parsed at `at`.
-fn verify_payload_for(
+pub(crate) fn verify_payload_for(
     source: &Source,
     at: u64,
     header: &format::SegmentHeader,

@@ -1,14 +1,28 @@
 //! The streaming [`ArchiveWriter`]: the crawler pool appends site segments
 //! as their shards complete; `finish` seals the archive with a canonical
 //! footer index and trailer.
+//!
+//! The writer is the crash-consistency boundary of the whole pipeline. Its
+//! commit discipline is: a segment is committed the instant its last byte
+//! (the payload, whose CRC already sits in the header) reaches the file;
+//! nothing before finalize refers to bytes that do not yet exist, and the
+//! footer/trailer are only written — in one tail — at finalize. A process
+//! death at *any* byte therefore leaves a prefix of committed segments plus
+//! at most one torn tail, which [`ArchiveWriter::open_append`] detects,
+//! truncates, and appends past. The [`crate::failpoint`] hooks threaded
+//! through the write path exist to prove exactly that: they tear the file
+//! at a chosen byte and nothing else.
 
+use crate::failpoint::{FailPoint, FailState};
 use crate::format::{self, IndexEntry, SegmentKind};
+use crate::reader;
+use parking_lot::Mutex;
 use pii_browser::profiles::BrowserKind;
-use pii_crawler::{CrawlDataset, SiteCrawl};
+use pii_crawler::{CrawlDataset, CrawlOutcome, SiteCrawl};
 use pii_net::fault::FaultProfile;
 use pii_web::UniverseSpec;
 use serde::{Deserialize, Serialize};
-use std::io::Write;
+use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Everything replay needs to reconstruct the run that produced a capture:
@@ -47,6 +61,34 @@ impl StoreSummary {
     }
 }
 
+/// One complete site segment found (and kept) when reopening a partial
+/// archive for append.
+#[derive(Debug, Clone)]
+pub struct KeptSegment {
+    /// Canonical universe position of the site.
+    pub site_index: u32,
+    /// The kept crawl's outcome — enough for the resume planner to decide
+    /// whether the site is done (fold its outcome into the funnel) or needs
+    /// a recrawl (`Quarantined`), without decoding payloads twice.
+    pub outcome: CrawlOutcome,
+}
+
+/// What [`ArchiveWriter::open_append`] found on disk before it started
+/// appending.
+#[derive(Debug, Clone, Default)]
+pub struct ResumeState {
+    /// Committed site segments kept, deduplicated to the newest segment per
+    /// site index, in canonical order.
+    pub kept: Vec<KeptSegment>,
+    /// Bytes cut off the end of the file: a torn tail segment, a stale
+    /// footer/trailer, or (when the meta segment itself was torn) the whole
+    /// previous file.
+    pub truncated_bytes: u64,
+    /// True when the archive had been finalized (or had a torn footer):
+    /// its footer/trailer were dropped and will be rewritten at finish.
+    pub dropped_finalization: bool,
+}
+
 /// Streaming archive writer. Segments may arrive in any order (worker
 /// completion order); the footer index is sorted by site index at `finish`,
 /// so everything derived from the archive is independent of scheduling.
@@ -56,6 +98,8 @@ pub struct ArchiveWriter<W: Write> {
     entries: Vec<IndexEntry>,
     summary: StoreSummary,
     buf: Vec<u8>,
+    /// Armed fault injection (chaos tests / `--kill`); `None` in production.
+    fail: Option<FailState>,
 }
 
 impl ArchiveWriter<std::io::BufWriter<std::fs::File>> {
@@ -65,31 +109,218 @@ impl ArchiveWriter<std::io::BufWriter<std::fs::File>> {
         path: &Path,
         meta: &ArchiveMeta,
     ) -> std::io::Result<ArchiveWriter<std::io::BufWriter<std::fs::File>>> {
+        ArchiveWriter::create_with_failpoint(path, meta, None)
+    }
+
+    /// [`ArchiveWriter::create`] with an armed [`FailPoint`]: the writer
+    /// will deterministically die at that point, leaving the torn prefix
+    /// on disk (flushed), and return [`FailPoint::killed`] errors from then
+    /// on.
+    pub fn create_with_failpoint(
+        path: &Path,
+        meta: &ArchiveMeta,
+        fail: Option<FailPoint>,
+    ) -> std::io::Result<ArchiveWriter<std::io::BufWriter<std::fs::File>>> {
         let _span = pii_telemetry::span("store.open");
         let file = std::fs::File::create(path)?;
-        ArchiveWriter::new(std::io::BufWriter::new(file), meta)
+        ArchiveWriter::new_with_failpoint(std::io::BufWriter::new(file), meta, fail)
+    }
+
+    /// Reopen a partial (or finalized) archive at `path` and continue
+    /// appending where the last committed segment ends.
+    ///
+    /// The tail scan verifies each segment end to end — header CRC, payload
+    /// CRC, and a full decode — and stops at the first byte that fails any
+    /// of them; everything from there on (a torn segment, a stale footer,
+    /// trailing garbage) is truncated away. A missing file, an empty file,
+    /// or a torn *meta* segment restarts the archive from scratch; a file
+    /// that is not a `pii-store` archive at all, or whose meta describes a
+    /// different run than `meta`, is refused with an error rather than
+    /// silently overwritten.
+    pub fn open_append(
+        path: &Path,
+        meta: &ArchiveMeta,
+    ) -> std::io::Result<(
+        ArchiveWriter<std::io::BufWriter<std::fs::File>>,
+        ResumeState,
+    )> {
+        ArchiveWriter::open_append_with_failpoint(path, meta, None)
+    }
+
+    /// [`ArchiveWriter::open_append`] with an armed [`FailPoint`] for the
+    /// *resumed* writer — chaos tests kill a run, resume it, and kill it
+    /// again. Segment-indexed points count segments appended by this
+    /// writer, not segments already in the file.
+    pub fn open_append_with_failpoint(
+        path: &Path,
+        meta: &ArchiveMeta,
+        fail: Option<FailPoint>,
+    ) -> std::io::Result<(
+        ArchiveWriter<std::io::BufWriter<std::fs::File>>,
+        ResumeState,
+    )> {
+        let _span = pii_telemetry::span("store.open_append");
+        let existing_len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        let scan = if existing_len == 0 {
+            TailScan::Restart
+        } else {
+            let file = std::fs::File::open(path)?;
+            let len = file.metadata()?.len();
+            scan_tail(
+                &reader::Source::File {
+                    file: Mutex::new(file),
+                    len,
+                },
+                meta,
+            )
+        };
+        match scan {
+            TailScan::NotAnArchive => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("{}: not a pii-store archive", path.display()),
+            )),
+            TailScan::MetaMismatch => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "{}: refusing to resume: archive meta describes a different run",
+                    path.display()
+                ),
+            )),
+            TailScan::Restart => {
+                // Nothing recoverable (no file / no committed meta): start
+                // the archive over.
+                let writer = ArchiveWriter::create_with_failpoint(path, meta, fail)?;
+                pii_telemetry::counter("store.resume.truncated_bytes", existing_len);
+                pii_telemetry::counter("store.resume.segments_kept", 0);
+                Ok((
+                    writer,
+                    ResumeState {
+                        kept: Vec::new(),
+                        truncated_bytes: existing_len,
+                        dropped_finalization: false,
+                    },
+                ))
+            }
+            TailScan::Resume {
+                keep,
+                entries,
+                kept,
+                raw_bytes,
+                compressed_bytes,
+                dropped_finalization,
+            } => {
+                let mut file = std::fs::OpenOptions::new().write(true).open(path)?;
+                file.set_len(keep)?;
+                file.seek(SeekFrom::Start(keep))?;
+                let truncated_bytes = existing_len.saturating_sub(keep);
+                pii_telemetry::counter("store.resume.truncated_bytes", truncated_bytes);
+                pii_telemetry::counter("store.resume.segments_kept", kept.len() as u64);
+                let summary = StoreSummary {
+                    segments: entries.len(),
+                    bytes_written: 0,
+                    raw_bytes,
+                    compressed_bytes,
+                };
+                Ok((
+                    ArchiveWriter {
+                        out: std::io::BufWriter::new(file),
+                        offset: keep,
+                        entries,
+                        summary,
+                        buf: Vec::new(),
+                        fail: fail.map(FailState::new),
+                    },
+                    ResumeState {
+                        kept,
+                        truncated_bytes,
+                        dropped_finalization,
+                    },
+                ))
+            }
+        }
     }
 }
 
 impl<W: Write> ArchiveWriter<W> {
     /// Wrap any sink (tests use `Vec<u8>`); writes header + meta segment.
     pub fn new(out: W, meta: &ArchiveMeta) -> std::io::Result<ArchiveWriter<W>> {
+        ArchiveWriter::new_with_failpoint(out, meta, None)
+    }
+
+    /// [`ArchiveWriter::new`] with an armed [`FailPoint`].
+    pub fn new_with_failpoint(
+        out: W,
+        meta: &ArchiveMeta,
+        fail: Option<FailPoint>,
+    ) -> std::io::Result<ArchiveWriter<W>> {
         let mut writer = ArchiveWriter {
             out,
             offset: 0,
             entries: Vec::new(),
             summary: StoreSummary::default(),
             buf: Vec::new(),
+            fail: fail.map(FailState::new),
         };
         writer.write_all(&format::FILE_MAGIC[..])?;
+        if matches!(writer.fail, Some(f) if f.point == FailPoint::AfterHeader) {
+            return Err(writer.kill(&[]));
+        }
         writer.append_segment(SegmentKind::Meta, 0, 0, "meta", format::encode_record(meta))?;
         Ok(writer)
     }
 
+    /// Persist `partial`, flush so the torn prefix really is on disk, mark
+    /// the writer dead, and hand back the kill error every later call will
+    /// repeat. Only meaningful with an armed fail point.
+    fn kill(&mut self, partial: &[u8]) -> std::io::Error {
+        let point = self.fail.expect("kill requires an armed failpoint").point;
+        let _ = self.out.write_all(partial);
+        let _ = self.out.flush();
+        self.offset += partial.len() as u64;
+        if let Some(f) = self.fail.as_mut() {
+            f.dead = true;
+        }
+        point.killed()
+    }
+
     fn write_all(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        if let Some(fail) = self.fail {
+            if fail.dead {
+                return Err(fail.point.killed());
+            }
+            if let FailPoint::AtByte(limit) = fail.point {
+                if self.offset + bytes.len() as u64 > limit {
+                    let keep = limit.saturating_sub(self.offset) as usize;
+                    return Err(self.kill(&bytes[..keep]));
+                }
+            }
+        }
         self.out.write_all(bytes)?;
         self.offset += bytes.len() as u64;
         Ok(())
+    }
+
+    /// The byte at which an armed structural fail point tears the segment
+    /// about to be written (`None`: no kill due on this segment).
+    fn segment_cut(
+        &self,
+        kind: SegmentKind,
+        header_len: usize,
+        segment_len: usize,
+    ) -> Option<usize> {
+        let fail = self.fail.filter(|f| !f.dead)?;
+        if kind != SegmentKind::Site {
+            return None;
+        }
+        let ordinal = fail.site_segments + 1;
+        match fail.point {
+            FailPoint::MidHeader(n) if n == ordinal => Some(header_len / 2),
+            FailPoint::MidPayload(n) if n == ordinal => {
+                Some(header_len + (segment_len - header_len) / 2)
+            }
+            FailPoint::AfterSegment(n) if n == ordinal => Some(segment_len),
+            _ => None,
+        }
     }
 
     fn append_segment(
@@ -111,9 +342,16 @@ impl<W: Write> ArchiveWriter<W> {
             &encoded.payload,
         );
         let offset = self.offset;
+        let header_len = format::SEGMENT_FIXED_LEN + label.len() + 4;
         let segment = std::mem::take(&mut self.buf);
-        self.write_all(&segment)?;
+        if let Some(cut) = self.segment_cut(kind, header_len, segment.len()) {
+            let err = self.kill(&segment[..cut]);
+            self.buf = segment;
+            return Err(err);
+        }
+        let written = self.write_all(&segment);
         self.buf = segment;
+        written?;
         if kind == SegmentKind::Site {
             self.entries.push(IndexEntry {
                 site_index,
@@ -123,6 +361,9 @@ impl<W: Write> ArchiveWriter<W> {
                 label: label.to_string(),
             });
             self.summary.segments += 1;
+            if let Some(f) = self.fail.as_mut() {
+                f.site_segments += 1;
+            }
         }
         self.summary.raw_bytes += u64::from(encoded.raw_len);
         self.summary.compressed_bytes += encoded.payload.len() as u64;
@@ -153,12 +394,36 @@ impl<W: Write> ArchiveWriter<W> {
     /// the produced bytes out of a `Vec<u8>` writer).
     pub fn finish_with_sink(mut self) -> std::io::Result<(StoreSummary, W)> {
         let _span = pii_telemetry::span("store.flush");
-        self.entries.sort_by_key(|e| e.site_index);
+        if let Some(fail) = self.fail {
+            if fail.dead {
+                return Err(fail.point.killed());
+            }
+            if fail.point == FailPoint::BeforeFinalize {
+                return Err(self.kill(&[]));
+            }
+        }
+        // A resumed run may have re-appended a site whose stale segment was
+        // kept; canonical form keeps the newest segment per site, so the
+        // footer — and everything replayed through it — matches what a
+        // recovery scan of the same bytes would yield.
+        format::canonicalize_index(&mut self.entries);
+        self.summary.segments = self.entries.len();
         let footer_offset = self.offset;
         let mut tail = Vec::new();
         format::write_footer(&mut tail, &self.entries);
         let footer_len = tail.len() as u32;
         format::write_trailer(&mut tail, footer_offset, footer_len);
+        match self.fail.map(|f| f.point) {
+            Some(FailPoint::MidFooter) => {
+                let cut = footer_len as usize / 2;
+                return Err(self.kill(&tail[..cut]));
+            }
+            Some(FailPoint::MidTrailer) => {
+                let cut = footer_len as usize + format::TRAILER_LEN / 2;
+                return Err(self.kill(&tail[..cut]));
+            }
+            _ => {}
+        }
         self.write_all(&tail)?;
         self.out.flush()?;
         self.summary.bytes_written = self.offset;
@@ -185,4 +450,130 @@ pub fn write_archive(
         writer.append_site(index, crawl)?;
     }
     writer.finish()
+}
+
+/// What the reopen scan decided about the bytes already at the path.
+enum TailScan {
+    /// No committed meta segment — restart the archive from scratch.
+    Restart,
+    /// The leading magic is foreign; refuse to touch the file.
+    NotAnArchive,
+    /// The committed meta describes a different run; refuse to append.
+    MetaMismatch,
+    /// `keep` bytes hold the magic, meta, and the committed site segments
+    /// listed in `entries`/`kept`; everything past `keep` is torn or stale.
+    Resume {
+        keep: u64,
+        entries: Vec<IndexEntry>,
+        kept: Vec<KeptSegment>,
+        raw_bytes: u64,
+        compressed_bytes: u64,
+        dropped_finalization: bool,
+    },
+}
+
+/// Walk the archive from the top, verifying each segment end to end (header
+/// CRC, payload CRC, full decode), and report the longest committed prefix.
+/// This is deliberately stricter than the reader's recovery scan — the
+/// reader keeps a damaged site as a quarantined row because there is
+/// nothing better to do at replay time, but a *resuming writer* can recrawl
+/// the site, so anything short of a fully decodable segment is treated as
+/// torn and truncated away.
+fn scan_tail(source: &reader::Source, expected: &ArchiveMeta) -> TailScan {
+    let len = source.len();
+    let magic = source
+        .read_at(0, format::FILE_MAGIC.len())
+        .unwrap_or_default();
+    if magic.len() < format::FILE_MAGIC.len() {
+        return TailScan::Restart;
+    }
+    if magic.as_slice() != format::FILE_MAGIC {
+        return TailScan::NotAnArchive;
+    }
+    let meta_at = format::FILE_MAGIC.len() as u64;
+    let meta_header = match reader::read_header_at(source, meta_at) {
+        Ok(h) if h.kind == SegmentKind::Meta => h,
+        _ => return TailScan::Restart,
+    };
+    let stored: ArchiveMeta = match reader::verify_payload_for(source, meta_at, &meta_header)
+        .and_then(|payload| format::decode_record(&payload))
+    {
+        Ok(meta) => meta,
+        Err(_) => return TailScan::Restart,
+    };
+    // The vbin encoding is deterministic, so byte equality of the re-encoded
+    // metas is semantic equality of the runs they describe.
+    if format::encode_record(&stored).payload != format::encode_record(expected).payload {
+        return TailScan::MetaMismatch;
+    }
+    // Newest segment per site wins (the file is append-only), so keep a map
+    // keyed by site index and let later offsets overwrite earlier ones.
+    let mut by_site: std::collections::BTreeMap<u32, (IndexEntry, CrawlOutcome, u64, u64)> =
+        std::collections::BTreeMap::new();
+    let mut at = meta_at + meta_header.segment_len() as u64;
+    let mut dropped_finalization = false;
+    while at < len {
+        let peek = source
+            .read_at(at, format::FOOTER_MAGIC.len())
+            .unwrap_or_default();
+        if peek.as_slice() == format::FOOTER_MAGIC {
+            dropped_finalization = true;
+            break;
+        }
+        if len - at == format::TRAILER_LEN as u64
+            && source
+                .read_at(at, format::TRAILER_LEN)
+                .is_ok_and(|t| format::read_trailer(&t).is_ok())
+        {
+            dropped_finalization = true;
+            break;
+        }
+        let header = match reader::read_header_at(source, at) {
+            Ok(h) if h.kind == SegmentKind::Site => h,
+            _ => break,
+        };
+        let crawl = match reader::verify_payload_for(source, at, &header)
+            .and_then(|payload| format::decode_site(&payload))
+        {
+            Ok(crawl) => crawl,
+            Err(_) => break,
+        };
+        by_site.insert(
+            header.site_index,
+            (
+                IndexEntry {
+                    site_index: header.site_index,
+                    offset: at,
+                    segment_len: header.segment_len() as u32,
+                    records: header.records,
+                    label: header.label.clone(),
+                },
+                crawl.outcome,
+                u64::from(header.raw_len),
+                u64::from(header.payload_len),
+            ),
+        );
+        at += header.segment_len() as u64;
+    }
+    let mut entries = Vec::with_capacity(by_site.len());
+    let mut kept = Vec::with_capacity(by_site.len());
+    let mut raw_bytes = u64::from(meta_header.raw_len);
+    let mut compressed_bytes = u64::from(meta_header.payload_len);
+    for (site_index, (entry, outcome, raw, compressed)) in by_site {
+        entries.push(entry);
+        kept.push(KeptSegment {
+            site_index,
+            outcome,
+        });
+        raw_bytes += raw;
+        compressed_bytes += compressed;
+    }
+    TailScan::Resume {
+        keep: at,
+        entries,
+        kept,
+        raw_bytes,
+        compressed_bytes,
+        dropped_finalization,
+    }
 }

@@ -11,6 +11,23 @@
 //! pii-study crowdsource [K]            future-work extension with K personas
 //! pii-study sweep [N]                  headline metrics across N seeds
 //! pii-study crawl --out <store>        crawl once, persist the capture archive
+//! pii-study crawl --out <store> --resume
+//!                                      reopen a partial archive (e.g. after a crash),
+//!                                      truncate its torn tail, keep every committed site,
+//!                                      and recrawl only the missing/quarantined ones —
+//!                                      the finished archive replays byte-identically to
+//!                                      an uninterrupted crawl
+//! pii-study crawl … --kill <point>     chaos testing: deterministically kill the archive
+//!                                      writer at a fail point (after-header | mid-header:N |
+//!                                      mid-payload:N | after-segment:N | before-finalize |
+//!                                      mid-footer | mid-trailer | at-byte:N), leaving the
+//!                                      torn file on disk and exiting non-zero
+//! pii-study store verify <store>       check every segment CRC + decode; exit non-zero
+//!                                      unless the archive is finalized and fully intact
+//! pii-study store repair <store> [--out <fixed>]
+//!                                      rewrite the recoverable content into a fresh
+//!                                      finalized archive (in place via rename by default);
+//!                                      damaged sites become explicit quarantined rows
 //! pii-study export <dir>               write dataset artifacts + HAR + capture archive
 //! pii-study seed <u64> <subcommand>    run any of the above on another seed
 //! pii-study --from <store> <cmd>       replay a capture archive instead of crawling
@@ -20,6 +37,9 @@
 //! pii-study --workers <n> <subcommand> size of the crawl/detect worker pool
 //! pii-study --faults <profile> <cmd>   inject transport faults (none|paper-may-2021|hostile)
 //! pii-study --retries <n> <cmd>        max page-load attempts for the fault-injected crawl
+//! pii-study --watchdog-ms <n> <cmd>    per-site virtual-time deadline: a site whose retry
+//!                                      backoff exceeds n simulated ms is quarantined
+//!                                      instead of stalling the crawl (deterministic)
 //! pii-study --metrics <cmd>            print the telemetry run report after the command
 //! pii-study --trace <out.json> <cmd>   write a Chrome trace-event file (Perfetto-loadable)
 //! ```
@@ -34,7 +54,7 @@ use pii_suite::web::UniverseSpec;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pii-study [seed|--seed <u64>] [--from <store>] [--stream] [--workers <n>] [--faults <none|paper-may-2021|hostile>] [--retries <n>] [--metrics] [--trace <out.json>] <full|tables|stats|sweep [N]|browsers|blocklists|ablations|counterfactual|crowdsource [K]|crawl --out <store>|export <dir>>"
+        "usage: pii-study [seed|--seed <u64>] [--from <store>] [--stream] [--workers <n>] [--faults <none|paper-may-2021|hostile>] [--retries <n>] [--watchdog-ms <n>] [--metrics] [--trace <out.json>] <full|tables|stats|sweep [N]|browsers|blocklists|ablations|counterfactual|crowdsource [K]|crawl --out <store> [--resume] [--kill <point>]|store <verify|repair> <store> [--out <fixed>]|export <dir>>"
     );
     std::process::exit(2);
 }
@@ -54,6 +74,8 @@ struct StudyArgs {
     /// the crawl dataset. Only `tables` supports it — Table 4 and the
     /// ablations revisit raw crawl records and need the materialized path.
     stream: bool,
+    /// Per-site virtual-time deadline for live crawls.
+    watchdog_ms: Option<u64>,
 }
 
 fn configure_study(args: &StudyArgs) -> Study {
@@ -71,6 +93,7 @@ fn configure_study(args: &StudyArgs) -> Study {
     if let Some(retries) = args.retries {
         study.retry = RetryPolicy::with_max_attempts(retries);
     }
+    study.watchdog_ms = args.watchdog_ms;
     study
 }
 
@@ -123,6 +146,7 @@ fn main() {
         trace: None,
         from: None,
         stream: false,
+        watchdog_ms: None,
     };
     loop {
         match args.first().map(String::as_str) {
@@ -175,6 +199,13 @@ fn main() {
             Some("--stream") => {
                 study_args.stream = true;
                 args = &args[1..];
+            }
+            Some("--watchdog-ms") => {
+                let Some(value) = args.get(1).and_then(|s| s.parse::<u64>().ok()) else {
+                    usage();
+                };
+                study_args.watchdog_ms = Some(value);
+                args = &args[2..];
             }
             _ => break,
         }
@@ -323,33 +354,126 @@ fn main() {
             );
         }
         "crawl" => {
-            let out = match (args.get(1).map(String::as_str), args.get(2)) {
-                (Some("--out"), Some(path)) => std::path::PathBuf::from(path),
-                _ => usage(),
-            };
+            let mut rest = &args[1..];
+            let mut out: Option<std::path::PathBuf> = None;
+            let mut resume = false;
+            let mut kill: Option<pii_suite::store::FailPoint> = None;
+            loop {
+                match rest.first().map(String::as_str) {
+                    Some("--out") => {
+                        let Some(path) = rest.get(1) else { usage() };
+                        out = Some(std::path::PathBuf::from(path));
+                        rest = &rest[2..];
+                    }
+                    Some("--resume") => {
+                        resume = true;
+                        rest = &rest[1..];
+                    }
+                    Some("--kill") => {
+                        let Some(point) = rest.get(1).and_then(|s| s.parse().ok()) else {
+                            eprintln!(
+                                "--kill takes after-header | mid-header:N | mid-payload:N | \
+                                 after-segment:N | before-finalize | mid-footer | mid-trailer | at-byte:N"
+                            );
+                            usage();
+                        };
+                        kill = Some(point);
+                        rest = &rest[2..];
+                    }
+                    None => break,
+                    _ => usage(),
+                }
+            }
+            let Some(out) = out else { usage() };
             if study_args.from.is_some() {
                 eprintln!("crawl writes a new archive; --from does not apply");
                 usage();
             }
             let study = configure_study(&study_args);
             eprintln!(
-                "crawling (seed {:#x}, {} workers, fault profile {}) into {}…",
+                "{} (seed {:#x}, {} workers, fault profile {}) into {}…",
+                if resume { "resuming crawl" } else { "crawling" },
                 study.spec.seed,
                 study.workers,
                 study.faults,
                 out.display()
             );
-            let (summary, crawl) = study.crawl_to_archive(&out).expect("write archive");
-            let funnel = crawl.funnel;
-            println!(
-                "crawled {} sites ({} completed auth flows); archived {} segments, {} bytes ({:.2}x compression)",
-                funnel.total,
-                funnel.completed,
-                summary.segments,
-                summary.bytes_written,
-                summary.compression_ratio()
-            );
-            println!("replay with: pii-study --from {} tables", out.display());
+            match study.crawl_to_archive_with(&out, resume, kill) {
+                Ok((summary, crawl)) => {
+                    let funnel = crawl.funnel;
+                    println!(
+                        "crawled {} sites ({} completed auth flows); archived {} segments, {} bytes ({:.2}x compression)",
+                        funnel.total,
+                        funnel.completed,
+                        summary.segments,
+                        summary.bytes_written,
+                        summary.compression_ratio()
+                    );
+                    println!("replay with: pii-study --from {} tables", out.display());
+                }
+                Err(e) => {
+                    eprintln!("crawl aborted: {e}");
+                    eprintln!(
+                        "the partial archive is resumable with: pii-study crawl --out {} --resume",
+                        out.display()
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        "store" => {
+            match (args.get(1).map(String::as_str), args.get(2)) {
+                (Some("verify"), Some(path)) => {
+                    let path = std::path::Path::new(path);
+                    match pii_suite::store::verify(path) {
+                        Ok(report) => {
+                            print!("{}", report.render());
+                            if !report.is_clean() {
+                                std::process::exit(1);
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("cannot verify {}: {e}", path.display());
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                (Some("repair"), Some(path)) => {
+                    let path = std::path::Path::new(path);
+                    let out = match (args.get(3).map(String::as_str), args.get(4)) {
+                        (Some("--out"), Some(fixed)) => Some(std::path::PathBuf::from(fixed)),
+                        (None, _) => None,
+                        _ => usage(),
+                    };
+                    // In-place repair still writes a fresh archive first and
+                    // renames over the damaged one only once it is finalized,
+                    // so a crash mid-repair never loses the recoverable data.
+                    let result = match &out {
+                        Some(fixed) => pii_suite::store::repair(path, fixed),
+                        None => {
+                            let tmp = path.with_extension("repair-tmp");
+                            pii_suite::store::repair(path, &tmp).and_then(|summary| {
+                                std::fs::rename(&tmp, path)?;
+                                Ok(summary)
+                            })
+                        }
+                    };
+                    match result {
+                        Ok(s) => println!(
+                            "repaired {}: {} segments recovered, {} sites quarantined, {} anonymous damaged regions dropped",
+                            out.as_deref().unwrap_or(path).display(),
+                            s.segments_recovered,
+                            s.segments_quarantined,
+                            s.regions_dropped
+                        ),
+                        Err(e) => {
+                            eprintln!("cannot repair {}: {e}", path.display());
+                            std::process::exit(1);
+                        }
+                    }
+                }
+                _ => usage(),
+            }
         }
         "export" => {
             let Some(dir) = args.get(1) else { usage() };

@@ -110,6 +110,54 @@ fn foreign_files_are_rejected() {
     ));
 }
 
+/// Degenerate inputs the file backend must reject (or recover) cleanly:
+/// the empty file, a prefix shorter than the magic, exactly the magic and
+/// nothing else, and a file cut exactly at the trailer boundary.
+#[test]
+fn degenerate_archives_fail_or_recover_cleanly() {
+    // Zero-length: no magic, not an archive.
+    let empty = temp_path("degenerate-empty.store");
+    std::fs::write(&empty, b"").unwrap();
+    assert!(matches!(
+        ArchiveReader::open(&empty),
+        Err(StoreError::NotAnArchive)
+    ));
+
+    // Shorter than the 8-byte magic, even sharing its prefix.
+    let short = temp_path("degenerate-short.store");
+    std::fs::write(&short, &format::FILE_MAGIC[..4]).unwrap();
+    assert!(matches!(
+        ArchiveReader::open(&short),
+        Err(StoreError::NotAnArchive)
+    ));
+
+    // Exactly the magic: a valid prefix with no meta segment to replay
+    // against.
+    let header_only = temp_path("degenerate-header-only.store");
+    std::fs::write(&header_only, format::FILE_MAGIC).unwrap();
+    assert!(matches!(
+        ArchiveReader::open(&header_only),
+        Err(StoreError::MetaUnreadable(_))
+    ));
+
+    // Cut exactly at the trailer boundary: the footer's last byte is the
+    // final byte of the file. The trailer is gone, so the footer cannot be
+    // located — but the tail scan must still recover every segment.
+    let crawls = toy_crawls();
+    let bytes = toy_archive(&crawls);
+    let cut = bytes.len() - format::TRAILER_LEN;
+    let reader =
+        ArchiveReader::from_bytes(bytes[..cut].to_vec()).expect("trailer-less archive opens");
+    assert!(!reader.used_footer(), "no trailer means no footer lookup");
+    let replay = reader.read_dataset();
+    assert!(replay.report.skipped.is_empty());
+    assert_eq!(replay.dataset.crawls.len(), crawls.len());
+    assert_eq!(
+        serde_json::to_string(&replay.dataset.crawls).unwrap(),
+        serde_json::to_string(&crawls).unwrap()
+    );
+}
+
 fn toy_crawls() -> Vec<SiteCrawl> {
     (0..12)
         .map(|i| SiteCrawl {

@@ -15,6 +15,7 @@
 
 use pii_suite::analysis::Study;
 use pii_suite::net::fault::FaultProfile;
+use pii_suite::store::FailPoint;
 use pii_suite::telemetry;
 use pii_suite::web::UniverseSpec;
 use serde::Value;
@@ -128,6 +129,64 @@ fn seeded_counters_reproduce_across_runs_and_worker_counts() {
     assert!(runs[0]
         .keys()
         .all(|k| !telemetry::is_scheduling_dependent(k)));
+}
+
+/// The crash-recovery counters (`store.resume.*`) are part of the
+/// deterministic set: a single-worker kill-then-resume cycle records the
+/// same truncated-byte count, kept-segment count and requeue count on
+/// every repetition — and actually records them (non-zero).
+#[test]
+fn resume_counters_are_deterministic_and_recorded() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    telemetry::disable();
+    telemetry::reset();
+    // Size the kill from an uninterrupted run: cutting at half the archive
+    // guarantees both a torn tail to truncate and missing sites to requeue.
+    let dir = std::env::temp_dir();
+    let baseline = dir.join(format!(
+        "pii-resume-counters-baseline-{}.store",
+        std::process::id()
+    ));
+    small_study(1, FaultProfile::PaperMay2021)
+        .crawl_to_archive(&baseline)
+        .expect("baseline crawl");
+    let half = std::fs::metadata(&baseline).expect("baseline size").len() / 2;
+
+    telemetry::enable();
+    let mut runs = Vec::new();
+    for attempt in 0..2 {
+        telemetry::reset();
+        let path = dir.join(format!(
+            "pii-resume-counters-{}-{attempt}.store",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        small_study(1, FaultProfile::PaperMay2021)
+            .crawl_to_archive_with(&path, false, Some(FailPoint::AtByte(half)))
+            .expect_err("the byte limit must abort the crawl");
+        small_study(1, FaultProfile::PaperMay2021)
+            .crawl_to_archive_with(&path, true, None)
+            .expect("resume");
+        runs.push(telemetry::snapshot().deterministic_counters());
+    }
+    telemetry::disable();
+    telemetry::reset();
+
+    assert_eq!(
+        runs[0], runs[1],
+        "resume counters must be a pure function of the seed and kill point"
+    );
+    for key in [
+        "store.resume.truncated_bytes",
+        "store.resume.segments_kept",
+        "store.resume.sites_requeued",
+    ] {
+        assert!(
+            runs[0].get(key).copied().unwrap_or(0) > 0,
+            "{key} never recorded: {:?}",
+            runs[0]
+        );
+    }
 }
 
 #[test]
