@@ -1,6 +1,6 @@
-.PHONY: ci build test clippy bench fmt-check fault-matrix telemetry-smoke store-smoke stream-smoke chaos-smoke bench-trajectory
+.PHONY: ci build test clippy bench fmt-check fault-matrix telemetry-smoke store-smoke stream-smoke chaos-smoke lint-invariants bench-trajectory
 
-ci: build test fault-matrix telemetry-smoke store-smoke stream-smoke chaos-smoke clippy fmt-check
+ci: build test fault-matrix telemetry-smoke store-smoke stream-smoke chaos-smoke lint-invariants clippy fmt-check
 
 build:
 	cargo build --release --workspace
@@ -69,6 +69,14 @@ chaos-smoke:
 # universe scale, refreshing BENCH_streaming.json at the workspace root.
 bench-trajectory:
 	cargo bench -p pii-bench --bench streaming
+
+# Workspace invariant gate: pii-lint must report zero unsuppressed findings
+# (exit 1 otherwise), and its hand-rolled JSON mode must satisfy the
+# vendored-serde_json validator so the two output modes cannot drift.
+lint-invariants:
+	cargo run --release -q -- lint
+	cargo run --release -q -- lint --json > target/lint.json
+	cargo run --release -q --example validate_lint_json target/lint.json --expect-empty
 
 clippy:
 	cargo clippy --workspace --all-targets -- -D warnings

@@ -76,6 +76,7 @@ pub fn scanning_equivalence(r: &StudyResults) -> ScanComparison {
         .map(|(token, _)| token.as_str())
         .filter(|t| !t.is_empty())
         .collect();
+    // lint:allow(W04) -- construction only fails on an empty pattern, and the filter above removes those
     let automaton = AhoCorasick::new(&patterns).expect("empty patterns filtered out");
     let mut exhaustive: BTreeSet<&str> = BTreeSet::new();
     for crawl in r.dataset.completed() {

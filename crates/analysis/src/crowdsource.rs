@@ -83,7 +83,9 @@ pub fn confirm(reports: &[DetectionReport], min_contributors: usize) -> Vec<Crow
             let entry = evidence
                 .entry(key)
                 .or_insert_with(|| vec![0; reports.len()]);
-            entry[ci] = senders.len();
+            if let Some(slot) = entry.get_mut(ci) {
+                *slot = senders.len();
+            }
         }
     }
     let mut out = Vec::new();

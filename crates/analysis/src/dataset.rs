@@ -180,7 +180,8 @@ impl PublishedDataset {
         std::fs::write(dir.join("third_party_receivers.txt"), self.receivers_list())?;
         std::fs::write(
             dir.join("dataset.json"),
-            serde_json::to_string_pretty(self).expect("serializable"),
+            serde_json::to_string_pretty(self)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?,
         )?;
         Ok(())
     }

@@ -21,6 +21,8 @@
 //! | [`ablations`]  | chain-depth recall and scanning-strategy experiments |
 //! | [`report`]     | ASCII table rendering and paper-vs-measured rows |
 
+#![forbid(unsafe_code)]
+
 pub mod ablations;
 pub mod aggregates;
 pub mod browsers;

@@ -77,11 +77,15 @@ impl Table {
             .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
         let mut widths = vec![0usize; cols];
         for (i, h) in self.headers.iter().enumerate() {
-            widths[i] = widths[i].max(h.chars().count());
+            if let Some(w) = widths.get_mut(i) {
+                *w = (*w).max(h.chars().count());
+            }
         }
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {
-                widths[i] = widths[i].max(cell.chars().count());
+                if let Some(w) = widths.get_mut(i) {
+                    *w = (*w).max(cell.chars().count());
+                }
             }
         }
         let mut out = String::new();

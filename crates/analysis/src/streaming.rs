@@ -170,7 +170,10 @@ fn decode_batch(
                 if index >= batch.len() {
                     break;
                 }
-                *slots[index].lock() = Some(fill(&batch[index]));
+                let (Some(slot), Some(item)) = (slots.get(index), batch.get(index)) else {
+                    break;
+                };
+                *slot.lock() = Some(fill(item));
             });
         }
     });

@@ -131,7 +131,10 @@ impl Study {
                 (universe, dataset, self.faults, None)
             }
             CaptureSource::Archive(path) => {
+                // Documented `# Panics` contract on `run`: an archive that cannot
+                // be opened at all has no degraded flow to fall back to.
                 let reader = ArchiveReader::open(path)
+                    // lint:allow(W04) -- see the `# Panics` contract above
                     .unwrap_or_else(|e| panic!("cannot replay {}: {e}", path.display()));
                 let meta = reader.meta().clone();
                 let universe = {
@@ -226,6 +229,7 @@ impl Study {
                 // instead of leaking into the temp dir.
                 let guard = SpoolGuard(spool);
                 self.crawl_to_archive(&guard.0).unwrap_or_else(|e| {
+                    // lint:allow(W04) -- spool write failure precedes any replay; the SpoolGuard unwinds and deletes the temp archive
                     panic!(
                         "cannot spool streaming capture to {}: {e}",
                         guard.0.display()
@@ -239,6 +243,7 @@ impl Study {
     /// The replay half of streaming mode: batch replay of one archive.
     fn stream_from(path: &Path, tokens: TokenSetBuilder, workers: usize) -> StudyResults {
         let reader = ArchiveReader::open(path)
+            // lint:allow(W04) -- same documented `# Panics` contract as `run`
             .unwrap_or_else(|e| panic!("cannot replay {}: {e}", path.display()));
         let meta = reader.meta().clone();
         let universe = {
@@ -362,14 +367,23 @@ impl Study {
         let mut done = vec![false; total];
         let mut kept_funnel = FunnelStats::default();
         for k in &kept {
-            let index = k.site_index as usize;
-            if index >= total || done[index] || matches!(k.outcome, CrawlOutcome::Quarantined(_)) {
+            if matches!(k.outcome, CrawlOutcome::Quarantined(_)) {
                 continue;
             }
-            done[index] = true;
-            kept_funnel.observe(&k.outcome);
+            // Out-of-range site indices (foreign or damaged meta) are skipped.
+            if let Some(slot) = done.get_mut(k.site_index as usize) {
+                if !*slot {
+                    *slot = true;
+                    kept_funnel.observe(&k.outcome);
+                }
+            }
         }
-        let missing: Vec<usize> = (0..total).filter(|&i| !done[i]).collect();
+        let missing: Vec<usize> = done
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !**d)
+            .map(|(i, _)| i)
+            .collect();
         if resume {
             pii_telemetry::counter("store.resume.sites_requeued", missing.len() as u64);
         }
@@ -380,25 +394,29 @@ impl Study {
         let filter: Option<Vec<String>> = (missing.len() != total).then(|| {
             missing
                 .iter()
-                .map(|&i| universe.sites[i].domain.clone())
+                .filter_map(|&i| universe.sites.get(i))
+                .map(|site| site.domain.clone())
                 .collect()
         });
-        let writer = std::sync::Mutex::new(writer);
-        let write_error: std::sync::Mutex<Option<std::io::Error>> = std::sync::Mutex::new(None);
+        let writer = parking_lot::Mutex::new(writer);
+        let write_error: parking_lot::Mutex<Option<std::io::Error>> = parking_lot::Mutex::new(None);
         let crawl_summary = {
             let mut span = pii_telemetry::span("study.crawl");
             span.add_arg("browser", self.capture_browser.name());
             crawler.run_streaming_on(self.capture_browser, filter.as_deref(), &|k, crawl| {
-                let mut w = writer.lock().unwrap();
-                if let Err(e) = w.append_site(missing[k], crawl) {
-                    write_error.lock().unwrap().get_or_insert(e);
+                let Some(&site_index) = missing.get(k) else {
+                    return; // filtered index beyond the requeued set: drop, not panic
+                };
+                let mut w = writer.lock();
+                if let Err(e) = w.append_site(site_index, crawl) {
+                    write_error.lock().get_or_insert(e);
                 }
             })
         };
-        if let Some(e) = write_error.into_inner().unwrap() {
+        if let Some(e) = write_error.into_inner() {
             return Err(e);
         }
-        let summary = writer.into_inner().unwrap().finish()?;
+        let summary = writer.into_inner().finish()?;
         let mut funnel = kept_funnel;
         funnel.merge(&crawl_summary.funnel);
         Ok((

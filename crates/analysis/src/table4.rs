@@ -45,8 +45,15 @@ fn collect<'a>(r: &'a StudyResults) -> Vec<LeakRequest<'a>> {
     }
     let mut out = Vec::new();
     for ((sender, index), (receivers, methods, cloaked)) in grouped {
-        let crawl = r.dataset.site(sender).expect("sender crawl");
-        let request = &crawl.records[index].request;
+        // A leak event whose crawl or record is missing from the dataset is a
+        // degraded capture: skip the row rather than abort the whole table.
+        let Some(crawl) = r.dataset.site(sender) else {
+            continue;
+        };
+        let Some(record) = crawl.records.get(index) else {
+            continue;
+        };
+        let request = &record.request;
         // Walk the initiator chain by URL equality within the same crawl.
         let by_url: HashMap<String, &Request> = crawl
             .records
@@ -193,11 +200,17 @@ pub fn evaluate(r: &StudyResults, name: &'static str, set: &FilterSet) -> ListPe
         name,
         by_method,
         combined_senders: (
-            multi_senders.iter().filter(|s| sender_all[*s]).count(),
+            multi_senders
+                .iter()
+                .filter(|s| sender_all.get(*s).copied().unwrap_or(false))
+                .count(),
             multi_senders.len(),
         ),
         combined_receivers: (
-            multi_receivers.iter().filter(|s| receiver_all[*s]).count(),
+            multi_receivers
+                .iter()
+                .filter(|s| receiver_all.get(*s).copied().unwrap_or(false))
+                .count(),
             multi_receivers.len(),
         ),
         total_senders: (
@@ -237,7 +250,8 @@ pub fn table(r: &StudyResults) -> Table {
             let cells: Vec<String> = perf
                 .iter()
                 .map(|p| {
-                    let (sb, st, rb, rt) = p.by_method[&method];
+                    let (sb, st, rb, rt) =
+                        p.by_method.get(&method).copied().unwrap_or((0, 0, 0, 0));
                     if sender_side {
                         count_pct(sb, st)
                     } else {
@@ -298,6 +312,11 @@ pub fn comparisons(r: &StudyResults) -> Vec<Comparison> {
     let el = &perf[0];
     let ep = &perf[1];
     let all = &perf[2];
+    let cookie = all
+        .by_method
+        .get(&LeakMethod::Cookie)
+        .copied()
+        .unwrap_or((0, 0, 0, 0));
     vec![
         Comparison::counts("Table 4 / EasyList total senders", 1, el.total_senders.0, 1),
         Comparison::counts(
@@ -330,18 +349,8 @@ pub fn comparisons(r: &StudyResults) -> Vec<Comparison> {
             all.total_receivers.0,
             4,
         ),
-        Comparison::counts(
-            "Table 4 / Combined cookie senders",
-            5,
-            all.by_method[&LeakMethod::Cookie].0,
-            0,
-        ),
-        Comparison::counts(
-            "Table 4 / Combined cookie receivers",
-            1,
-            all.by_method[&LeakMethod::Cookie].2,
-            0,
-        ),
+        Comparison::counts("Table 4 / Combined cookie senders", 5, cookie.0, 0),
+        Comparison::counts("Table 4 / Combined cookie receivers", 1, cookie.2, 0),
     ]
 }
 

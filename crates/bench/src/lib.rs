@@ -18,6 +18,8 @@
 //! | `scan`      | ablation: Aho–Corasick vs naive multi-pattern scan |
 //! | `blocklist` | ablation: indexed vs linear filter matching |
 
+#![forbid(unsafe_code)]
+
 use pii_analysis::{Study, StudyResults};
 use std::sync::OnceLock;
 

@@ -27,6 +27,8 @@
 //! assert!(ep.matches(&pixel).is_blocked());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod filter;
 pub mod lists;
 pub mod matcher;

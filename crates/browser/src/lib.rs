@@ -12,6 +12,8 @@
 //! Shields' CNAME uncloaking, its eight documented misses, and the
 //! `nykaa.com` CAPTCHA breakage.
 
+#![forbid(unsafe_code)]
+
 pub mod dom;
 pub mod engine;
 pub mod profiles;

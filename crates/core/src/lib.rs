@@ -20,6 +20,8 @@
 //! * [`wire_input`] — run the same detector over raw HTTP/1.1 messages
 //!   (mitmproxy-style external captures).
 
+#![forbid(unsafe_code)]
+
 pub mod detect;
 pub mod scan;
 pub mod tokens;

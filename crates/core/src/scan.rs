@@ -7,7 +7,6 @@
 //! [`AhoCorasick`] is a from-scratch implementation used for the exhaustive
 //! ablation (`bench_scan`) and for haystacks with no structure to exploit.
 
-use std::collections::HashMap;
 use std::collections::VecDeque;
 
 /// Automaton construction failure.
@@ -38,10 +37,46 @@ pub struct Match {
 
 #[derive(Debug, Clone, Default)]
 struct Node {
-    children: HashMap<u8, usize>,
+    /// Child edges, sorted by byte. A sorted vec instead of a `HashMap`
+    /// does two jobs at once: BFS during construction visits children in
+    /// canonical byte order — so fail links and `output` orderings are a
+    /// pure function of the pattern list, never of hasher state — and
+    /// lookup is a binary search over a dense, cache-friendly array.
+    children: Vec<(u8, usize)>,
     fail: usize,
     /// Pattern indices ending at this node.
     output: Vec<usize>,
+}
+
+impl Node {
+    fn child(&self, b: u8) -> Option<usize> {
+        self.children
+            .binary_search_by_key(&b, |&(k, _)| k)
+            .ok()
+            .and_then(|i| self.children.get(i))
+            .map(|&(_, n)| n)
+    }
+
+    fn insert_child(&mut self, b: u8, next: usize) {
+        if let Err(at) = self.children.binary_search_by_key(&b, |&(k, _)| k) {
+            self.children.insert(at, (b, next));
+        }
+    }
+}
+
+/// Arena read access. Indices are produced exclusively by `new` (the value
+/// of `nodes.len() - 1` at push time) and fail links reference
+/// already-built nodes, so out-of-range is unreachable; the root fallback
+/// keeps the detection path panic-free regardless, and the differential
+/// proptests would surface a miss as a wrong match.
+fn node(nodes: &[Node], i: usize) -> &Node {
+    nodes.get(i).unwrap_or_else(|| &nodes[0])
+}
+
+/// Arena write access; same invariant as [`node`].
+fn node_mut(nodes: &mut [Node], i: usize) -> &mut Node {
+    let i = if i < nodes.len() { i } else { 0 };
+    &mut nodes[i] // lint:allow(W04) -- i clamped to the arena bounds on the previous line and the arena always holds the root
 }
 
 /// Classic Aho–Corasick automaton over bytes.
@@ -73,47 +108,44 @@ impl AhoCorasick {
             pattern_lens.push(bytes.len());
             let mut cur = 0usize;
             for &b in bytes {
-                cur = match nodes[cur].children.get(&b) {
-                    Some(&next) => next,
+                cur = match node(&nodes, cur).child(b) {
+                    Some(next) => next,
                     None => {
                         nodes.push(Node::default());
                         let next = nodes.len() - 1;
-                        nodes[cur].children.insert(b, next);
+                        node_mut(&mut nodes, cur).insert_child(b, next);
                         next
                     }
                 };
             }
-            nodes[cur].output.push(pi);
+            node_mut(&mut nodes, cur).output.push(pi);
         }
-        // BFS to set failure links.
+        // BFS to set failure links. Children are visited in sorted byte
+        // order, so the queue — and with it every `output` ordering — is
+        // deterministic.
         let mut queue = VecDeque::new();
-        let root_children: Vec<(u8, usize)> =
-            nodes[0].children.iter().map(|(&b, &n)| (b, n)).collect();
-        for (_, child) in root_children {
-            nodes[child].fail = 0;
+        for (_, child) in node(&nodes, 0).children.clone() {
+            node_mut(&mut nodes, child).fail = 0;
             queue.push_back(child);
         }
         while let Some(cur) = queue.pop_front() {
-            let children: Vec<(u8, usize)> =
-                nodes[cur].children.iter().map(|(&b, &n)| (b, n)).collect();
-            for (b, child) in children {
+            for (b, child) in node(&nodes, cur).children.clone() {
                 // Walk failure links of the parent to find the child's.
-                let mut f = nodes[cur].fail;
-                loop {
-                    if let Some(&next) = nodes[f].children.get(&b) {
+                let mut f = node(&nodes, cur).fail;
+                let target = loop {
+                    if let Some(next) = node(&nodes, f).child(b) {
                         if next != child {
-                            nodes[child].fail = next;
-                            break;
+                            break next;
                         }
                     }
                     if f == 0 {
-                        nodes[child].fail = 0;
-                        break;
+                        break 0;
                     }
-                    f = nodes[f].fail;
-                }
-                let fail_output = nodes[nodes[child].fail].output.clone();
-                nodes[child].output.extend(fail_output);
+                    f = node(&nodes, f).fail;
+                };
+                node_mut(&mut nodes, child).fail = target;
+                let fail_output = node(&nodes, target).output.clone();
+                node_mut(&mut nodes, child).output.extend(fail_output);
                 queue.push_back(child);
             }
         }
@@ -123,25 +155,33 @@ impl AhoCorasick {
         })
     }
 
+    /// Follow one byte from `state` through child/failure links.
+    fn step(&self, state: usize, b: u8) -> usize {
+        let mut s = state;
+        loop {
+            if let Some(next) = node(&self.nodes, s).child(b) {
+                return next;
+            }
+            if s == 0 {
+                return 0;
+            }
+            s = node(&self.nodes, s).fail;
+        }
+    }
+
     /// All matches in `haystack`.
     pub fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
         let mut out = Vec::new();
         let mut state = 0usize;
         for (i, &b) in haystack.iter().enumerate() {
-            loop {
-                if let Some(&next) = self.nodes[state].children.get(&b) {
-                    state = next;
-                    break;
-                }
-                if state == 0 {
-                    break;
-                }
-                state = self.nodes[state].fail;
-            }
-            for &pi in &self.nodes[state].output {
+            state = self.step(state, b);
+            for &pi in &node(&self.nodes, state).output {
+                let Some(&len) = self.pattern_lens.get(pi) else {
+                    continue; // unreachable: outputs only hold real indices
+                };
                 out.push(Match {
                     pattern: pi,
-                    start: i + 1 - self.pattern_lens[pi],
+                    start: i + 1 - len,
                 });
             }
         }
@@ -152,17 +192,8 @@ impl AhoCorasick {
     pub fn is_match(&self, haystack: &[u8]) -> bool {
         let mut state = 0usize;
         for &b in haystack {
-            loop {
-                if let Some(&next) = self.nodes[state].children.get(&b) {
-                    state = next;
-                    break;
-                }
-                if state == 0 {
-                    break;
-                }
-                state = self.nodes[state].fail;
-            }
-            if !self.nodes[state].output.is_empty() {
+            state = self.step(state, b);
+            if !node(&self.nodes, state).output.is_empty() {
                 return true;
             }
         }

@@ -72,9 +72,14 @@ impl TokenSet {
         self.map.is_empty()
     }
 
-    /// Iterate over (token, info) pairs (used by the Aho–Corasick scanner).
+    /// Iterate over (token, info) pairs in canonical (sorted-token) order.
+    /// The Aho–Corasick scanner builds its pattern list from this, so the
+    /// iteration order decides pattern indices — sorting here keeps every
+    /// downstream match list a pure function of the token set.
     pub fn iter(&self) -> impl Iterator<Item = (&String, &TokenInfo)> {
-        self.map.iter()
+        let mut entries: Vec<_> = self.map.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        entries.into_iter()
     }
 
     /// Serialize to a compact line format (`token\tpii\tstep+step…`), sorted
@@ -82,7 +87,6 @@ impl TokenSet {
     /// amortises that across runs.
     pub fn to_text(&self) -> String {
         let mut lines: Vec<String> = self
-            .map
             .iter()
             .map(|(token, info)| {
                 let chain = info

@@ -26,6 +26,8 @@
 //! they actually exhibited, and a worker that panics has its site requeued
 //! once and then quarantined — the crawl itself never aborts.
 
+#![forbid(unsafe_code)]
+
 pub mod capture;
 pub mod flow;
 pub mod har;

@@ -46,7 +46,9 @@ impl RetryPolicy {
     /// delay back down to something small.
     pub fn backoff_ms(&self, plan: &FaultPlan, domain: &str, attempt: u32) -> u64 {
         let shift = attempt.saturating_sub(1).min(16);
-        let exponential = self.backoff_base_ms.saturating_mul(1u64 << shift);
+        let exponential = self
+            .backoff_base_ms
+            .saturating_mul(1u64.checked_shl(shift).unwrap_or(u64::MAX));
         exponential.saturating_add(plan.jitter_ms(domain, attempt, self.backoff_base_ms))
     }
 

@@ -25,6 +25,8 @@
 //! assert_eq!(hit.provider_domain, "omtrdc.net");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod cloaking;
 pub mod psl;

@@ -23,6 +23,8 @@
 //!            "Zm9vQG15ZG9tLmNvbQ==");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod base32;
 pub mod base58;
 pub mod base64;

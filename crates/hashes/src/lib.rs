@@ -29,6 +29,8 @@
 //! assert_eq!(d.len(), 64);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adler;
 pub mod blake2b;
 pub mod crc;

@@ -1,0 +1,538 @@
+//! A self-contained Rust lexer, sufficient for invariant linting.
+//!
+//! The goal is *span-accurate token streams*, not a compiler front end: the
+//! lexer must never mistake the inside of a string, raw string, char
+//! literal, or (nested) block comment for code, and it must keep comments as
+//! tokens so the rule engine can see `// lint:allow(...)` suppressions and
+//! `// SAFETY:` justifications. Everything else — numbers, identifiers,
+//! lifetimes, punctuation — is tokenized just precisely enough for the
+//! rules in [`crate::rules`].
+
+/// What a token is. Spans (line/column, 1-based) live on [`Token`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword, including raw identifiers (`r#match` yields
+    /// text `match`).
+    Ident,
+    /// A lifetime such as `'a` (text excludes the quote).
+    Lifetime,
+    /// Character or byte literal, quotes included in text.
+    CharLit,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`), quotes and
+    /// hashes included in text.
+    StrLit,
+    /// Numeric literal, suffix included (`0xFFu64`, `1_000`, `2.5e-3`).
+    NumLit,
+    /// `// …` comment including doc comments; text excludes the newline.
+    LineComment,
+    /// `/* … */` comment (nesting handled); text includes delimiters.
+    BlockComment,
+    /// Punctuation. Multi-character only where a rule needs adjacency
+    /// semantics: `<<=`, `<<`, `+=`, `*=`, `..`. Everything else is one
+    /// character per token.
+    Punct,
+}
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// The token's text. For `Ident` this is the identifier itself (raw
+    /// prefix stripped); for literals and comments, the full source slice.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+}
+
+/// Tokenize `src`. The lexer never fails: malformed input (unterminated
+/// string, stray byte) degrades to best-effort tokens so the linter can
+/// still report on the rest of the file — rustc itself is the authority on
+/// syntax errors, not this pass.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    src: &'a str,
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Advance one char, tracking line/col.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32, col: u32) {
+        self.out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let _ = self.src; // spans are char-based; the raw str is kept for debugging
+        while let Some(c) = self.peek(0) {
+            let (line, col) = (self.line, self.col);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line, col),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line, col),
+                '"' => self.string(line, col, String::new()),
+                'r' | 'b' => {
+                    if !self.literal_prefix(line, col) {
+                        self.ident(line, col);
+                    }
+                }
+                '\'' => self.quote(line, col),
+                c if c.is_ascii_digit() => self.number(line, col),
+                c if c == '_' || c.is_alphanumeric() => self.ident(line, col),
+                _ => self.punct(line, col),
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line, col);
+    }
+
+    fn block_comment(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line, col);
+    }
+
+    /// Handle the `r` / `b` prefixes: `r"…"`, `r#"…"#`, `br#"…"#`, `b"…"`,
+    /// `b'…'`, and raw identifiers `r#ident`. Returns false when the prefix
+    /// turns out to start a plain identifier (`radius`, `bytes`).
+    fn literal_prefix(&mut self, line: u32, col: u32) -> bool {
+        let first = self.peek(0).unwrap_or(' ');
+        // Longest literal-introducing shapes first.
+        let (skip, hashes_at) = match (first, self.peek(1)) {
+            ('b', Some('r')) => (2, 2),
+            ('r', _) => (1, 1),
+            ('b', Some('"')) => {
+                self.bump();
+                self.string(line, col, String::from("b"));
+                return true;
+            }
+            ('b', Some('\'')) => {
+                self.bump();
+                let mut text = String::from("b");
+                self.char_lit(&mut text);
+                self.push(TokenKind::CharLit, text, line, col);
+                return true;
+            }
+            _ => return false,
+        };
+        // Count hashes after the prefix.
+        let mut hashes = 0usize;
+        while self.peek(hashes_at + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(hashes_at + hashes) {
+            Some('"') => {
+                let mut text = String::new();
+                for _ in 0..skip + hashes + 1 {
+                    text.push(self.bump().unwrap_or(' '));
+                }
+                // Raw string body: ends at `"` followed by `hashes` hashes.
+                loop {
+                    match self.peek(0) {
+                        None => break,
+                        Some('"') => {
+                            let mut ok = true;
+                            for i in 0..hashes {
+                                if self.peek(1 + i) != Some('#') {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            if ok {
+                                for _ in 0..1 + hashes {
+                                    text.push(self.bump().unwrap_or(' '));
+                                }
+                                break;
+                            }
+                            text.push(self.bump().unwrap_or(' '));
+                        }
+                        Some(_) => text.push(self.bump().unwrap_or(' ')),
+                    }
+                }
+                self.push(TokenKind::StrLit, text, line, col);
+                true
+            }
+            // `r#ident` raw identifier (only r, exactly one hash, ident char next).
+            Some(c) if first == 'r' && hashes == 1 && (c == '_' || c.is_alphanumeric()) => {
+                self.bump(); // r
+                self.bump(); // #
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Ident, text, line, col);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Plain (escaped) string literal; `prefix` carries a consumed `b`.
+    fn string(&mut self, line: u32, col: u32, prefix: String) {
+        let mut text = prefix;
+        text.push(self.bump().unwrap_or('"')); // opening quote
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(self.bump().unwrap_or(' '));
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '"' {
+                text.push(self.bump().unwrap_or('"'));
+                break;
+            } else {
+                text.push(self.bump().unwrap_or(' '));
+            }
+        }
+        self.push(TokenKind::StrLit, text, line, col);
+    }
+
+    /// `'` starts either a lifetime (`'a`, `'static`) or a char literal
+    /// (`'a'`, `'\n'`, `'\u{1F600}'`). Rule: after `'x` where x is an ident
+    /// char, it is a char literal iff the next char is `'`; multi-char
+    /// escapes (backslash) are always char literals.
+    fn quote(&mut self, line: u32, col: u32) {
+        match self.peek(1) {
+            Some('\\') => {
+                let mut text = String::new();
+                self.char_lit(&mut text);
+                self.push(TokenKind::CharLit, text, line, col);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                if self.peek(2) == Some('\'') {
+                    let mut text = String::new();
+                    self.char_lit(&mut text);
+                    self.push(TokenKind::CharLit, text, line, col);
+                } else {
+                    self.bump(); // '
+                    let mut text = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push(TokenKind::Lifetime, text, line, col);
+                }
+            }
+            _ => {
+                // `'(' )` or stray quote: char literal best-effort.
+                let mut text = String::new();
+                self.char_lit(&mut text);
+                self.push(TokenKind::CharLit, text, line, col);
+            }
+        }
+    }
+
+    /// Consume a char/byte literal starting at the opening `'`.
+    fn char_lit(&mut self, text: &mut String) {
+        text.push(self.bump().unwrap_or('\'')); // opening '
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(self.bump().unwrap_or(' '));
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+            } else if c == '\'' {
+                text.push(self.bump().unwrap_or('\''));
+                break;
+            } else if c == '\n' {
+                break; // unterminated; don't eat the rest of the file
+            } else {
+                text.push(self.bump().unwrap_or(' '));
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        // Integer part (handles 0x/0o/0b prefixes transparently: the suffix
+        // loop below accepts hex digits and type-suffix letters alike).
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_ascii_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: only if `.` is followed by a digit (so `0..n`
+        // and `1.method()` lex the dot separately).
+        if self.peek(0) == Some('.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+            text.push(self.bump().unwrap_or('.'));
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_ascii_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        // Exponent sign: `1e-3` leaves the lexer at `-`; splice it plus the
+        // digits in when the text so far ends with e/E.
+        if (text.ends_with('e') || text.ends_with('E'))
+            && matches!(self.peek(0), Some('+') | Some('-'))
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            text.push(self.bump().unwrap_or('-'));
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_ascii_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.push(TokenKind::NumLit, text, line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line, col);
+    }
+
+    /// Punctuation. Compound tokens only where the rules need them:
+    /// `<<=` / `<<` (shift, W03), `+=` / `*=` (compound assign, W03), and
+    /// `..` (range detection inside index expressions, W04). Note `>>` is
+    /// deliberately NOT compounded so `Vec<Vec<u8>>` closes cleanly.
+    fn punct(&mut self, line: u32, col: u32) {
+        let c = self.bump().unwrap_or(' ');
+        let next = self.peek(0);
+        let text = match (c, next) {
+            ('<', Some('<')) => {
+                self.bump();
+                if self.peek(0) == Some('=') {
+                    self.bump();
+                    "<<=".to_string()
+                } else {
+                    "<<".to_string()
+                }
+            }
+            ('+', Some('=')) => {
+                self.bump();
+                "+=".to_string()
+            }
+            ('*', Some('=')) => {
+                self.bump();
+                "*=".to_string()
+            }
+            ('.', Some('.')) => {
+                self.bump();
+                "..".to_string()
+            }
+            _ => c.to_string(),
+        };
+        self.push(TokenKind::Punct, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_do_not_leak_code() {
+        let toks = kinds(r###"let s = r#"inner "quote" and unwrap()"#; x.iter()"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t.contains("unwrap")));
+        // The unwrap inside the raw string must NOT surface as an ident.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "iter"));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let toks = kinds("/* outer /* inner */ still comment */ code");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "code".to_string()));
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .collect();
+        assert_eq!(lifetimes.len(), 2, "{toks:?}");
+        assert_eq!(chars.len(), 2, "{toks:?}");
+    }
+
+    #[test]
+    fn raw_identifier_lexes_as_ident() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "match"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r###"let a = b"bytes"; let b = b'x'; let c = br#"raw"#;"###);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::StrLit).count(),
+            2
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::CharLit)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn shift_lexes_greedy_but_generics_close() {
+        let toks = kinds("let x: Vec<Vec<u8>> = v; let y = 1u64 << s; m <<= 2;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == "<<"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == "<<="));
+        // `>>` must stay two separate tokens.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == ">>"));
+    }
+
+    #[test]
+    fn float_and_range_disambiguation() {
+        let toks = kinds("for i in 0..10 { let f = 2.5e-3; let g = 1.0f64; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Punct && t == ".."));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::NumLit && t == "2.5e-3"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::NumLit && t == "1.0f64"));
+    }
+
+    #[test]
+    fn spans_are_one_based_and_accurate() {
+        let toks = tokenize("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

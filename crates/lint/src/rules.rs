@@ -1,0 +1,478 @@
+//! The rule engine: six repo-critical invariant checks over a [`FileMap`].
+//!
+//! Every rule is purely lexical/structural — no type information — so each
+//! one documents its heuristic and errs toward *flagging* in its scoped
+//! files; intentional exceptions carry a `// lint:allow(...) -- reason`.
+
+use crate::config;
+use crate::lexer::TokenKind;
+use crate::walker::FileMap;
+
+/// Rule identifiers. `W00` is the linter's own diagnostic for malformed
+/// suppression comments and cannot itself be suppressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    W00,
+    W01,
+    W02,
+    W03,
+    W04,
+    W05,
+    W06,
+}
+
+impl Rule {
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::W00 => "W00",
+            Rule::W01 => "W01",
+            Rule::W02 => "W02",
+            Rule::W03 => "W03",
+            Rule::W04 => "W04",
+            Rule::W05 => "W05",
+            Rule::W06 => "W06",
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::W00 => "malformed-suppression",
+            Rule::W01 => "wall-clock-in-deterministic-path",
+            Rule::W02 => "unordered-iteration-escapes",
+            Rule::W03 => "unchecked-arithmetic-in-scale-path",
+            Rule::W04 => "panic-in-detection-path",
+            Rule::W05 => "unsafe-without-safety-comment",
+            Rule::W06 => "nondeterministic-collection-in-keyed-state",
+        }
+    }
+
+    /// Parse a rule id (`W01`) or name from a suppression comment.
+    pub fn parse(s: &str) -> Option<Rule> {
+        let s = s.trim();
+        Rule::all()
+            .into_iter()
+            .find(|r| s.eq_ignore_ascii_case(r.code()) || s == r.name())
+    }
+
+    /// All suppressible rules, for docs and JSON schema listings.
+    pub fn all() -> [Rule; 6] {
+        [
+            Rule::W01,
+            Rule::W02,
+            Rule::W03,
+            Rule::W04,
+            Rule::W05,
+            Rule::W06,
+        ]
+    }
+}
+
+/// One raw finding, pre-suppression.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: Rule,
+    pub line: u32,
+    pub col: u32,
+    pub message: String,
+}
+
+/// Run every rule that is in scope for `path` over the file.
+pub fn check_file(path: &str, map: &FileMap) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if config::in_scope(Rule::W01, path) {
+        wall_clock(map, &mut out);
+    }
+    if config::in_scope(Rule::W02, path) {
+        unordered_iteration(map, Rule::W02, &mut out);
+    }
+    if config::in_scope(Rule::W03, path) {
+        unchecked_arithmetic(map, &mut out);
+    }
+    if config::in_scope(Rule::W04, path) {
+        panic_in_detection(map, &mut out);
+    }
+    if config::in_scope(Rule::W05, path) {
+        unsafe_without_safety(map, &mut out);
+    }
+    if config::in_scope(Rule::W06, path) {
+        unordered_iteration(map, Rule::W06, &mut out);
+    }
+    out.sort_by_key(|f| (f.line, f.col, f.rule));
+    out
+}
+
+/// W01: `Instant::now` / `SystemTime` anywhere in the deterministic
+/// pipeline. The telemetry epoch is the single allowlisted site (via an
+/// inline suppression there), so every other read of the wall clock is a
+/// determinism leak by construction.
+fn wall_clock(map: &FileMap, out: &mut Vec<Finding>) {
+    for p in 0..map.len() {
+        let t = map.tok(p);
+        if t.is_ident("Instant")
+            && p + 3 < map.len()
+            && map.tok(p + 1).is_punct(":")
+            && map.tok(p + 2).is_punct(":")
+            && map.tok(p + 3).is_ident("now")
+        {
+            out.push(Finding {
+                rule: Rule::W01,
+                line: t.line,
+                col: t.col,
+                message: "Instant::now() reads the wall clock; deterministic paths must take \
+                          time from SimClock or the telemetry epoch handle"
+                    .to_string(),
+            });
+        }
+        if t.is_ident("SystemTime") {
+            out.push(Finding {
+                rule: Rule::W01,
+                line: t.line,
+                col: t.col,
+                message: "SystemTime is wall-clock state; deterministic paths must not \
+                          observe it"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Iterator-producing methods on `HashMap`/`HashSet` receivers.
+const ITER_METHODS: [&str; 8] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_keys",
+];
+
+/// Idents that make an unordered iteration order-insensitive when they
+/// appear downstream in the same statement or the immediately following
+/// one: explicit sorts, ordered collections, and commutative folds.
+fn is_order_sink(text: &str) -> bool {
+    text.starts_with("sort")
+        || text.starts_with("canonicalize")
+        || text.contains("BTree")
+        || matches!(
+            text,
+            "sum"
+                | "count"
+                | "len"
+                | "min"
+                | "max"
+                | "min_by"
+                | "max_by"
+                | "min_by_key"
+                | "max_by_key"
+                | "fold"
+                | "all"
+                | "any"
+                | "product"
+        )
+}
+
+/// Does the statement containing significant position `p`, or the one
+/// right after it, contain an order sink? The one-statement lookahead
+/// covers the idiomatic `let mut v: Vec<_> = map.iter().collect();
+/// v.sort();` pair without widening to whole-function analysis.
+fn has_order_sink(map: &FileMap, p: usize) -> bool {
+    let mut depth: i32 = 0;
+    let mut semis = 0;
+    for q in p + 1..map.len().min(p + 250) {
+        let t = map.tok(q);
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        return false; // left the enclosing block
+                    }
+                }
+                ";" if depth <= 0 => {
+                    semis += 1;
+                    if semis >= 2 {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if t.kind == TokenKind::Ident && is_order_sink(&t.text) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Shared machinery for W02 (output-producing crates) and W06 (seeded-RNG
+/// functions elsewhere): find iterations over names the walker resolved to
+/// `HashMap`/`HashSet` with no order sink downstream.
+fn unordered_iteration(map: &FileMap, rule: Rule, out: &mut Vec<Finding>) {
+    let mut sites: Vec<(usize, String)> = Vec::new();
+    for p in 0..map.len() {
+        let t = map.tok(p);
+        // `recv.iter()` method chains; receiver is the ident right before
+        // the dot, which also resolves struct fields (`self.map.iter()`).
+        if t.kind == TokenKind::Ident
+            && ITER_METHODS.contains(&t.text.as_str())
+            && p >= 2
+            && map.tok(p - 1).is_punct(".")
+            && p + 1 < map.len()
+            && map.tok(p + 1).is_punct("(")
+        {
+            let recv = map.tok(p - 2);
+            if recv.kind == TokenKind::Ident && map.unordered_names.contains(&recv.text) {
+                sites.push((p, recv.text.clone()));
+            }
+        }
+        // `for x in &map {` / `for (k, v) in self.map {`.
+        if t.is_ident("for") {
+            let mut q = p + 1;
+            let limit = map.len().min(p + 40);
+            while q < limit && !map.tok(q).is_ident("in") {
+                if (map.tok(q).is_punct("(") || map.tok(q).is_punct("["))
+                    && map.matching[q] != usize::MAX
+                {
+                    q = map.matching[q];
+                }
+                q += 1;
+            }
+            if q >= limit {
+                continue;
+            }
+            q += 1; // past `in`
+            while q < map.len() && (map.tok(q).is_punct("&") || map.tok(q).is_ident("mut")) {
+                q += 1;
+            }
+            if q + 1 < map.len() && map.tok(q).is_ident("self") && map.tok(q + 1).is_punct(".") {
+                q += 2;
+            }
+            if q + 1 < map.len()
+                && map.tok(q).kind == TokenKind::Ident
+                && map.unordered_names.contains(&map.tok(q).text)
+                && map.tok(q + 1).is_punct("{")
+            {
+                sites.push((q, map.tok(q).text.clone()));
+            }
+        }
+    }
+    for (p, name) in sites {
+        if map.in_test[p] {
+            continue;
+        }
+        if rule == Rule::W06 && !map.in_rng_fn(p) {
+            continue;
+        }
+        if has_order_sink(map, p) {
+            continue;
+        }
+        let t = map.tok(p);
+        let what = match rule {
+            Rule::W06 => "iteration order feeds seeded-RNG state",
+            _ => "iteration order can reach output bytes",
+        };
+        out.push(Finding {
+            rule,
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "`{name}` is a HashMap/HashSet and {what}; sort, canonicalize, or fold \
+                 commutatively in the same (or next) statement"
+            ),
+        });
+    }
+}
+
+/// W03: bare `+`/`*`/`<<` (and their compound assignments) in the scale
+/// paths — universe generation, archive offsets, retry backoff — where a
+/// 100x–1000x universe can overflow. Float arithmetic and trait-bound `+`
+/// are excluded; everything else wants `checked_*`/`saturating_*`.
+fn unchecked_arithmetic(map: &FileMap, out: &mut Vec<Finding>) {
+    let mut bound_ctx = false; // inside a `dyn`/`impl` trait-bound list
+    for p in 0..map.len() {
+        let t = map.tok(p);
+        if t.kind == TokenKind::Ident && (t.text == "dyn" || t.text == "impl") {
+            bound_ctx = true;
+        }
+        if t.kind == TokenKind::Punct && matches!(t.text.as_str(), ";" | "{" | "}" | "=") {
+            bound_ctx = false;
+        }
+        if t.kind != TokenKind::Punct
+            || !matches!(t.text.as_str(), "+" | "*" | "<<" | "+=" | "*=" | "<<=")
+        {
+            continue;
+        }
+        if !map.in_fn_body(p) || map.in_test[p] || p == 0 {
+            continue;
+        }
+        let prev = map.tok(p - 1);
+        let compound = t.text.ends_with('=');
+        if !compound {
+            let binary = matches!(prev.kind, TokenKind::Ident | TokenKind::NumLit)
+                || prev.is_punct(")")
+                || prev.is_punct("]");
+            if !binary {
+                continue;
+            }
+            if t.text == "+" && bound_ctx {
+                continue; // `Box<dyn Fn() + Send + 'static>`
+            }
+            if t.text == "*"
+                && p + 1 < map.len()
+                && (map.tok(p + 1).is_ident("const") || map.tok(p + 1).is_ident("mut"))
+            {
+                continue; // raw pointer type
+            }
+        }
+        // Float arithmetic is not an overflow hazard.
+        let looks_float = |q: usize| {
+            let u = map.tok(q);
+            (u.kind == TokenKind::NumLit
+                && (u.text.contains('.') || u.text.contains("f3") || u.text.contains("f6")))
+                || u.is_ident("f64")
+                || u.is_ident("f32")
+        };
+        if looks_float(p - 1) || (p + 1 < map.len() && looks_float(p + 1)) {
+            continue;
+        }
+        out.push(Finding {
+            rule: Rule::W03,
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "bare `{}` in a scale path can overflow at 100x-1000x universes; use \
+                 checked_*/saturating_* (or suppress with the bound that makes it safe)",
+                t.text
+            ),
+        });
+    }
+}
+
+/// W04: panic sources in paths whose contract is degradation to
+/// `skipped_records`: `unwrap`/`expect`, panicking macros, and scalar
+/// indexing with a non-literal index. Range slicing (`[a..b]`) and literal
+/// indices (`[0]`) are excluded: the store's decode paths bounds-guard
+/// ranges via `get(..)` and the corruption proptests re-verify them
+/// dynamically, while the lookup-table pattern (`table[key]`) is exactly
+/// what has bitten the analysis crate before.
+fn panic_in_detection(map: &FileMap, out: &mut Vec<Finding>) {
+    for p in 0..map.len() {
+        if !map.in_fn_body(p) || map.in_test[p] {
+            continue;
+        }
+        let t = map.tok(p);
+        if t.kind == TokenKind::Ident
+            && matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+            && p + 1 < map.len()
+            && map.tok(p + 1).is_punct("!")
+        {
+            out.push(Finding {
+                rule: Rule::W04,
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}!` aborts a detection/replay worker; degrade to skipped_records \
+                     or return an error",
+                    t.text
+                ),
+            });
+        }
+        if t.kind == TokenKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && p >= 1
+            && map.tok(p - 1).is_punct(".")
+            && p + 1 < map.len()
+            && map.tok(p + 1).is_punct("(")
+        {
+            out.push(Finding {
+                rule: Rule::W04,
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`.{}()` panics in a detection/replay path; use a degraded-error flow \
+                     (`ok_or`, `unwrap_or`, skip-and-count)",
+                    t.text
+                ),
+            });
+        }
+        if t.is_punct("[") && p >= 1 {
+            let prev = map.tok(p - 1);
+            // A `[` after a keyword opens an array literal (`for x in [..]`,
+            // `return [..]`), never an index expression.
+            let keyword_prev = prev.kind == TokenKind::Ident
+                && matches!(
+                    prev.text.as_str(),
+                    "in" | "return"
+                        | "break"
+                        | "else"
+                        | "match"
+                        | "if"
+                        | "while"
+                        | "loop"
+                        | "move"
+                        | "ref"
+                        | "mut"
+                        | "let"
+                        | "const"
+                        | "static"
+                        | "as"
+                        | "yield"
+                );
+            let indexes = (prev.kind == TokenKind::Ident && !keyword_prev)
+                || prev.is_punct(")")
+                || prev.is_punct("]");
+            if !indexes {
+                continue;
+            }
+            let close = map.matching[p];
+            if close == usize::MAX || close <= p + 1 {
+                continue;
+            }
+            let inner: Vec<usize> = (p + 1..close).collect();
+            if inner.iter().any(|&q| map.tok(q).is_punct("..")) {
+                continue; // range slicing: bounds-guarded by convention, see above
+            }
+            if inner.len() == 1 && map.tok(inner[0]).kind == TokenKind::NumLit {
+                continue; // literal index into a shape the code just checked
+            }
+            out.push(Finding {
+                rule: Rule::W04,
+                line: t.line,
+                col: t.col,
+                message: "non-literal indexing panics on a malformed capture; use `.get()` \
+                          with a degraded-error flow"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// W05: every `unsafe` must carry a `// SAFETY:` justification within the
+/// three preceding lines (or on its own line).
+fn unsafe_without_safety(map: &FileMap, out: &mut Vec<Finding>) {
+    for p in 0..map.len() {
+        let t = map.tok(p);
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let lo = t.line.saturating_sub(3);
+        let justified = map.tokens.iter().any(|c| {
+            c.is_comment() && c.line >= lo && c.line <= t.line && c.text.contains("SAFETY:")
+        });
+        if !justified {
+            out.push(Finding {
+                rule: Rule::W05,
+                line: t.line,
+                col: t.col,
+                message: "`unsafe` without a `// SAFETY:` comment in the 3 preceding lines"
+                    .to_string(),
+            });
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Inline suppression comments.
+//!
+//! Grammar (inside any `//` or `/* */` comment):
+//!
+//! ```text
+//! lint:allow(<rule>[, <rule>…]) -- <non-empty reason>
+//! ```
+//!
+//! A suppression applies to findings on its own line and on the line
+//! immediately below — so it works both as a trailing comment and as a
+//! line above the offending statement. The reason is mandatory: an allow
+//! without one (or naming an unknown rule) is itself reported as **W00**,
+//! which cannot be suppressed.
+
+use crate::lexer::Token;
+use crate::rules::Rule;
+
+/// One parsed `lint:allow` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub line: u32,
+    pub col: u32,
+    pub rules: Vec<Rule>,
+    /// `None` when well-formed; otherwise the W00 message.
+    pub error: Option<String>,
+}
+
+impl Allow {
+    /// Does this allow suppress a finding for `rule` at `line`?
+    pub fn covers(&self, rule: Rule, line: u32) -> bool {
+        self.error.is_none()
+            && self.rules.contains(&rule)
+            && (line == self.line || line == self.line + 1)
+    }
+}
+
+/// Extract every `lint:allow` from the file's comment tokens.
+pub fn parse(tokens: &[Token]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if !t.is_comment() {
+            continue;
+        }
+        let mut rest = t.text.as_str();
+        while let Some(at) = rest.find("lint:allow") {
+            rest = &rest[at + "lint:allow".len()..];
+            if let Some(allow) = parse_one(rest, t.line, t.col) {
+                out.push(allow);
+            }
+        }
+    }
+    out
+}
+
+/// Parse one candidate. Returns `None` when the text after `lint:allow`
+/// is not a concrete suppression attempt (prose or grammar examples like
+/// `lint:allow(<rule>)` in documentation), so docs can describe the syntax
+/// without tripping W00; a real attempt that is malformed yields
+/// `Some(Allow { error: Some(..) })`.
+fn parse_one(after_keyword: &str, line: u32, col: u32) -> Option<Allow> {
+    let malformed = |msg: &str| {
+        Some(Allow {
+            line,
+            col,
+            rules: Vec::new(),
+            error: Some(msg.to_string()),
+        })
+    };
+    let rest = after_keyword.trim_start().strip_prefix('(')?;
+    if !rest
+        .trim_start()
+        .starts_with(|c: char| c.is_ascii_alphanumeric())
+    {
+        return None;
+    }
+    let Some(close) = rest.find(')') else {
+        return malformed("unterminated rule list in lint:allow(...)");
+    };
+    let mut rules = Vec::new();
+    for part in rest[..close].split(',') {
+        match Rule::parse(part) {
+            Some(r) => rules.push(r),
+            None => {
+                return malformed(&format!(
+                    "unknown rule `{}` in lint:allow (expected W01..W06)",
+                    part.trim()
+                ))
+            }
+        }
+    }
+    if rules.is_empty() {
+        return malformed("empty rule list in lint:allow(...)");
+    }
+    let tail = rest[close + 1..].trim_start();
+    let Some(reason) = tail.strip_prefix("--") else {
+        return malformed("lint:allow requires ` -- <reason>` after the rule list");
+    };
+    let reason = reason.trim().trim_end_matches("*/").trim();
+    if reason.is_empty() {
+        return malformed("lint:allow reason must not be empty");
+    }
+    Some(Allow {
+        line,
+        col,
+        rules,
+        error: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    #[test]
+    fn well_formed_allow_covers_same_and_next_line() {
+        let allows = parse(&tokenize(
+            "// lint:allow(W03) -- bounded by u16::MAX\nlet x = a + b;",
+        ));
+        assert_eq!(allows.len(), 1);
+        assert!(allows[0].error.is_none());
+        assert!(allows[0].covers(Rule::W03, 1));
+        assert!(allows[0].covers(Rule::W03, 2));
+        assert!(!allows[0].covers(Rule::W03, 3));
+        assert!(!allows[0].covers(Rule::W04, 2));
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let allows = parse(&tokenize("// lint:allow(W01)\n"));
+        assert_eq!(allows.len(), 1);
+        assert!(allows[0].error.is_some());
+    }
+
+    #[test]
+    fn unknown_rule_is_w00() {
+        let allows = parse(&tokenize("// lint:allow(W99) -- because\n"));
+        assert!(allows[0]
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("unknown rule"));
+    }
+
+    #[test]
+    fn multi_rule_lists_parse() {
+        let allows = parse(&tokenize(
+            "// lint:allow(W02, W06) -- order is hashed away\n",
+        ));
+        assert!(allows[0].error.is_none());
+        assert!(allows[0].covers(Rule::W02, 2));
+        assert!(allows[0].covers(Rule::W06, 2));
+    }
+}

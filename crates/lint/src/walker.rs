@@ -1,0 +1,374 @@
+//! Lightweight item/scope analysis over a lexed token stream.
+//!
+//! The walker does not build an AST. It computes just the structural facts
+//! the rules need, in *significant-token index space* (comments filtered
+//! out):
+//!
+//! - delimiter matching for `()`, `[]`, `{}`,
+//! - which tokens sit inside `#[cfg(test)]` / `#[test]` items,
+//! - `fn` body spans, and whether each body touches seeded-RNG state,
+//! - struct fields / local bindings / fn params whose type is an unordered
+//!   collection (`HashMap` / `HashSet`).
+
+use crate::lexer::{Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// A function body span, in significant-token indices.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// Index of the `fn` keyword.
+    pub kw: usize,
+    /// Index of the body's opening `{`.
+    pub body_open: usize,
+    /// Index of the body's closing `}`.
+    pub body_close: usize,
+    /// True when the signature or body mentions RNG state (`rng`, `Rng`,
+    /// `rand`): the fn is on a seeded code path for W06 purposes.
+    pub rng_tainted: bool,
+}
+
+/// Everything the rules need to know about one file.
+pub struct FileMap {
+    /// All tokens, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of non-comment tokens.
+    pub sig: Vec<usize>,
+    /// Parallel to `sig`: true when the token is inside a test-only item.
+    pub in_test: Vec<bool>,
+    /// For each `sig` position holding an opening delimiter, the position
+    /// of its match (and vice versa). `usize::MAX` when unmatched.
+    pub matching: Vec<usize>,
+    /// All `fn` bodies, outermost first.
+    pub fns: Vec<FnSpan>,
+    /// Names (fields, locals, params) bound to `HashMap`/`HashSet` types.
+    pub unordered_names: BTreeSet<String>,
+}
+
+impl FileMap {
+    pub fn build(tokens: Vec<Token>) -> FileMap {
+        let sig: Vec<usize> = (0..tokens.len())
+            .filter(|&i| !tokens[i].is_comment())
+            .collect();
+        let matching = match_delims(&tokens, &sig);
+        let in_test = test_regions(&tokens, &sig, &matching);
+        let fns = fn_spans(&tokens, &sig, &matching);
+        let unordered_names = unordered_names(&tokens, &sig, &matching);
+        FileMap {
+            tokens,
+            sig,
+            in_test,
+            matching,
+            fns,
+            unordered_names,
+        }
+    }
+
+    /// The token behind significant position `p`.
+    pub fn tok(&self, p: usize) -> &Token {
+        &self.tokens[self.sig[p]]
+    }
+
+    pub fn len(&self) -> usize {
+        self.sig.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.sig.is_empty()
+    }
+
+    /// Is significant position `p` inside any fn body?
+    pub fn in_fn_body(&self, p: usize) -> bool {
+        self.fns.iter().any(|f| p > f.body_open && p < f.body_close)
+    }
+
+    /// Is significant position `p` inside an RNG-tainted fn body?
+    pub fn in_rng_fn(&self, p: usize) -> bool {
+        self.fns
+            .iter()
+            .any(|f| f.rng_tainted && p > f.body_open && p < f.body_close)
+    }
+}
+
+/// Stack-match `()`, `[]`, `{}` over significant tokens.
+fn match_delims(tokens: &[Token], sig: &[usize]) -> Vec<usize> {
+    let mut matching = vec![usize::MAX; sig.len()];
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for (p, &i) in sig.iter().enumerate() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Punct {
+            continue;
+        }
+        match t.text.as_str() {
+            "(" | "[" | "{" => stack.push((t.text.chars().next().unwrap_or('('), p)),
+            ")" | "]" | "}" => {
+                let want = match t.text.as_str() {
+                    ")" => '(',
+                    "]" => '[',
+                    _ => '{',
+                };
+                if let Some(&(open, op)) = stack.last() {
+                    if open == want {
+                        stack.pop();
+                        matching[op] = p;
+                        matching[p] = op;
+                    }
+                    // Mismatch: leave both unmatched; the file won't compile
+                    // anyway and rustc owns that diagnostic.
+                }
+            }
+            _ => {}
+        }
+    }
+    matching
+}
+
+/// Mark tokens inside items annotated `#[cfg(test)]` / `#[test]` (any
+/// attribute whose idents include `test`), including everything under a
+/// `mod` so nested fns are covered.
+fn test_regions(tokens: &[Token], sig: &[usize], matching: &[usize]) -> Vec<bool> {
+    let mut mask = vec![false; sig.len()];
+    let mut p = 0;
+    while p + 1 < sig.len() {
+        let is_attr_start = tokens[sig[p]].is_punct("#") && tokens[sig[p + 1]].is_punct("[");
+        if !is_attr_start {
+            p += 1;
+            continue;
+        }
+        let close = matching[p + 1];
+        if close == usize::MAX {
+            p += 1;
+            continue;
+        }
+        let mentions_test = (p + 2..close).any(|q| tokens[sig[q]].is_ident("test"));
+        if !mentions_test {
+            p = close + 1;
+            continue;
+        }
+        // Skip any further attributes, then mark the annotated item: up to
+        // the first `;` (no body) or through the matching `}` of the first
+        // `{` at this level.
+        let mut q = close + 1;
+        while q + 1 < sig.len() && tokens[sig[q]].is_punct("#") && tokens[sig[q + 1]].is_punct("[")
+        {
+            let c = matching[q + 1];
+            if c == usize::MAX {
+                break;
+            }
+            q = c + 1;
+        }
+        let item_start = q;
+        let mut end = sig.len().saturating_sub(1);
+        while q < sig.len() {
+            let t = &tokens[sig[q]];
+            if t.is_punct(";") {
+                end = q;
+                break;
+            }
+            if t.is_punct("{") {
+                end = if matching[q] != usize::MAX {
+                    matching[q]
+                } else {
+                    sig.len().saturating_sub(1)
+                };
+                break;
+            }
+            // Skip over grouped sub-exprs (fn params, generics don't brace).
+            if t.is_punct("(") || t.is_punct("[") {
+                if matching[q] == usize::MAX {
+                    break;
+                }
+                q = matching[q];
+            }
+            q += 1;
+        }
+        for m in mask.iter_mut().take(end + 1).skip(item_start) {
+            *m = true;
+        }
+        p = end + 1;
+    }
+    mask
+}
+
+/// Find every `fn` body and compute its RNG taint.
+fn fn_spans(tokens: &[Token], sig: &[usize], matching: &[usize]) -> Vec<FnSpan> {
+    let mut out = Vec::new();
+    for p in 0..sig.len() {
+        if !tokens[sig[p]].is_ident("fn") {
+            continue;
+        }
+        // `fn` inside a type (`fn()` pointers, `Fn` traits are distinct
+        // idents) — require a name or `(` next; pointers `fn(` have no body
+        // and fall out naturally below.
+        let mut q = p + 1;
+        // Scan to the body `{` or a `;` (trait method without body),
+        // stepping over the parameter list and any generics/where clause.
+        let mut body_open = None;
+        while q < sig.len() {
+            let t = &tokens[sig[q]];
+            if t.is_punct(";") {
+                break;
+            }
+            if t.is_punct("{") {
+                body_open = Some(q);
+                break;
+            }
+            if (t.is_punct("(") || t.is_punct("[")) && matching[q] != usize::MAX {
+                q = matching[q];
+            }
+            q += 1;
+        }
+        let Some(open) = body_open else { continue };
+        let close = matching[open];
+        if close == usize::MAX {
+            continue;
+        }
+        let rng_tainted = (p..=close).any(|r| {
+            let t = &tokens[sig[r]];
+            t.kind == TokenKind::Ident && {
+                let lower = t.text.to_lowercase();
+                lower.contains("rng") || t.text == "rand"
+            }
+        });
+        out.push(FnSpan {
+            kw: p,
+            body_open: open,
+            body_close: close,
+            rng_tainted,
+        });
+    }
+    out
+}
+
+/// Collect names whose declared type (or initializer) is `HashMap`/`HashSet`:
+/// struct fields, `let` bindings, and fn parameters. Purely lexical — a
+/// binding initialized through a helper that *returns* a HashMap is not
+/// seen, which is the documented limit of the heuristic.
+fn unordered_names(tokens: &[Token], sig: &[usize], matching: &[usize]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let is_unordered_ty = |t: &Token| t.is_ident("HashMap") || t.is_ident("HashSet");
+    for p in 0..sig.len() {
+        let t = &tokens[sig[p]];
+        // `let [mut] NAME … = … ;` — statement mentions HashMap/HashSet
+        // before the terminating `;` at this delimiter level.
+        if t.is_ident("let") {
+            let mut q = p + 1;
+            if q < sig.len() && tokens[sig[q]].is_ident("mut") {
+                q += 1;
+            }
+            if q >= sig.len() || tokens[sig[q]].kind != TokenKind::Ident {
+                continue;
+            }
+            let name = tokens[sig[q]].text.clone();
+            let mut r = q + 1;
+            let mut mentions = false;
+            while r < sig.len() {
+                let u = &tokens[sig[r]];
+                if u.is_punct(";") {
+                    break;
+                }
+                if (u.is_punct("(") || u.is_punct("[") || u.is_punct("{"))
+                    && matching[r] != usize::MAX
+                {
+                    // Types never brace; initializer sub-exprs can. Look
+                    // inside anyway: `HashMap::from([...])` keeps HashMap
+                    // outside, and `vec![map]` inside is a false hit we
+                    // accept lexically.
+                    r = matching[r];
+                    r += 1;
+                    continue;
+                }
+                if is_unordered_ty(u) {
+                    mentions = true;
+                }
+                r += 1;
+            }
+            if mentions {
+                names.insert(name);
+            }
+            continue;
+        }
+        // `NAME : … HashMap … ,|)|}` — struct fields and fn params share
+        // this shape: an ident, a colon, then a type ending at `,`, `)` or
+        // `}` at the same delimiter level.
+        if t.kind == TokenKind::Ident
+            && p + 1 < sig.len()
+            && tokens[sig[p + 1]].is_punct(":")
+            && !(p + 2 < sig.len() && tokens[sig[p + 2]].is_punct(":"))
+            && !(p >= 1 && tokens[sig[p - 1]].is_punct(":"))
+        {
+            let mut r = p + 2;
+            let mut mentions = false;
+            while r < sig.len() {
+                let u = &tokens[sig[r]];
+                if u.is_punct(",")
+                    || u.is_punct(")")
+                    || u.is_punct("}")
+                    || u.is_punct(";")
+                    || u.is_punct("=")
+                {
+                    break;
+                }
+                if (u.is_punct("(") || u.is_punct("[") || u.is_punct("{"))
+                    && matching[r] != usize::MAX
+                {
+                    r = matching[r] + 1;
+                    continue;
+                }
+                if is_unordered_ty(u) {
+                    mentions = true;
+                }
+                r += 1;
+            }
+            if mentions {
+                names.insert(t.text.clone());
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap(); } }\n";
+        let map = FileMap::build(tokenize(src));
+        let unwrap_pos = (0..map.len())
+            .find(|&p| map.tok(p).is_ident("unwrap"))
+            .unwrap();
+        assert!(map.in_test[unwrap_pos]);
+        let live_pos = (0..map.len())
+            .find(|&p| map.tok(p).is_ident("live"))
+            .unwrap();
+        assert!(!map.in_test[live_pos]);
+    }
+
+    #[test]
+    fn fn_bodies_and_rng_taint() {
+        let src = "fn plain(x: u32) -> u32 { x }\nfn seeded(rng: &mut StdRng) { shuffle(rng); }\n";
+        let map = FileMap::build(tokenize(src));
+        assert_eq!(map.fns.len(), 2);
+        assert!(!map.fns[0].rng_tainted);
+        assert!(map.fns[1].rng_tainted);
+    }
+
+    #[test]
+    fn unordered_names_from_let_field_and_param() {
+        let src = "struct S { by_url: HashMap<String, u32>, names: Vec<String> }\n\
+                   fn f(seen: &HashSet<u64>, other: &[u8]) {\n\
+                     let mut local: HashMap<u8, u8> = HashMap::new();\n\
+                     let inferred = HashSet::new();\n\
+                     let ordered: Vec<u32> = Vec::new();\n\
+                   }";
+        let map = FileMap::build(tokenize(src));
+        for name in ["by_url", "seen", "local", "inferred"] {
+            assert!(map.unordered_names.contains(name), "missing {name}");
+        }
+        for name in ["names", "other", "ordered"] {
+            assert!(!map.unordered_names.contains(name), "spurious {name}");
+        }
+    }
+}

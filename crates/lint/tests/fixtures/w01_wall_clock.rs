@@ -1,0 +1,27 @@
+//@path crates/core/src/detect.rs
+//! W01 fixture: wall-clock reads in the deterministic pipeline, plus the
+//! W00 malformed-suppression diagnostic (reason is mandatory).
+
+pub fn bad_instant() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_micros() as u64
+}
+
+pub fn bad_system_time() -> bool {
+    std::time::SystemTime::now().elapsed().is_ok()
+}
+
+// lint:allow(W01)
+pub fn bad_reasonless_allow_does_not_cover() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_micros() as u64
+}
+
+pub fn ok_suppressed_epoch() -> u64 {
+    let epoch = std::time::Instant::now(); // lint:allow(W01) -- ok: fixture epoch, the one allowlisted wall-clock read
+    epoch.elapsed().as_micros() as u64
+}
+
+pub fn ok_virtual_clock(now_ms: u64, delay_ms: u64) -> u64 {
+    now_ms.saturating_add(delay_ms) // ok: SimClock-style virtual time, no wall clock
+}

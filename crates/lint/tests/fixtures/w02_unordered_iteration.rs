@@ -1,0 +1,45 @@
+//@path crates/analysis/src/fixture.rs
+//! W02 fixture: HashMap/HashSet iteration order reaching output bytes.
+
+use std::collections::HashMap;
+
+pub fn bad_for_loop(counts: HashMap<String, u32>) -> String {
+    let mut out = String::new();
+    for (k, v) in &counts {
+        out.push_str(k);
+        out.push_str(&v.to_string());
+    }
+    out
+}
+
+pub fn bad_method_chain(counts: HashMap<String, u32>) -> Vec<String> {
+    counts.keys().cloned().collect()
+}
+
+pub fn ok_sorted_next_statement(counts: HashMap<String, u32>) -> Vec<String> {
+    let mut keys: Vec<String> = counts.keys().cloned().collect();
+    keys.sort(); // ok: explicit sort in the statement right after the iteration
+    keys
+}
+
+pub fn ok_commutative_fold(counts: HashMap<String, u32>) -> u64 {
+    counts.values().map(|v| u64::from(*v)).sum() // ok: sum is order-insensitive
+}
+
+pub fn ok_btree_rebucket(counts: HashMap<String, u32>) -> std::collections::BTreeMap<String, u32> {
+    counts.into_iter().collect::<std::collections::BTreeMap<_, _>>() // ok: lands in a BTreeMap
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn ok_test_code_is_exempt() {
+        let counts: HashMap<String, u32> = HashMap::new();
+        for (k, _v) in &counts {
+            // ok: assertions may iterate unordered state
+            assert!(!k.is_empty());
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//@path crates/store/src/writer.rs
+//! W03 fixture: bare arithmetic in the scale paths (archive offsets here).
+
+pub fn bad_offset_add(offset: u64, len: u64) -> u64 {
+    offset + len
+}
+
+pub fn bad_compound_add(mut total: u64, n: u64) -> u64 {
+    total += n;
+    total
+}
+
+pub fn bad_shift(base: u64, attempt: u32) -> u64 {
+    base << attempt
+}
+
+pub fn bad_multiply(per_site: u64, sites: u64) -> u64 {
+    per_site * sites
+}
+
+pub fn ok_saturating(offset: u64, len: u64) -> u64 {
+    offset.saturating_add(len) // ok: pins at u64::MAX instead of wrapping
+}
+
+pub fn ok_checked(base: u64, shift: u32) -> u64 {
+    base.checked_shl(shift).unwrap_or(u64::MAX) // ok: clamped shift
+}
+
+pub fn ok_float_math(ratio: f64) -> f64 {
+    ratio * 2.0 // ok: float arithmetic cannot overflow to UB
+}
+
+pub fn ok_trait_bound_plus() -> usize {
+    let hook: Box<dyn Fn() + Send> = Box::new(|| ()); // ok: `+` joins trait bounds, not numbers
+    hook();
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ok_test_arithmetic_is_exempt() {
+        // ok: debug test profile has overflow-checks = true as the backstop
+        assert_eq!(2 + 2, 4);
+    }
+}

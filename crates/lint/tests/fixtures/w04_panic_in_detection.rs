@@ -1,0 +1,49 @@
+//@path crates/analysis/src/table_fixture.rs
+//! W04 fixture: panic sources in degradation-contract paths.
+
+pub fn bad_unwrap(records: Option<Vec<u8>>) -> Vec<u8> {
+    records.unwrap()
+}
+
+pub fn bad_expect(crawl: Option<&str>) -> &str {
+    crawl.expect("sender crawl")
+}
+
+pub fn bad_panic_macro(kind: u8) -> &'static str {
+    match kind {
+        0 => "uri",
+        1 => "payload",
+        _ => panic!("malformed capture kind"),
+    }
+}
+
+pub fn bad_table_lookup(table: &[u64], key: usize) -> u64 {
+    table[key]
+}
+
+pub fn ok_get_degrades(table: &[u64], key: usize) -> u64 {
+    table.get(key).copied().unwrap_or(0) // ok: missing key degrades to zero
+}
+
+pub fn ok_literal_index(pair: &[u64; 2]) -> u64 {
+    pair[0] // ok: literal index into a shape the caller just built
+}
+
+pub fn ok_range_slice(buf: &[u8], at: usize) -> &[u8] {
+    buf.get(at..).unwrap_or(&[]) // ok: range slicing stays bounds-guarded via get
+}
+
+pub fn ok_suppressed_contract(archive: Option<&str>) -> &str {
+    // lint:allow(W04) -- ok: fixture mirror of the documented `# Panics` contract on Study::run
+    archive.expect("archive must open")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ok_tests_may_unwrap() {
+        // ok: test assertions are the documented exemption
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+//@path crates/net/src/fixture.rs
+//! W05 fixture: `unsafe` must justify itself. The live workspace forbids
+//! unsafe entirely (`#![forbid(unsafe_code)]` on every crate), so these
+//! positives exist only here.
+
+pub fn bad_unjustified(ptr: *const u8) -> u8 {
+    unsafe { *ptr }
+}
+
+pub fn ok_justified(ptr: *const u8) -> u8 {
+    // SAFETY: the caller guarantees `ptr` is non-null and aligned, and the
+    // fixture states that invariant right here.
+    unsafe { *ptr } // ok: justified by the SAFETY comment above
+}

@@ -1,0 +1,35 @@
+//@path crates/web/src/fixture.rs
+//! W06 fixture: seeded-RNG functions must not key behavior off unordered
+//! iteration (W02's complement, active outside the output crates).
+
+use std::collections::HashMap;
+
+pub fn bad_seeded_walk(rng_seed: u64, weights: HashMap<String, u32>) -> u64 {
+    let mut acc = rng_seed;
+    for (_k, w) in &weights {
+        acc = acc.wrapping_mul(31).wrapping_add(u64::from(*w));
+    }
+    acc
+}
+
+pub fn ok_unseeded_walk(weights: HashMap<String, u32>) -> u64 {
+    let mut acc = 0u64;
+    for (_k, w) in &weights {
+        // ok: no RNG state in this fn, so iteration order is W02's concern
+        // (and this file is outside the W02 output crates)
+        acc ^= u64::from(*w);
+    }
+    acc
+}
+
+pub fn ok_seeded_but_sorted(rng_seed: u64, weights: HashMap<String, u32>) -> u64 {
+    let mut keys: Vec<&String> = weights.keys().collect();
+    keys.sort(); // ok: canonical order before any seeded draw
+    keys.iter().fold(rng_seed, |acc, k| {
+        acc.wrapping_mul(31).wrapping_add(k.len() as u64)
+    })
+}
+
+pub fn ok_seeded_commutative(rng_seed: u64, weights: HashMap<String, u32>) -> u64 {
+    rng_seed ^ weights.values().map(|w| u64::from(*w)).sum::<u64>() // ok: commutative fold
+}

@@ -1,0 +1,123 @@
+//! Golden tests for the rule engine.
+//!
+//! Each fixture under `tests/fixtures/` is a standalone `.rs` source whose
+//! first line declares the *virtual* workspace path it is linted as
+//! (`//@path crates/...` — this is what selects which rules are in scope),
+//! with a sibling `.expected` file pinning the diagnostics as
+//! `rule:line:col` lines (`#` comments and blank lines ignored).
+//!
+//! Conventions enforced here, not just documented:
+//! - every rule W01–W06 has at least one pinned *positive* across the set;
+//! - every line a fixture marks `// ok:` is a pinned *negative* — a
+//!   diagnostic landing on one fails the suite;
+//! - fixtures live under `tests/`, which the workspace scan never visits,
+//!   so their deliberate violations can't leak into `pii-study lint`.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+
+fn fixture_sources() -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut out: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/fixtures exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "no fixtures found in {}", dir.display());
+    out
+}
+
+fn virtual_path(fixture: &Path, src: &str) -> String {
+    src.lines()
+        .next()
+        .and_then(|l| l.strip_prefix("//@path "))
+        .unwrap_or_else(|| panic!("{} must start with `//@path <path>`", fixture.display()))
+        .trim()
+        .to_string()
+}
+
+#[test]
+fn fixtures_match_expected_diagnostics() {
+    for fixture in fixture_sources() {
+        let src = std::fs::read_to_string(&fixture).expect("readable fixture");
+        let vpath = virtual_path(&fixture, &src);
+        let got: Vec<String> = pii_lint::lint_source(&vpath, &src)
+            .iter()
+            .map(|d| format!("{}:{}:{}", d.rule, d.line, d.col))
+            .collect();
+        let expected_path = fixture.with_extension("expected");
+        let want: Vec<String> = std::fs::read_to_string(&expected_path)
+            .unwrap_or_else(|e| panic!("missing {}: {e}", expected_path.display()))
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(String::from)
+            .collect();
+        assert_eq!(
+            got,
+            want,
+            "diagnostics drifted for {} (linted as {vpath})",
+            fixture.display()
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_pinned_positive_and_negative() {
+    let mut rules_seen: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for fixture in fixture_sources() {
+        let src = std::fs::read_to_string(&fixture).expect("readable fixture");
+        let vpath = virtual_path(&fixture, &src);
+        let diags = pii_lint::lint_source(&vpath, &src);
+        for d in &diags {
+            rules_seen.insert(d.rule.to_string());
+        }
+        // `// ok:` lines are the negative cases: the linter must leave them
+        // alone. (A suppressed positive also carries `ok` in its reason but
+        // is absent from `diags` by construction, so this holds for both.)
+        let ok_lines: Vec<u32> = src
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.contains("// ok:") || l.contains("-- ok:"))
+            .map(|(i, _)| i as u32 + 1)
+            .collect();
+        assert!(
+            !ok_lines.is_empty(),
+            "{} pins no negative (`// ok:`) cases",
+            fixture.display()
+        );
+        for d in &diags {
+            assert!(
+                !ok_lines.contains(&d.line),
+                "{}:{} is marked `// ok:` but {} fired there",
+                fixture.display(),
+                d.line,
+                d.rule
+            );
+        }
+    }
+    for rule in ["W01", "W02", "W03", "W04", "W05", "W06"] {
+        assert!(
+            rules_seen.contains(rule),
+            "no fixture pins a positive for {rule}"
+        );
+    }
+    // W00 (malformed suppression) is pinned too — it cannot be suppressed.
+    assert!(rules_seen.contains("W00"), "no fixture pins W00");
+}
+
+#[test]
+fn malformed_suppressions_cannot_silence_themselves() {
+    // A reasonless allow naming W00 itself must still surface as W00.
+    let src = "// lint:allow(W00) -- even a reasoned allow cannot cover W00\n\
+               // lint:allow(W01)\n\
+               fn f() {}\n";
+    let diags = pii_lint::lint_source("crates/web/src/x.rs", src);
+    assert!(
+        diags.iter().any(|d| d.rule == "W00"),
+        "reasonless allow on line 2 must stay visible: {diags:?}"
+    );
+}

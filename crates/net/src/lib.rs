@@ -28,6 +28,8 @@
 //! assert_eq!(jar.cookie_header(&url, "shop.com", true).as_deref(), Some("uid=x1"));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cookie;
 pub mod fault;
 pub mod http;

@@ -140,6 +140,7 @@ pub struct EncodedRecord {
 /// `vbin` module doc — and is *exact*: floats round-trip by bit pattern
 /// rather than through decimal formatting.
 pub fn encode_record<T: Serialize>(value: &T) -> EncodedRecord {
+    // lint:allow(W04) -- encode side, not replay: serializing the workspace's own derive-generated records is infallible
     let tree = serde::value::to_value(value).expect("archive records serialize");
     let mut raw = Vec::new();
     crate::vbin::encode_value(&tree, &mut raw);
@@ -207,24 +208,24 @@ pub fn write_segment(
 }
 
 fn read_u32(bytes: &[u8], at: usize) -> Result<u32, FrameError> {
-    bytes
-        .get(at..at + 4)
-        .map(|b| u32::from_le_bytes(b.try_into().expect("4-byte slice")))
-        .ok_or(FrameError::Truncated)
+    match bytes.get(at..at.saturating_add(4)) {
+        Some(&[a, b, c, d]) => Ok(u32::from_le_bytes([a, b, c, d])),
+        _ => Err(FrameError::Truncated),
+    }
 }
 
 fn read_u64(bytes: &[u8], at: usize) -> Result<u64, FrameError> {
-    bytes
-        .get(at..at + 8)
-        .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
-        .ok_or(FrameError::Truncated)
+    match bytes.get(at..at.saturating_add(8)) {
+        Some(&[a, b, c, d, e, f, g, h]) => Ok(u64::from_le_bytes([a, b, c, d, e, f, g, h])),
+        _ => Err(FrameError::Truncated),
+    }
 }
 
 fn read_u16(bytes: &[u8], at: usize) -> Result<u16, FrameError> {
-    bytes
-        .get(at..at + 2)
-        .map(|b| u16::from_le_bytes(b.try_into().expect("2-byte slice")))
-        .ok_or(FrameError::Truncated)
+    match bytes.get(at..at.saturating_add(2)) {
+        Some(&[a, b]) => Ok(u16::from_le_bytes([a, b])),
+        _ => Err(FrameError::Truncated),
+    }
 }
 
 /// Parse and CRC-verify the segment header at `offset`. Returns the header;

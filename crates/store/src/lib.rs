@@ -29,6 +29,8 @@
 //!
 //! See `DESIGN.md` §9 for the byte-level format.
 
+#![forbid(unsafe_code)]
+
 pub mod failpoint;
 pub mod fast;
 pub mod format;

@@ -484,11 +484,8 @@ pub(crate) fn read_header_at(
     let mut buf = source
         .read_at(at, format::SEGMENT_FIXED_LEN)
         .map_err(|_| FrameError::Corrupt("archive I/O"))?;
-    if buf.len() == format::SEGMENT_FIXED_LEN {
-        let label_len = u16::from_le_bytes([
-            buf[format::SEGMENT_FIXED_LEN - 2],
-            buf[format::SEGMENT_FIXED_LEN - 1],
-        ]) as usize;
+    if let Some(&[lo, hi]) = buf.get(format::SEGMENT_FIXED_LEN - 2..format::SEGMENT_FIXED_LEN) {
+        let label_len = u16::from_le_bytes([lo, hi]) as usize;
         let rest = source
             .read_at(at + format::SEGMENT_FIXED_LEN as u64, label_len + 4)
             .map_err(|_| FrameError::Corrupt("archive I/O"))?;

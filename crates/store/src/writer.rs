@@ -276,7 +276,7 @@ impl<W: Write> ArchiveWriter<W> {
         let point = self.fail.expect("kill requires an armed failpoint").point;
         let _ = self.out.write_all(partial);
         let _ = self.out.flush();
-        self.offset += partial.len() as u64;
+        self.offset = self.offset.saturating_add(partial.len() as u64);
         if let Some(f) = self.fail.as_mut() {
             f.dead = true;
         }
@@ -289,14 +289,14 @@ impl<W: Write> ArchiveWriter<W> {
                 return Err(fail.point.killed());
             }
             if let FailPoint::AtByte(limit) = fail.point {
-                if self.offset + bytes.len() as u64 > limit {
+                if self.offset.saturating_add(bytes.len() as u64) > limit {
                     let keep = limit.saturating_sub(self.offset) as usize;
                     return Err(self.kill(&bytes[..keep]));
                 }
             }
         }
         self.out.write_all(bytes)?;
-        self.offset += bytes.len() as u64;
+        self.offset = self.offset.saturating_add(bytes.len() as u64);
         Ok(())
     }
 
@@ -312,11 +312,11 @@ impl<W: Write> ArchiveWriter<W> {
         if kind != SegmentKind::Site {
             return None;
         }
-        let ordinal = fail.site_segments + 1;
+        let ordinal = fail.site_segments.saturating_add(1);
         match fail.point {
             FailPoint::MidHeader(n) if n == ordinal => Some(header_len / 2),
             FailPoint::MidPayload(n) if n == ordinal => {
-                Some(header_len + (segment_len - header_len) / 2)
+                Some(header_len.saturating_add(segment_len.saturating_sub(header_len) / 2))
             }
             FailPoint::AfterSegment(n) if n == ordinal => Some(segment_len),
             _ => None,
@@ -342,7 +342,9 @@ impl<W: Write> ArchiveWriter<W> {
             &encoded.payload,
         );
         let offset = self.offset;
-        let header_len = format::SEGMENT_FIXED_LEN + label.len() + 4;
+        let header_len = format::SEGMENT_FIXED_LEN
+            .saturating_add(label.len())
+            .saturating_add(4);
         let segment = std::mem::take(&mut self.buf);
         if let Some(cut) = self.segment_cut(kind, header_len, segment.len()) {
             let err = self.kill(&segment[..cut]);
@@ -360,13 +362,19 @@ impl<W: Write> ArchiveWriter<W> {
                 records,
                 label: label.to_string(),
             });
-            self.summary.segments += 1;
+            self.summary.segments = self.summary.segments.saturating_add(1);
             if let Some(f) = self.fail.as_mut() {
-                f.site_segments += 1;
+                f.site_segments = f.site_segments.saturating_add(1);
             }
         }
-        self.summary.raw_bytes += u64::from(encoded.raw_len);
-        self.summary.compressed_bytes += encoded.payload.len() as u64;
+        self.summary.raw_bytes = self
+            .summary
+            .raw_bytes
+            .saturating_add(u64::from(encoded.raw_len));
+        self.summary.compressed_bytes = self
+            .summary
+            .compressed_bytes
+            .saturating_add(encoded.payload.len() as u64);
         pii_telemetry::counter("store.segments_written", 1);
         pii_telemetry::observe("store.segment_bytes", self.buf.len() as u64);
         Ok(())
@@ -419,7 +427,7 @@ impl<W: Write> ArchiveWriter<W> {
                 return Err(self.kill(&tail[..cut]));
             }
             Some(FailPoint::MidTrailer) => {
-                let cut = footer_len as usize + format::TRAILER_LEN / 2;
+                let cut = (footer_len as usize).saturating_add(format::TRAILER_LEN / 2);
                 return Err(self.kill(&tail[..cut]));
             }
             _ => {}
@@ -510,7 +518,7 @@ fn scan_tail(source: &reader::Source, expected: &ArchiveMeta) -> TailScan {
     // keyed by site index and let later offsets overwrite earlier ones.
     let mut by_site: std::collections::BTreeMap<u32, (IndexEntry, CrawlOutcome, u64, u64)> =
         std::collections::BTreeMap::new();
-    let mut at = meta_at + meta_header.segment_len() as u64;
+    let mut at = meta_at.saturating_add(meta_header.segment_len() as u64);
     let mut dropped_finalization = false;
     while at < len {
         let peek = source
@@ -553,7 +561,7 @@ fn scan_tail(source: &reader::Source, expected: &ArchiveMeta) -> TailScan {
                 u64::from(header.payload_len),
             ),
         );
-        at += header.segment_len() as u64;
+        at = at.saturating_add(header.segment_len() as u64);
     }
     let mut entries = Vec::with_capacity(by_site.len());
     let mut kept = Vec::with_capacity(by_site.len());
@@ -565,8 +573,8 @@ fn scan_tail(source: &reader::Source, expected: &ArchiveMeta) -> TailScan {
             site_index,
             outcome,
         });
-        raw_bytes += raw;
-        compressed_bytes += compressed;
+        raw_bytes = raw_bytes.saturating_add(raw);
+        compressed_bytes = compressed_bytes.saturating_add(compressed);
     }
     TailScan::Resume {
         keep: at,

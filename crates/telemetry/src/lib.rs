@@ -26,6 +26,8 @@
 //! [`trace::chrome_trace_json`] (Perfetto / `chrome://tracing`) and
 //! [`report::render`] (the human-readable `--metrics` run report).
 
+#![forbid(unsafe_code)]
+
 pub mod report;
 pub mod trace;
 
@@ -33,7 +35,7 @@ use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::OnceLock;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Aggregated distribution of observed values (sizes, virtual delays).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -150,7 +152,12 @@ impl Collector {
     pub fn new() -> Collector {
         Collector {
             enabled: AtomicBool::new(false),
-            epoch: Instant::now(),
+            // The single allowlisted wall-clock read in the workspace:
+            // every span timestamp is derived from this epoch handle
+            // (`epoch.elapsed()`), so telemetry wall time exists only
+            // relative to collector creation and never leaks into the
+            // deterministic pipeline.
+            epoch: Instant::now(), // lint:allow(W01) -- the telemetry epoch IS the wall-clock boundary; spans measure offsets from it
             inner: Mutex::new(Inner::default()),
         }
     }
@@ -217,7 +224,11 @@ impl Collector {
         Span {
             collector: Some(self),
             name: name.to_string(),
-            start: Some(Instant::now()),
+            // Routed through the epoch handle rather than a second raw
+            // `Instant::now()`: the span's start is *defined* as an offset
+            // from the collector's epoch, which keeps the epoch the only
+            // wall-clock read in the workspace.
+            start: Some(self.epoch.elapsed()),
             virtual_ms: None,
             args: Vec::new(),
         }
@@ -248,7 +259,9 @@ impl Collector {
 pub struct Span<'c> {
     collector: Option<&'c Collector>,
     name: String,
-    start: Option<Instant>,
+    /// Start time as an offset from the collector's epoch (the one
+    /// allowlisted wall-clock read); `None` when the collector is off.
+    start: Option<Duration>,
     virtual_ms: Option<u64>,
     args: Vec<(String, String)>,
 }
@@ -275,11 +288,9 @@ impl Drop for Span<'_> {
             return;
         };
         let Some(start) = self.start else { return };
-        let start_us = start
-            .saturating_duration_since(collector.epoch)
-            .as_micros()
-            .min(u64::MAX as u128) as u64;
-        let dur_us = start.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        let end = collector.epoch.elapsed();
+        let start_us = start.as_micros().min(u64::MAX as u128) as u64;
+        let dur_us = end.saturating_sub(start).as_micros().min(u64::MAX as u128) as u64;
         collector.inner.lock().spans.push(SpanRecord {
             name: std::mem::take(&mut self.name),
             start_us,

@@ -24,6 +24,8 @@
 //! assert_eq!(universe.receiver_labels().len(), 100);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod email;
 pub mod html;
 pub mod obfuscate;

@@ -249,7 +249,7 @@ impl Universe {
                             2 => FetchError::TruncatedBody,
                             _ => FetchError::SlowResponse,
                         };
-                        let failures = 1 + ((h >> 16) % ceiling) as u32;
+                        let failures = (((h >> 16) % ceiling) as u32).saturating_add(1);
                         plan.set(&site.domain, DomainSchedule::Flaky { error, failures });
                     }
                 }
@@ -300,7 +300,7 @@ impl Generator {
         let mut n = 0usize;
         while out.len() < self.spec.total_sites {
             let p = PREFIXES[n % PREFIXES.len()];
-            let s = STEMS[(n / PREFIXES.len() + n) % STEMS.len()];
+            let s = STEMS[(n / PREFIXES.len()).saturating_add(n) % STEMS.len()];
             let t = TLDS[n % TLDS.len()];
             let candidate = if n >= DOMAIN_CYCLE {
                 // The raw counter never repeats, and at five-plus digits it
@@ -314,7 +314,7 @@ impl Generator {
             if seen.insert(candidate.clone()) {
                 out.push(candidate);
             }
-            n += 1;
+            n = n.saturating_add(1);
         }
         out
     }
@@ -405,7 +405,9 @@ impl Generator {
             let inbox = if remaining_sites == 1 {
                 inbox_left
             } else {
-                self.rng.gen_range(0..=avg_in * 2).min(inbox_left)
+                self.rng
+                    .gen_range(0..=avg_in.saturating_mul(2))
+                    .min(inbox_left)
             };
             let spam = if remaining_sites == 1 {
                 spam_left
@@ -432,7 +434,10 @@ impl Generator {
                 .map(|si| policy_classes[si])
                 .unwrap_or(PolicyDisclosure::SharingNotSpecific);
             let policy_text = render_policy(domain, policy);
-            zones.insert(domain, Record::a(&format!("203.0.113.{}", i % 250 + 1)));
+            zones.insert(
+                domain,
+                Record::a(&format!("203.0.113.{}", (i % 250).saturating_add(1))),
+            );
             sites.push(Site {
                 domain: domain.clone(),
                 outcome: SiteOutcome::Ok {
@@ -535,20 +540,21 @@ impl Generator {
             // Brave's nine surviving senders occupy slots 40..=48 (mid-range so
             // they also carry other edges and stay realistic).
             let brave_base = 40usize;
+            let slot = |k: usize| brave_base.saturating_add(k);
             let intercom = idx_of("intercom.io");
             for k in 0..3 {
-                push(&mut edges, &mut used, brave_base + k, intercom, 0);
+                push(&mut edges, &mut used, slot(k), intercom, 0);
             }
             let zendesk = idx_of("zendesk.com");
-            push(&mut edges, &mut used, brave_base + 3, zendesk, 0);
-            push(&mut edges, &mut used, brave_base + 4, zendesk, 0);
+            push(&mut edges, &mut used, slot(3), zendesk, 0);
+            push(&mut edges, &mut used, slot(4), zendesk, 0);
             for (label, sender) in [
-                ("aliyun.com", brave_base + 5),
-                ("cartsync.io", brave_base + 6),
-                ("gravatar.com", brave_base + 7),
-                ("pix.herokuapp.com", brave_base + 8),
-                ("lmcdn.ru", brave_base),
-                ("okta-emea.com", brave_base + 3),
+                ("aliyun.com", slot(5)),
+                ("cartsync.io", slot(6)),
+                ("gravatar.com", slot(7)),
+                ("pix.herokuapp.com", slot(8)),
+                ("lmcdn.ru", slot(0)),
+                ("okta-emea.com", slot(3)),
             ] {
                 push(&mut edges, &mut used, sender, idx_of(label), 0);
             }
@@ -712,7 +718,7 @@ impl Generator {
                 let Some(chosen) = chosen else { break };
                 if is_payload && !has_payload[chosen] {
                     has_payload[chosen] = true;
-                    distinct_payload += 1;
+                    distinct_payload = distinct_payload.saturating_add(1);
                 }
                 buckets[chosen].insert(bucket);
                 push(&mut edges, &mut used, chosen, pi, vi);

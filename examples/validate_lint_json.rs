@@ -1,0 +1,93 @@
+//! CI validator for `pii-study lint --json` output.
+//!
+//! ```text
+//! validate_lint_json <lint.json> [--expect-empty]
+//! ```
+//!
+//! The linter renders its JSON by hand (it is zero-dependency), so this
+//! validator closes the loop with the *vendored* serde_json: the file must
+//! parse, must be an array, and every element must be a well-formed
+//! diagnostic object (`rule` matching `W0[0-6]`, non-empty `name`/`file`/
+//! `message` strings, numeric 1-based `line`/`col`). With `--expect-empty`
+//! — the CI gate on a clean tree — any diagnostic at all is a failure.
+
+use serde::Value;
+use std::process::exit;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("validate_lint_json: {msg}");
+    exit(1);
+}
+
+fn field<'v>(value: &'v Value, key: &str) -> Option<&'v Value> {
+    match value {
+        Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn str_field<'v>(diag: &'v Value, key: &str, i: usize) -> &'v str {
+    match field(diag, key) {
+        Some(Value::Str(s)) if !s.is_empty() => s.as_str(),
+        _ => fail(&format!(
+            "diagnostic {i}: `{key}` missing or not a non-empty string"
+        )),
+    }
+}
+
+fn num_field(diag: &Value, key: &str, i: usize) -> u64 {
+    match field(diag, key) {
+        Some(Value::U64(n)) => *n,
+        Some(Value::I64(n)) if *n >= 0 => *n as u64,
+        _ => fail(&format!("diagnostic {i}: `{key}` missing or not a number")),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (path, expect_empty) = match args.as_slice() {
+        [path] => (path.clone(), false),
+        [path, flag] if flag == "--expect-empty" => (path.clone(), true),
+        _ => fail("usage: validate_lint_json <lint.json> [--expect-empty]"),
+    };
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")));
+    let diags = match &doc {
+        Value::Arr(diags) => diags,
+        other => fail(&format!(
+            "{path}: expected a JSON array, got {}",
+            other.kind()
+        )),
+    };
+    for (i, diag) in diags.iter().enumerate() {
+        let rule = str_field(diag, "rule", i);
+        let well_formed = rule.len() == 3
+            && rule.starts_with("W0")
+            && rule.as_bytes()[2].is_ascii_digit()
+            && rule.as_bytes()[2] <= b'6';
+        if !well_formed {
+            fail(&format!("diagnostic {i}: rule {rule:?} is not W00..W06"));
+        }
+        str_field(diag, "name", i);
+        str_field(diag, "file", i);
+        str_field(diag, "message", i);
+        // line 0 is reserved for whole-file io errors; cols are 1-based.
+        num_field(diag, "line", i);
+        if num_field(diag, "col", i) == 0 && num_field(diag, "line", i) != 0 {
+            fail(&format!("diagnostic {i}: col must be 1-based"));
+        }
+    }
+    if expect_empty && !diags.is_empty() {
+        fail(&format!(
+            "{path}: expected a clean tree but found {} diagnostic(s)",
+            diags.len()
+        ));
+    }
+    println!(
+        "validate_lint_json: {path} ok ({} diagnostic(s){})",
+        diags.len(),
+        if expect_empty { ", clean tree" } else { "" }
+    );
+}

@@ -22,6 +22,8 @@
 //! assert_eq!(report.senders().len(), 3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use pii_analysis as analysis;
 pub use pii_blocklist as blocklist;
 pub use pii_browser as browser;
@@ -30,6 +32,7 @@ pub use pii_crawler as crawler;
 pub use pii_dns as dns;
 pub use pii_encodings as encodings;
 pub use pii_hashes as hashes;
+pub use pii_lint as lint;
 pub use pii_net as net;
 pub use pii_store as store;
 pub use pii_telemetry as telemetry;

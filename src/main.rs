@@ -28,6 +28,9 @@
 //!                                      rewrite the recoverable content into a fresh
 //!                                      finalized archive (in place via rename by default);
 //!                                      damaged sites become explicit quarantined rows
+//! pii-study lint [--json]              run the workspace invariant analyzer (pii-lint,
+//!                                      DESIGN §12); exit non-zero on any unsuppressed
+//!                                      diagnostic, --json for the machine-readable array
 //! pii-study export <dir>               write dataset artifacts + HAR + capture archive
 //! pii-study seed <u64> <subcommand>    run any of the above on another seed
 //! pii-study --from <store> <cmd>       replay a capture archive instead of crawling
@@ -44,6 +47,8 @@
 //! pii-study --trace <out.json> <cmd>   write a Chrome trace-event file (Perfetto-loadable)
 //! ```
 
+#![forbid(unsafe_code)]
+
 use pii_suite::analysis::{
     ablations, aggregates, browsers, counterfactual, crowdsource, dataset, degradation, figure2,
     table1, table2, table3, table4, Study, StudyResults,
@@ -54,7 +59,7 @@ use pii_suite::web::UniverseSpec;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: pii-study [seed|--seed <u64>] [--from <store>] [--stream] [--workers <n>] [--faults <none|paper-may-2021|hostile>] [--retries <n>] [--watchdog-ms <n>] [--metrics] [--trace <out.json>] <full|tables|stats|sweep [N]|browsers|blocklists|ablations|counterfactual|crowdsource [K]|crawl --out <store> [--resume] [--kill <point>]|store <verify|repair> <store> [--out <fixed>]|export <dir>>"
+        "usage: pii-study [seed|--seed <u64>] [--from <store>] [--stream] [--workers <n>] [--faults <none|paper-may-2021|hostile>] [--retries <n>] [--watchdog-ms <n>] [--metrics] [--trace <out.json>] <full|tables|stats|sweep [N]|browsers|blocklists|ablations|counterfactual|crowdsource [K]|crawl --out <store> [--resume] [--kill <point>]|store <verify|repair> <store> [--out <fixed>]|lint [--json]|export <dir>>"
     );
     std::process::exit(2);
 }
@@ -473,6 +478,30 @@ fn main() {
                     }
                 }
                 _ => usage(),
+            }
+        }
+        "lint" => {
+            // Invariant analyzer over the workspace sources (DESIGN §12).
+            // `--json` emits the machine-readable diagnostic array; either
+            // way the exit code is non-zero on any unsuppressed finding,
+            // which is what `make lint-invariants` gates CI on.
+            let json = match args.get(1).map(String::as_str) {
+                Some("--json") => true,
+                None => false,
+                _ => usage(),
+            };
+            let root = std::env::current_dir().unwrap_or_else(|e| {
+                eprintln!("cannot resolve working directory: {e}");
+                std::process::exit(2);
+            });
+            let diags = pii_suite::lint::run_workspace(&root);
+            if json {
+                print!("{}", pii_suite::lint::render_json(&diags));
+            } else {
+                print!("{}", pii_suite::lint::render_human(&diags));
+            }
+            if !diags.is_empty() {
+                std::process::exit(1);
             }
         }
         "export" => {
