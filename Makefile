@@ -1,6 +1,6 @@
-.PHONY: ci build test clippy bench fmt-check fault-matrix telemetry-smoke store-smoke stream-smoke chaos-smoke lint-invariants bench-trajectory
+.PHONY: ci build test clippy bench fmt-check fault-matrix telemetry-smoke store-smoke stream-smoke chaos-smoke lint-invariants bench-trajectory bench-kernels
 
-ci: build test fault-matrix telemetry-smoke store-smoke stream-smoke chaos-smoke lint-invariants clippy fmt-check
+ci: build test fault-matrix telemetry-smoke store-smoke stream-smoke chaos-smoke bench-kernels lint-invariants clippy fmt-check
 
 build:
 	cargo build --release --workspace
@@ -69,6 +69,16 @@ chaos-smoke:
 # universe scale, refreshing BENCH_streaming.json at the workspace root.
 bench-trajectory:
 	cargo bench -p pii-bench --bench streaming
+
+# Hot-path kernel smoke: a reduced-corpus run of the slice-at-a-time kernel
+# bench (which asserts kernel == scalar on every measured pass), validated by
+# the vendored-serde_json reader. The checked-in full-size artifact is
+# validated at the 2x CRC floor the trajectory claims; the fresh smoke
+# artifact at a noise-tolerant 1.2x.
+bench-kernels:
+	cargo bench -p pii-bench --bench kernels -- --smoke --out $(CURDIR)/target/BENCH_kernels.json
+	cargo run --release -q --example validate_bench_json target/BENCH_kernels.json --min-crc-speedup 1.2
+	cargo run --release -q --example validate_bench_json BENCH_kernels.json --min-crc-speedup 2.0
 
 # Workspace invariant gate: pii-lint must report zero unsuppressed findings
 # (exit 1 otherwise), and its hand-rolled JSON mode must satisfy the

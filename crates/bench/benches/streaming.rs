@@ -83,6 +83,22 @@ fn run_scale(factor: usize) -> ScalePoint {
     }
 }
 
+/// One untimed 1x crawl+replay before any measurement, so one-time process
+/// costs — lazy hash/CRC table construction, PSL and blocklist parsing,
+/// allocator arena growth — never land on the first measured point (the
+/// seed trajectory's 1x point, ~1304 sites/s vs ~2118 at 10x, ate all of
+/// them). The residual 1x deficit that remains after warmup (~0.13s of
+/// per-run fixed cost: worker-pool spawn, archive create/remove) is
+/// per-point overhead a warmup cannot amortize — it is intrinsic to a
+/// ~0.3s measurement and shrinks to noise from 10x up.
+fn warmup() {
+    let p = run_scale(1);
+    eprintln!(
+        "[streaming warmup] discarded 1x pass ({:.2}s)",
+        p.crawl_secs + p.replay_secs
+    );
+}
+
 fn main() {
     let factors: Vec<usize> = std::env::args()
         .skip(1)
@@ -94,6 +110,7 @@ fn main() {
         factors
     };
 
+    warmup();
     let mut points = Vec::new();
     for factor in factors {
         let p = run_scale(factor);

@@ -290,46 +290,39 @@ impl<'a> LeakDetector<'a> {
                 }
             };
 
-            // Channel 1: request URI — decoded query values and path segments.
-            // Trackers occasionally double-encode (the value is encoded once
-            // by the tag and again by the URL serializer), so one extra
-            // decode round is tried when a value still contains escapes.
+            // Channel 1: request URI — decoded query values and path
+            // segments. `query_pairs` decodes once; the shared helper adds
+            // the one-extra-round rule for double-encoded values.
             for (key, value) in request.url.query_pairs() {
-                emit(LeakMethod::Uri, &key, &value);
-                if value.contains('%') {
-                    let again = pii_encodings::percent::decode_lossy(&value);
-                    emit(LeakMethod::Uri, &key, &String::from_utf8_lossy(&again));
-                }
+                scan_with_extra_round(&mut emit, LeakMethod::Uri, &key, &value);
             }
             // Path segments are matched percent-decoded — `/track/foo%40x.com`
-            // carries the same leak as its query-value form — with the same
-            // one-extra-round rule for double-encoded segments as above.
+            // carries the same leak as its query-value form.
             for segment in request.url.path.split('/') {
                 if segment.is_empty() {
                     continue;
                 }
                 let decoded = pii_encodings::percent::decode_lossy(segment);
                 let decoded = String::from_utf8_lossy(&decoded).into_owned();
-                emit(LeakMethod::Uri, "", &decoded);
-                if decoded.contains('%') {
-                    let again = pii_encodings::percent::decode_lossy(&decoded);
-                    emit(LeakMethod::Uri, "", &String::from_utf8_lossy(&again));
-                }
+                scan_with_extra_round(&mut emit, LeakMethod::Uri, "", &decoded);
             }
 
             // Channel 2: Referer header — the referring document's query.
             if let Some(referer) = request.referer() {
                 for (key, value) in referer.query_pairs() {
-                    emit(LeakMethod::Referer, &key, &value);
+                    scan_with_extra_round(&mut emit, LeakMethod::Referer, &key, &value);
                 }
             }
 
-            // Channel 3: Cookie header values.
+            // Channel 3: Cookie header values, which are frequently
+            // percent-encoded on the wire: decode once, then the shared
+            // extra-round rule. The raw wire form is scanned too when it
+            // differs — base64 cookie values can contain `%`-free tokens
+            // that decoding would mangle.
             for (name, value) in request.cookie_pairs() {
-                // Cookie values are frequently percent-encoded.
                 let decoded = pii_encodings::percent::decode_lossy(&value);
                 let decoded = String::from_utf8_lossy(&decoded);
-                emit(LeakMethod::Cookie, &name, &decoded);
+                scan_with_extra_round(&mut emit, LeakMethod::Cookie, &name, &decoded);
                 if *decoded != *value {
                     emit(LeakMethod::Cookie, &name, &value);
                 }
@@ -341,13 +334,16 @@ impl<'a> LeakDetector<'a> {
             // `user%5Femail` and `user_email` aggregate as one Table 1
             // parameter. A bare fragment is additionally scanned as a value,
             // since beacon bodies are sometimes just the token itself.
+            // Values go through the same extra-round rule as every other
+            // channel.
             if let Some(body) = request.body_text() {
                 for pair in body.split('&') {
                     match pair.split_once('=') {
                         Some((key, value)) => {
                             let key = pii_encodings::percent::decode_form_lossy(key);
                             let value = pii_encodings::percent::decode_form_lossy(value);
-                            emit(
+                            scan_with_extra_round(
+                                &mut emit,
                                 LeakMethod::Payload,
                                 &String::from_utf8_lossy(&key),
                                 &String::from_utf8_lossy(&value),
@@ -355,7 +351,12 @@ impl<'a> LeakDetector<'a> {
                         }
                         None => {
                             let token = pii_encodings::percent::decode_form_lossy(pair);
-                            emit(LeakMethod::Payload, "", &String::from_utf8_lossy(&token));
+                            scan_with_extra_round(
+                                &mut emit,
+                                LeakMethod::Payload,
+                                "",
+                                &String::from_utf8_lossy(&token),
+                            );
                         }
                     }
                 }
@@ -364,6 +365,33 @@ impl<'a> LeakDetector<'a> {
         if pii_telemetry::enabled() {
             span.add_arg("events", &(report.events.len() - events_before).to_string());
         }
+    }
+}
+
+/// The one-extra-round decode rule, shared by every channel (§4.1).
+///
+/// Each channel decodes its value once as part of framing — URL query and
+/// body values via their form rules, path segments and cookie values via
+/// `decode_lossy`. Trackers occasionally double-encode (the value is
+/// encoded once by the tag and again by the URL serializer), so when the
+/// once-decoded value still contains a `%` escape, exactly one extra
+/// `decode_lossy` round is scanned as well — never more, so an attacker
+/// cannot make the detector loop.
+///
+/// Before this helper existed only the URI query/path channels applied the
+/// extra round; cookie and payload values decoded once, so a double-encoded
+/// email in a cookie was invisible while the same bytes in a query string
+/// were detected (`channels_agree_on_double_encoded_email` pins the fix).
+fn scan_with_extra_round(
+    emit: &mut dyn FnMut(LeakMethod, &str, &str),
+    method: LeakMethod,
+    param: &str,
+    once: &str,
+) {
+    emit(method, param, once);
+    if once.contains('%') {
+        let again = pii_encodings::percent::decode_lossy(once);
+        emit(method, param, &String::from_utf8_lossy(&again));
     }
 }
 
@@ -592,6 +620,70 @@ mod tests {
             assert_eq!(hit.pii, PiiKind::Email);
             assert_eq!(hit.bucket, "plaintext");
             assert_eq!(hit.receiver_domain, "facebook.com");
+        }
+    }
+
+    /// The same double-encoded email (`foo%2540mydom.com` — `%40` escaped
+    /// again) must be detected in every channel. Before the shared
+    /// `scan_with_extra_round` helper, query values and path segments
+    /// applied the one-extra-round rule but cookie and payload values
+    /// decoded only once, so the identical bytes leaked or hid depending on
+    /// which channel carried them.
+    #[test]
+    fn channels_agree_on_double_encoded_email() {
+        let w = world();
+        let detector = LeakDetector::new(&w.tokens, &w.psl, &w.universe.zones);
+        let sender = w.universe.sender_sites().next().unwrap().domain.clone();
+        let double = "foo%2540mydom.com";
+        let plain_url = || pii_net::Url::parse("https://facebook.com/beacon").unwrap();
+        let cases: Vec<(LeakMethod, pii_net::Request)> = vec![
+            (
+                LeakMethod::Uri,
+                pii_net::Request::new(
+                    pii_net::Method::Get,
+                    pii_net::Url::parse(&format!("https://facebook.com/p?em={double}")).unwrap(),
+                    pii_net::http::ResourceKind::Image,
+                ),
+            ),
+            (
+                LeakMethod::Uri,
+                pii_net::Request::new(
+                    pii_net::Method::Get,
+                    pii_net::Url::parse(&format!("https://facebook.com/track/{double}/px"))
+                        .unwrap(),
+                    pii_net::http::ResourceKind::Image,
+                ),
+            ),
+            (
+                LeakMethod::Cookie,
+                pii_net::Request::new(
+                    pii_net::Method::Get,
+                    plain_url(),
+                    pii_net::http::ResourceKind::Image,
+                )
+                .with_header("Cookie", format!("uid={double}")),
+            ),
+            (
+                LeakMethod::Payload,
+                pii_net::Request::new(
+                    pii_net::Method::Post,
+                    plain_url(),
+                    pii_net::http::ResourceKind::Xhr,
+                )
+                .with_body(format!("em={double}").into_bytes()),
+            ),
+        ];
+        for (method, request) in cases {
+            let mut report = DetectionReport::default();
+            detector.detect_site(&single_record_crawl(&sender, request), &mut report);
+            let hit = report
+                .events
+                .iter()
+                .find(|e| e.method == method && e.pii == PiiKind::Email)
+                .unwrap_or_else(|| {
+                    panic!("double-encoded email not detected in {method:?} channel")
+                });
+            assert_eq!(hit.bucket, "plaintext");
         }
     }
 

@@ -180,15 +180,15 @@ impl TokenSetBuilder {
         }
     }
 
-    /// All chain steps this builder considers.
-    fn steps(&self) -> Vec<Step> {
-        let mut steps: Vec<Step> = HashAlgorithm::ALL
+    /// The encoding chain steps this builder considers. Hash steps are not
+    /// listed here: [`TokenSetBuilder::build`] runs all of
+    /// [`HashAlgorithm::ALL`] through one shared-input digest sweep per
+    /// frontier entry instead of 23 independent passes.
+    fn encoding_steps(&self) -> Vec<Step> {
+        let mut steps: Vec<Step> = EncodingKind::TEXTUAL
             .iter()
-            .map(|&alg| Step::Hash(alg))
+            .map(|&kind| Step::Encode(kind))
             .collect();
-        for kind in EncodingKind::TEXTUAL {
-            steps.push(Step::Encode(kind));
-        }
         if self.include_compression {
             for kind in EncodingKind::COMPRESSION {
                 steps.push(Step::Encode(kind));
@@ -200,7 +200,8 @@ impl TokenSetBuilder {
     /// Build the candidate set for `persona`.
     pub fn build(&self, persona: &Persona) -> TokenSet {
         let mut map = HashMap::new();
-        let steps = self.steps();
+        let encodings = self.encoding_steps();
+        let step_count = HashAlgorithm::ALL.len().saturating_add(encodings.len());
         for (kind, value) in persona.all_values() {
             // Depth 0: plaintext.
             self.insert(&mut map, kind, Obfuscation::plaintext(), value.clone());
@@ -210,28 +211,58 @@ impl TokenSetBuilder {
             let mut frontier: Vec<(Vec<Step>, Vec<u8>)> =
                 vec![(Vec::new(), value.clone().into_bytes())];
             for _depth in 0..self.max_depth {
-                let mut next = Vec::with_capacity(frontier.len() * steps.len());
+                let mut next = Vec::with_capacity(frontier.len().saturating_mul(step_count));
                 for (chain, bytes) in &frontier {
-                    for &step in &steps {
-                        let out = step.apply(bytes);
-                        let mut new_chain = chain.clone();
-                        new_chain.push(step);
-                        let rendered = String::from_utf8_lossy(&out).into_owned();
-                        self.insert(
+                    // The 23 hash lanes share one pass over `bytes`. Lane
+                    // order is `HashAlgorithm::ALL` — the same order the old
+                    // per-step loop used, so collision resolution (first
+                    // equal-length chain wins) is unchanged.
+                    for (alg, hex) in
+                        pii_hashes::lanes::hex_digest_sweep(&HashAlgorithm::ALL, bytes)
+                    {
+                        self.extend(
                             &mut map,
+                            &mut next,
                             kind,
-                            Obfuscation {
-                                steps: new_chain.clone(),
-                            },
-                            rendered,
+                            chain,
+                            Step::Hash(alg),
+                            hex.into_bytes(),
                         );
-                        next.push((new_chain, out));
+                    }
+                    // The encodings apply one at a time, as before.
+                    for &step in &encodings {
+                        self.extend(&mut map, &mut next, kind, chain, step, step.apply(bytes));
                     }
                 }
                 frontier = next;
             }
         }
         TokenSet { map }
+    }
+
+    /// Record one `chain + step` expansion: insert the rendered token and
+    /// push the new frontier entry.
+    fn extend(
+        &self,
+        map: &mut HashMap<String, TokenInfo>,
+        next: &mut Vec<(Vec<Step>, Vec<u8>)>,
+        kind: PiiKind,
+        chain: &[Step],
+        step: Step,
+        out: Vec<u8>,
+    ) {
+        let mut new_chain = chain.to_vec();
+        new_chain.push(step);
+        let rendered = String::from_utf8_lossy(&out).into_owned();
+        self.insert(
+            map,
+            kind,
+            Obfuscation {
+                steps: new_chain.clone(),
+            },
+            rendered,
+        );
+        next.push((new_chain, out));
     }
 
     fn insert(

@@ -1,4 +1,13 @@
 //! CRC-16/ARC and CRC-32 (IEEE 802.3), both reflected, table-driven.
+//!
+//! CRC-32 is the framing checksum of every `pii-store` segment, so it sits
+//! on the replay hot path. [`Crc32::update`] therefore runs a slice-by-8
+//! kernel: eight derived tables fold eight input bytes into the state per
+//! step instead of one, which removes the per-byte loop-carried dependency
+//! on the table lookup and runs ~3-5x faster than the byte loop (see
+//! `BENCH_kernels.json`). The byte-at-a-time loop is kept as
+//! [`Crc32::update_scalar`], the differential reference that the proptest
+//! suite pins the kernel against bit-for-bit on arbitrary input.
 
 use crate::Hasher;
 use std::sync::OnceLock;
@@ -17,6 +26,27 @@ fn crc32_table() -> &'static [u32; 256] {
                 };
             }
             *entry = c;
+        }
+        t
+    })
+}
+
+/// The eight slice-by-8 tables. `t[0]` is the classic byte table; `t[k]`
+/// advances a byte's contribution `k` extra zero-byte steps, so eight
+/// lookups — one per input byte, XORed together — advance the CRC state by
+/// a whole 8-byte chunk at once.
+fn crc32_table8() -> &'static [[u32; 256]; 8] {
+    static T: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    T.get_or_init(|| {
+        let base = crc32_table();
+        let mut t = [[0u32; 256]; 8];
+        t[0] = *base;
+        for i in 0..256 {
+            let mut c = base[i];
+            for row in t.iter_mut().skip(1) {
+                c = base[(c & 0xff) as usize] ^ (c >> 8);
+                row[i] = c;
+            }
         }
         t
     })
@@ -62,14 +92,41 @@ impl Crc32 {
     pub fn value(&self) -> u32 {
         !self.state
     }
-}
 
-impl Hasher for Crc32 {
-    fn update(&mut self, data: &[u8]) {
+    /// Byte-at-a-time reference update. This is the scalar path the
+    /// slice-by-8 kernel in [`Hasher::update`] is differentially tested
+    /// against (`tests/properties.rs`) and benched against
+    /// (`benches/kernels.rs`); it is not otherwise used in production.
+    pub fn update_scalar(&mut self, data: &[u8]) {
         let t = crc32_table();
         for &b in data {
             self.state = t[((self.state ^ b as u32) & 0xff) as usize] ^ (self.state >> 8);
         }
+    }
+}
+
+impl Hasher for Crc32 {
+    /// Slice-by-8 kernel: fold whole 8-byte chunks through the derived
+    /// tables, then finish the tail with the scalar loop. Bit-for-bit
+    /// identical to [`Crc32::update_scalar`] for every input and chunking.
+    fn update(&mut self, data: &[u8]) {
+        let t = crc32_table8();
+        let mut chunks = data.chunks_exact(8);
+        let mut state = self.state;
+        for c in chunks.by_ref() {
+            let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ state;
+            let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+            state = t[7][(lo & 0xff) as usize]
+                ^ t[6][((lo >> 8) & 0xff) as usize]
+                ^ t[5][((lo >> 16) & 0xff) as usize]
+                ^ t[4][(lo >> 24) as usize]
+                ^ t[3][(hi & 0xff) as usize]
+                ^ t[2][((hi >> 8) & 0xff) as usize]
+                ^ t[1][((hi >> 16) & 0xff) as usize]
+                ^ t[0][(hi >> 24) as usize];
+        }
+        self.state = state;
+        self.update_scalar(chunks.remainder());
     }
     fn finalize(self: Box<Self>) -> Vec<u8> {
         self.value().to_be_bytes().to_vec()
@@ -153,5 +210,31 @@ mod tests {
         let mut h = Box::new(Crc32::new());
         h.update(b"123456789");
         assert_eq!(h.finalize(), vec![0xcb, 0xf4, 0x39, 0x26]);
+    }
+
+    /// The slice-by-8 kernel equals the scalar reference on every length
+    /// 0..=257 (covers the empty input, pure-tail inputs shorter than one
+    /// chunk, exact chunk multiples, and chunk+tail mixes) and on updates
+    /// split at every offset (state handoff between kernel and tail).
+    #[test]
+    fn slice8_equals_scalar_across_lengths_and_splits() {
+        let data: Vec<u8> = (0..258u32)
+            .map(|i| (i.wrapping_mul(151) >> 3) as u8)
+            .collect();
+        for len in 0..data.len() {
+            let mut fast = Crc32::new();
+            Hasher::update(&mut fast, &data[..len]);
+            let mut slow = Crc32::new();
+            slow.update_scalar(&data[..len]);
+            assert_eq!(fast.value(), slow.value(), "len {len}");
+        }
+        for split in 0..=64usize {
+            let mut fast = Crc32::new();
+            Hasher::update(&mut fast, &data[..split]);
+            Hasher::update(&mut fast, &data[split..]);
+            let mut slow = Crc32::new();
+            slow.update_scalar(&data);
+            assert_eq!(fast.value(), slow.value(), "split {split}");
+        }
     }
 }

@@ -1,0 +1,126 @@
+//! Multi-lane digest sweep: all candidate hash algorithms over one pass of
+//! the input.
+//!
+//! The candidate-set precompute (`pii-core::tokens`) and the exhaustive
+//! ablations run the same bytes through the full 23-algorithm suite. Doing
+//! that as 23 independent one-shot digests re-reads the input once per
+//! algorithm — 23 passes over a buffer that may no longer be in cache by the
+//! time the next lane starts. [`DigestLanes`] instead keeps one streaming
+//! hasher per algorithm and feeds every lane from the same input chunk
+//! while it is hot in L1/L2, so the input is read once regardless of how
+//! many lanes run.
+//!
+//! The lanes reuse the exact streaming [`Hasher`] implementations behind
+//! [`crate::digest`], so every lane's output is bit-for-bit identical to
+//! the corresponding one-shot digest — `tests/properties.rs` pins this on
+//! arbitrary input, and `benches/kernels.rs` measures the sweep against the
+//! per-algorithm re-read loop.
+
+use crate::{HashAlgorithm, Hasher};
+
+/// How much input each shared pass feeds to every lane before moving on.
+/// Small enough to stay resident in L1d across all lanes, large enough to
+/// amortize the per-lane dispatch.
+pub const SWEEP_CHUNK: usize = 16 * 1024;
+
+/// One streaming hasher per algorithm, all fed from shared input chunks.
+pub struct DigestLanes {
+    lanes: Vec<(HashAlgorithm, Box<dyn Hasher>)>,
+}
+
+impl DigestLanes {
+    /// Fresh lanes for the given algorithms, in the given order — outputs
+    /// are returned in the same order, so callers iterating
+    /// [`HashAlgorithm::ALL`] see the canonical report order.
+    pub fn new(algs: &[HashAlgorithm]) -> DigestLanes {
+        DigestLanes {
+            lanes: algs.iter().map(|&a| (a, a.hasher())).collect(),
+        }
+    }
+
+    /// Lanes for every supported algorithm, in report order.
+    pub fn all() -> DigestLanes {
+        DigestLanes::new(&HashAlgorithm::ALL)
+    }
+
+    /// Absorb one shared chunk into every lane.
+    pub fn update(&mut self, chunk: &[u8]) {
+        for (_, h) in &mut self.lanes {
+            h.update(chunk);
+        }
+    }
+
+    /// Finalize every lane, in construction order.
+    pub fn finalize(self) -> Vec<(HashAlgorithm, Vec<u8>)> {
+        self.lanes
+            .into_iter()
+            .map(|(a, h)| (a, h.finalize()))
+            .collect()
+    }
+}
+
+/// One-shot sweep: run every algorithm in `algs` over `data`, reading the
+/// input once in [`SWEEP_CHUNK`]-sized shared chunks.
+pub fn digest_sweep(algs: &[HashAlgorithm], data: &[u8]) -> Vec<(HashAlgorithm, Vec<u8>)> {
+    let mut lanes = DigestLanes::new(algs);
+    for chunk in data.chunks(SWEEP_CHUNK) {
+        lanes.update(chunk);
+    }
+    lanes.finalize()
+}
+
+/// [`digest_sweep`] with every digest rendered as lowercase hex — the form
+/// the candidate-token precompute consumes.
+pub fn hex_digest_sweep(algs: &[HashAlgorithm], data: &[u8]) -> Vec<(HashAlgorithm, String)> {
+    digest_sweep(algs, data)
+        .into_iter()
+        .map(|(a, d)| (a, crate::hex::encode(&d)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{digest, hex_digest};
+
+    #[test]
+    fn sweep_equals_oneshot_digests() {
+        let data: Vec<u8> = (0..40_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 7) as u8)
+            .collect();
+        for (alg, d) in digest_sweep(&HashAlgorithm::ALL, &data) {
+            assert_eq!(d, digest(alg, &data), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_lane_order_and_handles_empty_input() {
+        let out = digest_sweep(&HashAlgorithm::ALL, b"");
+        assert_eq!(out.len(), HashAlgorithm::ALL.len());
+        for ((alg, d), expected) in out.iter().zip(HashAlgorithm::ALL) {
+            assert_eq!(*alg, expected);
+            assert_eq!(d, &digest(expected, b""), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn hex_sweep_matches_hex_digest() {
+        for (alg, h) in hex_digest_sweep(&HashAlgorithm::ALL, b"foo@mydom.com") {
+            assert_eq!(h, hex_digest(alg, b"foo@mydom.com"), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn incremental_lanes_equal_oneshot_across_chunkings() {
+        let data: Vec<u8> = (0..2_000u32).map(|i| (i.wrapping_mul(97)) as u8).collect();
+        for chunk in [1usize, 7, 64, 1999, 4096] {
+            let mut lanes = DigestLanes::all();
+            for c in data.chunks(chunk) {
+                lanes.update(c);
+            }
+            for (alg, d) in lanes.finalize() {
+                assert_eq!(d, digest(alg, &data), "{} chunk {chunk}", alg.name());
+            }
+        }
+    }
+}
