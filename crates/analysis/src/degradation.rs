@@ -8,6 +8,7 @@
 
 use crate::report::{Comparison, Table};
 use pii_crawler::capture::{CrawlDataset, CrawlOutcome, FunnelStats};
+use pii_net::cache::CacheDisposition;
 use pii_net::fault::FaultProfile;
 use std::collections::BTreeMap;
 
@@ -32,6 +33,19 @@ pub struct Degradation {
     pub quarantined: Vec<(String, String)>,
     /// Largest virtual-time budget any single site consumed (ms).
     pub max_site_virtual_ms: u64,
+    /// Requests that actually went on the wire (including conditional
+    /// revalidations answered with 304).
+    pub requests_fired: u64,
+    /// Requests answered from the browser's HTTP cache instead of the
+    /// network: fresh hits plus stale-while-revalidate serves. Zero unless
+    /// the crawl ran with a cache strategy and warm revisits.
+    pub requests_suppressed: u64,
+    /// Fresh cache hits (no wire traffic at all).
+    pub cache_hits: u64,
+    /// Stale responses served while revalidating in the background.
+    pub cache_stale_served: u64,
+    /// Conditional requests answered 304 Not Modified.
+    pub cache_revalidated: u64,
     /// Archive segments a replay had to skip (corrupt or truncated), as
     /// `(site or offset, reason)`. Empty for live crawls and for clean
     /// replays — which is what keeps a clean replay byte-identical to the
@@ -42,10 +56,13 @@ pub struct Degradation {
 }
 
 impl Degradation {
-    /// True when there is anything to show: an active fault profile, or
-    /// archive damage found during replay.
+    /// True when there is anything to show: an active fault profile,
+    /// archive damage found during replay, or cache-served traffic from a
+    /// warm-revisit crawl.
     pub fn should_render(&self) -> bool {
-        self.profile != FaultProfile::None || !self.archive_skipped.is_empty()
+        self.profile != FaultProfile::None
+            || !self.archive_skipped.is_empty()
+            || self.requests_suppressed + self.cache_revalidated > 0
     }
 }
 
@@ -71,6 +88,11 @@ pub struct DegradationBuilder {
     total_attempts: u64,
     total_retries: u64,
     max_site_virtual_ms: u64,
+    requests_fired: u64,
+    requests_suppressed: u64,
+    cache_hits: u64,
+    cache_stale_served: u64,
+    cache_revalidated: u64,
 }
 
 impl DegradationBuilder {
@@ -80,6 +102,28 @@ impl DegradationBuilder {
         if let CrawlOutcome::Quarantined(reason) = &crawl.outcome {
             self.quarantined
                 .push((crawl.domain.clone(), reason.clone()));
+        }
+        // Suppressed-vs-fired accounting: which successful requests went on
+        // the wire, and which the HTTP cache answered locally.
+        for record in &crawl.records {
+            if record.blocked.is_some() || record.error.is_some() {
+                continue;
+            }
+            match record.from_cache {
+                Some(CacheDisposition::Hit) => {
+                    self.cache_hits += 1;
+                    self.requests_suppressed += 1;
+                }
+                Some(CacheDisposition::Stale) => {
+                    self.cache_stale_served += 1;
+                    self.requests_suppressed += 1;
+                }
+                Some(CacheDisposition::Revalidated) => {
+                    self.cache_revalidated += 1;
+                    self.requests_fired += 1;
+                }
+                None => self.requests_fired += 1,
+            }
         }
         let Some(res) = &crawl.resilience else {
             return;
@@ -110,6 +154,11 @@ impl DegradationBuilder {
             error_counts: self.errors.into_iter().collect(),
             quarantined: self.quarantined,
             max_site_virtual_ms: self.max_site_virtual_ms,
+            requests_fired: self.requests_fired,
+            requests_suppressed: self.requests_suppressed,
+            cache_hits: self.cache_hits,
+            cache_stale_served: self.cache_stale_served,
+            cache_revalidated: self.cache_revalidated,
             archive_skipped: Vec::new(),
             archive_segments: None,
         }
@@ -156,6 +205,27 @@ pub fn table(d: &Degradation) -> Table {
         "max per-site virtual time".to_string(),
         format!("{} ms", d.max_site_virtual_ms),
     ]);
+    // Warm-cache accounting: only present when the crawl ran with a cache
+    // strategy, so cacheless runs render the same table as before.
+    if d.requests_suppressed + d.cache_revalidated > 0 {
+        t.row(&[
+            "requests fired (network)".to_string(),
+            d.requests_fired.to_string(),
+        ]);
+        t.row(&[
+            "requests suppressed (cache)".to_string(),
+            d.requests_suppressed.to_string(),
+        ]);
+        t.row(&["cache hits (fresh)".to_string(), d.cache_hits.to_string()]);
+        t.row(&[
+            "stale served (revalidating)".to_string(),
+            d.cache_stale_served.to_string(),
+        ]);
+        t.row(&[
+            "revalidated (304)".to_string(),
+            d.cache_revalidated.to_string(),
+        ]);
+    }
     for (label, count) in &d.error_counts {
         t.row(&[format!("observed {label}"), count.to_string()]);
     }

@@ -10,8 +10,11 @@ use pii_browser::profiles::BrowserKind;
 use pii_core::detect::{DetectionReport, LeakDetector};
 use pii_core::tokens::{TokenSet, TokenSetBuilder};
 use pii_core::tracking::{analyze, TrackingAnalysis};
-use pii_crawler::{CrawlDataset, CrawlOutcome, CrawlSummary, Crawler, FunnelStats, RetryPolicy};
+use pii_crawler::{
+    CrawlDataset, CrawlOutcome, CrawlSummary, Crawler, Engine, FunnelStats, RetryPolicy,
+};
 use pii_dns::PublicSuffixList;
+use pii_net::cache::CacheStrategy;
 use pii_net::fault::FaultProfile;
 use pii_store::{ArchiveMeta, ArchiveReader, ArchiveWriter, FailPoint, StoreSummary};
 use pii_web::{Universe, UniverseSpec};
@@ -54,6 +57,16 @@ pub struct Study {
     /// Per-site virtual-time deadline for live crawls (CLI
     /// `--watchdog-ms`); see [`Crawler::watchdog_ms`]. `None` disables it.
     pub watchdog_ms: Option<u64>,
+    /// Crawl execution engine (CLI `--engine`); both engines produce
+    /// byte-identical captures, so the study output does not depend on it.
+    pub engine: Engine,
+    /// HTTP cache strategy for the crawl's browsers (CLI `--cache`).
+    /// `None` disables the cache, preserving the historical capture.
+    pub cache: Option<CacheStrategy>,
+    /// Visits per site (CLI `--repeat`). Values above 1 replay the revisit
+    /// pages against warm caches, so the degradation report can compare
+    /// suppressed vs. fired requests.
+    pub repeat: u32,
 }
 
 impl Study {
@@ -71,6 +84,9 @@ impl Study {
             retry: RetryPolicy::default(),
             source: CaptureSource::Live,
             watchdog_ms: None,
+            engine: Engine::default(),
+            cache: None,
+            repeat: 1,
         }
     }
 
@@ -123,6 +139,9 @@ impl Study {
                 crawler.faults = universe.fault_plan(self.faults);
                 crawler.retry = self.retry;
                 crawler.watchdog_ms = self.watchdog_ms;
+                crawler.engine = self.engine;
+                crawler.cache = self.cache;
+                crawler.repeat = self.repeat;
                 let dataset = {
                     let mut span = pii_telemetry::span("study.crawl");
                     span.add_arg("browser", self.capture_browser.name());
@@ -350,6 +369,9 @@ impl Study {
         crawler.faults = universe.fault_plan(self.faults);
         crawler.retry = self.retry;
         crawler.watchdog_ms = self.watchdog_ms;
+        crawler.engine = self.engine;
+        crawler.cache = self.cache;
+        crawler.repeat = self.repeat;
         let (writer, kept) = if resume {
             let (writer, state) = ArchiveWriter::open_append_with_failpoint(path, &meta, kill)?;
             (writer, state.kept)

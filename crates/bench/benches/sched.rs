@@ -1,0 +1,185 @@
+//! Evented-executor trajectory: the virtual-time scheduler crawling the
+//! scaled universe, emitting `BENCH_sched.json` next to the workspace root.
+//!
+//! Not a criterion bench: one measured cold pass and one warm-cache pass,
+//! and the artifact is the point — sustained in-flight sites under the
+//! per-host connection limits, executor events per wall-clock second, and
+//! the warm-revisit cache hit ratio. Every measured pass also asserts the
+//! evented capture is byte-identical to the threaded reference engine on
+//! the same universe, so the bench doubles as an end-to-end differential
+//! gate at a scale the unit tests never reach.
+//!
+//! Flags: `--smoke` shrinks the universe for CI, `--out <path>` redirects
+//! the artifact (the CI smoke run writes to `target/` so the checked-in
+//! full-size artifact is not clobbered by a reduced run).
+
+use pii_browser::profiles::BrowserKind;
+use pii_crawler::{Crawler, Engine};
+use pii_net::cache::CacheStrategy;
+use pii_sched::ExecStats;
+use pii_web::{Universe, UniverseSpec};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct SchedArtifact {
+    bench: &'static str,
+    smoke: bool,
+    /// Universe scale factor the cold pass crawled.
+    scale: usize,
+    sites: usize,
+    lanes: usize,
+    in_flight_budget: usize,
+    /// Most sites simultaneously in flight at any virtual instant.
+    peak_in_flight: usize,
+    /// Time-averaged in-flight sites over the whole crawl
+    /// (`in_flight_ms / virtual_ms`).
+    sustained_in_flight: f64,
+    events: u64,
+    events_per_sec: f64,
+    wall_secs: f64,
+    virtual_ms: u64,
+    timer_fires: u64,
+    steals: u64,
+    host_waits: u64,
+    warm: WarmCache,
+}
+
+/// The warm-revisit pass: same universe, cache-first strategy, two visits.
+#[derive(Serialize)]
+struct WarmCache {
+    strategy: &'static str,
+    repeat: u32,
+    /// Successful (non-blocked, non-error) fetch records across the crawl.
+    requests_total: u64,
+    /// Of those, answered from the browser cache with no wire traffic.
+    requests_suppressed: u64,
+    cache_hit_ratio: f64,
+}
+
+/// Run the evented engine and require its capture to be byte-identical to
+/// the threaded reference under the same configuration.
+fn measured_pass(
+    universe: &Universe,
+    lanes: usize,
+    cache: Option<CacheStrategy>,
+    repeat: u32,
+) -> (pii_crawler::CrawlDataset, ExecStats, f64) {
+    let kind = BrowserKind::Firefox88Vanilla;
+    let mut reference = Crawler::new(universe);
+    reference.workers = lanes;
+    reference.cache = cache;
+    reference.repeat = repeat;
+    let expected = serde_json::to_string(&reference.run(kind)).expect("serialize reference");
+
+    let mut crawler = Crawler::new(universe);
+    crawler.workers = lanes;
+    crawler.engine = Engine::Evented;
+    crawler.cache = cache;
+    crawler.repeat = repeat;
+    let start = Instant::now();
+    let (dataset, stats) = crawler.run_evented_with_stats(kind);
+    let wall_secs = start.elapsed().as_secs_f64();
+    let got = serde_json::to_string(&dataset).expect("serialize evented");
+    assert_eq!(
+        got, expected,
+        "evented/threaded capture divergence under measurement"
+    );
+    (dataset, stats, wall_secs)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+                .join("../..")
+                .join("BENCH_sched.json")
+        });
+
+    let (scale, lanes) = if smoke { (1, 4) } else { (10, 8) };
+    let universe = Universe::generate_with(UniverseSpec::default().scaled(scale));
+    let sites = universe.sites.len();
+    let budget = Crawler::new(&universe).in_flight_budget;
+    eprintln!("[sched] universe {scale}x: {sites} sites, {lanes} lanes, budget {budget}");
+
+    // Cold pass: one-shot crawl, no cache — the paper's configuration on
+    // the evented engine, measured for occupancy and event throughput.
+    let (_, stats, wall_secs) = measured_pass(&universe, lanes, None, 1);
+    let sustained = if stats.virtual_ms == 0 {
+        0.0
+    } else {
+        stats.in_flight_ms as f64 / stats.virtual_ms as f64
+    };
+    eprintln!(
+        "[sched cold] peak {} in flight | sustained {:.1} | {} events in {:.2}s ({:.0}/s) | {} host waits",
+        stats.peak_in_flight,
+        sustained,
+        stats.events,
+        wall_secs,
+        stats.events as f64 / wall_secs,
+        stats.host_waits
+    );
+
+    // Warm pass: two visits per site under cache-first, for the
+    // suppressed-vs-fired ratio the degradation report surfaces.
+    let (dataset, _, _) = measured_pass(&universe, lanes, Some(CacheStrategy::CacheFirst), 2);
+    let mut total = 0u64;
+    let mut suppressed = 0u64;
+    for crawl in &dataset.crawls {
+        for rec in &crawl.records {
+            if rec.blocked.is_some() || rec.error.is_some() {
+                continue;
+            }
+            total += 1;
+            if rec.from_cache.is_some_and(|d| d.suppressed()) {
+                suppressed += 1;
+            }
+        }
+    }
+    let ratio = if total == 0 {
+        0.0
+    } else {
+        suppressed as f64 / total as f64
+    };
+    eprintln!(
+        "[sched warm] {suppressed}/{total} requests cache-served ({:.1}%)",
+        ratio * 100.0
+    );
+
+    let artifact = SchedArtifact {
+        bench: "sched",
+        smoke,
+        scale,
+        sites,
+        lanes,
+        in_flight_budget: budget,
+        peak_in_flight: stats.peak_in_flight,
+        sustained_in_flight: sustained,
+        events: stats.events,
+        events_per_sec: stats.events as f64 / wall_secs,
+        wall_secs,
+        virtual_ms: stats.virtual_ms,
+        timer_fires: stats.timer_fires,
+        steals: stats.steals,
+        host_waits: stats.host_waits,
+        warm: WarmCache {
+            strategy: "cache-first",
+            repeat: 2,
+            requests_total: total,
+            requests_suppressed: suppressed,
+            cache_hit_ratio: ratio,
+        },
+    };
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&artifact).expect("serialize") + "\n",
+    )
+    .expect("write BENCH_sched.json");
+    eprintln!("wrote {}", out_path.display());
+}

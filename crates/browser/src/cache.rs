@@ -1,0 +1,98 @@
+//! The per-browser HTTP cache store, keyed by request URL.
+//!
+//! Sits alongside [`crate::storage::WebStorage`] in the browser: a plain
+//! ordered map from URL to [`CacheEntry`]. Freshness arithmetic lives in
+//! `pii_net::cache`; this type only stores, refreshes, and clears entries.
+//! The clock the entries are judged against is the browser's *cache clock*,
+//! which advances only between visits (see `Browser::advance_visit`), so a
+//! single visit sees a consistent snapshot of freshness.
+
+use pii_net::cache::CacheEntry;
+use std::collections::BTreeMap;
+
+/// Virtual gap between repeat visits to the same site. Long enough to push
+/// short-`max-age` assets past freshness (so revalidation paths execute)
+/// while keeping long-lived assets fresh (so suppression paths execute).
+pub const REVISIT_GAP_MS: u64 = 60_000;
+
+/// URL-keyed HTTP cache. `BTreeMap` keeps iteration deterministic for
+/// debugging dumps; lookups are exact-URL only, like a real HTTP cache.
+#[derive(Debug, Default, Clone)]
+pub struct HttpCache {
+    entries: BTreeMap<String, CacheEntry>,
+}
+
+impl HttpCache {
+    pub fn new() -> HttpCache {
+        HttpCache::default()
+    }
+
+    pub fn get(&self, url: &str) -> Option<&CacheEntry> {
+        self.entries.get(url)
+    }
+
+    pub fn store(&mut self, url: &str, entry: CacheEntry) {
+        self.entries.insert(url.to_string(), entry);
+    }
+
+    /// A successful revalidation proves the stored body is still current:
+    /// restart its freshness lifetime from `now_ms`.
+    pub fn refresh(&mut self, url: &str, now_ms: u64) {
+        if let Some(entry) = self.entries.get_mut(url) {
+            entry.stored_at_ms = now_ms;
+        }
+    }
+
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pii_net::cache::CachePolicy;
+    use pii_net::Response;
+
+    fn entry(stored_at_ms: u64) -> CacheEntry {
+        CacheEntry {
+            response: Response::ok(),
+            policy: CachePolicy {
+                no_store: false,
+                max_age_ms: Some(1000),
+                swr_ms: 0,
+                etag: None,
+                last_modified: None,
+            },
+            stored_at_ms,
+        }
+    }
+
+    #[test]
+    fn store_get_refresh_clear() {
+        let mut cache = HttpCache::new();
+        assert!(cache.is_empty());
+        cache.store("https://a.com/x.js", entry(0));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(
+            cache.get("https://a.com/x.js").map(|e| e.stored_at_ms),
+            Some(0)
+        );
+        cache.refresh("https://a.com/x.js", 500);
+        assert_eq!(
+            cache.get("https://a.com/x.js").map(|e| e.stored_at_ms),
+            Some(500)
+        );
+        cache.refresh("https://missing.com/", 9);
+        cache.clear();
+        assert!(cache.get("https://a.com/x.js").is_none());
+    }
+}

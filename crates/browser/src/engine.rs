@@ -20,6 +20,7 @@
 
 use crate::profiles::{BrowserKind, BrowserProfile};
 use pii_dns::{PublicSuffixList, ZoneStore};
+use pii_net::cache::{CacheDecision, CacheDisposition, CacheEntry, CachePolicy, CacheStrategy};
 use pii_net::cookie::{Cookie, CookieJar};
 use pii_net::fault::{FaultPlan, FetchError};
 use pii_net::http::{Method, Request, ResourceKind, Response};
@@ -43,10 +44,29 @@ pub struct FetchRecord {
     /// keeps the aborted attempt; HAR export flags it devtools-style.
     #[serde(skip_serializing_if = "Option::is_none")]
     pub error: Option<FetchError>,
+    /// How the HTTP cache satisfied this request, when a cache strategy is
+    /// active: `Hit`/`Stale` requests never reached the wire, `Revalidated`
+    /// ones went out conditionally and came back `304`. `None` means an
+    /// unconditional network fetch (cache disabled or cache miss).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub from_cache: Option<CacheDisposition>,
 }
 
 impl FetchRecord {
+    /// The request went on the wire and a usable response came back — the
+    /// condition for a leak to actually reach a tracker's server. Cache
+    /// hits and stale serves are *not* delivered: the request they describe
+    /// was suppressed before it existed on the network.
     pub fn delivered(&self) -> bool {
+        self.blocked.is_none()
+            && self.error.is_none()
+            && !self.from_cache.is_some_and(|d| d.suppressed())
+    }
+
+    /// The browser obtained a usable response body, from the network *or*
+    /// the cache — the condition for a fetched script to execute. A cached
+    /// tracker library still runs and still fires its identify beacon.
+    pub fn served(&self) -> bool {
         self.blocked.is_none() && self.error.is_none()
     }
 }
@@ -99,6 +119,15 @@ pub struct Browser<'a> {
     /// 1-based attempt number the crawler's retry loop is currently on;
     /// flaky schedules clear once it exceeds their failure count.
     fault_attempt: u32,
+    /// The HTTP cache, consulted only when `cache_strategy` is set.
+    cache: crate::cache::HttpCache,
+    cache_strategy: Option<CacheStrategy>,
+    /// Virtual time the cache entries are judged against. Advances only
+    /// between visits (`advance_visit`), so one visit sees one snapshot.
+    cache_clock_ms: u64,
+    /// Records produced as side effects of a primary fetch (async SWR
+    /// revalidations); drained by `load_page_checked` in emission order.
+    side_records: Vec<FetchRecord>,
 }
 
 impl<'a> Browser<'a> {
@@ -135,7 +164,30 @@ impl<'a> Browser<'a> {
             known_trackers,
             faults: None,
             fault_attempt: 1,
+            cache: crate::cache::HttpCache::new(),
+            cache_strategy: None,
+            cache_clock_ms: 0,
+            side_records: Vec::new(),
         }
+    }
+
+    /// Enable (or disable) the HTTP cache for subsequent fetches.
+    pub fn set_cache_strategy(&mut self, strategy: Option<CacheStrategy>) {
+        self.cache_strategy = strategy;
+    }
+
+    /// The HTTP cache contents (inspected by repeat-visit tests).
+    pub fn http_cache(&self) -> &crate::cache::HttpCache {
+        &self.cache
+    }
+
+    /// Move the cache clock forward to the next visit: cookies, storage,
+    /// and cache entries persist, but freshness is re-judged against the
+    /// later timestamp.
+    pub fn advance_visit(&mut self) {
+        self.cache_clock_ms = self
+            .cache_clock_ms
+            .saturating_add(crate::cache::REVISIT_GAP_MS);
     }
 
     /// Route every subsequent fetch through a fault plan (None restores the
@@ -170,6 +222,9 @@ impl<'a> Browser<'a> {
         self.jar = CookieJar::new();
         self.jar.partition_third_party = partition;
         self.storage.clear();
+        self.cache.clear();
+        self.cache_clock_ms = 0;
+        self.side_records.clear();
     }
 
     /// Can the sign-up flow complete on `site` under this profile?
@@ -290,6 +345,7 @@ impl<'a> Browser<'a> {
                     response: Response::new(error.http_status()),
                     blocked: None,
                     error: Some(error.clone()),
+                    from_cache: None,
                 };
                 return Err(PageError {
                     error,
@@ -301,7 +357,11 @@ impl<'a> Browser<'a> {
         // form was submitted.
         let user = ctx.pii_known.then_some(self.persona);
         let html = pii_web::html::render_page(site, &ctx.path, user);
-        let mut doc_resp = Response::ok().with_header("Content-Type", "text/html");
+        // Documents are never cached: navigations must always re-render
+        // (the signed-in state changes what the origin serves).
+        let mut doc_resp = Response::ok()
+            .with_header("Content-Type", "text/html")
+            .with_header("Cache-Control", "no-store");
         let session = Cookie::parse_set_cookie(&format!(
             "session={}-sess; Path=/; SameSite=Lax",
             site.domain.replace('.', "-")
@@ -317,6 +377,7 @@ impl<'a> Browser<'a> {
             response: doc_resp,
             blocked: None,
             error: None,
+            from_cache: None,
         });
 
         // 2. Parse the document and process it in document order: inline
@@ -348,13 +409,16 @@ impl<'a> Browser<'a> {
                 None,
                 None,
             );
-            let delivered = record.delivered();
+            let served = record.served();
             let script_url = record.request.url.clone();
             out.push(record);
-            // A tracker library that loaded issues its identify call once
-            // the user's PII exists.
+            // Async SWR revalidations emitted by the fetch follow it in the
+            // capture, exactly where the network saw them.
+            out.append(&mut self.side_records);
+            // A tracker library that loaded — from the network *or* the
+            // cache — issues its identify call once the user's PII exists.
             if let Some(edge) = edge_by_script.remove(&script_url.to_string()) {
-                if ctx.pii_known && delivered {
+                if ctx.pii_known && served {
                     out.push(self.leak_call(site, &doc_url, edge, &script_url, &ctx.path));
                 }
             }
@@ -472,6 +536,7 @@ impl<'a> Browser<'a> {
                     response: Response::new(0),
                     blocked: Some(format!("shields: {host}")),
                     error: None,
+                    from_cache: None,
                 };
             }
         }
@@ -513,6 +578,53 @@ impl<'a> Browser<'a> {
             }
         }
 
+        // HTTP cache consultation (only when a strategy is configured; the
+        // paper's one-shot crawl runs cache-less and never enters this
+        // block). Blocked requests return above and never reach the cache.
+        let url_key = req.url.to_string();
+        if let Some(strategy) = self.cache_strategy {
+            match pii_net::cache::decide(strategy, self.cache.get(&url_key), self.cache_clock_ms) {
+                CacheDecision::Miss => {}
+                CacheDecision::ServeCached => {
+                    pii_telemetry::counter("browser.cache.hits", 1);
+                    let response = self
+                        .cache
+                        .get(&url_key)
+                        .map(|e| e.response.clone())
+                        .unwrap_or_else(Response::ok);
+                    return FetchRecord {
+                        request: req,
+                        response,
+                        blocked: None,
+                        error: None,
+                        from_cache: Some(CacheDisposition::Hit),
+                    };
+                }
+                CacheDecision::ServeStaleAndRevalidate => {
+                    pii_telemetry::counter("browser.cache.stale", 1);
+                    let response = self
+                        .cache
+                        .get(&url_key)
+                        .map(|e| e.response.clone())
+                        .unwrap_or_else(Response::ok);
+                    // The async revalidation goes on the wire alongside the
+                    // stale serve; the caller splices it into the capture.
+                    let side = self.revalidate(req.clone(), &url_key);
+                    self.side_records.push(side);
+                    return FetchRecord {
+                        request: req,
+                        response,
+                        blocked: None,
+                        error: None,
+                        from_cache: Some(CacheDisposition::Stale),
+                    };
+                }
+                CacheDecision::Revalidate => {
+                    return self.revalidate(req, &url_key);
+                }
+            }
+        }
+
         // Transport faults: the request was emitted (headers and all) but no
         // usable response ever arrived, so no tracker state is written.
         if let Some(plan) = self.faults {
@@ -522,6 +634,7 @@ impl<'a> Browser<'a> {
                     response: Response::new(error.http_status()),
                     blocked: None,
                     error: Some(error),
+                    from_cache: None,
                 };
             }
         }
@@ -529,7 +642,29 @@ impl<'a> Browser<'a> {
         // Response: trackers try to set their own identifier cookie, and
         // fall back to localStorage when the browser refuses it — exactly
         // the stateful-tracking arms race §2.1 describes.
+        // Static assets advertise cache policies (a deterministic mix of
+        // short- and long-lived `max-age`s plus validators); tracker
+        // endpoints and everything dynamic say `no-store`, like real
+        // analytics beacons do.
         let mut response = Response::ok();
+        let static_asset = matches!(
+            req.kind,
+            ResourceKind::Script | ResourceKind::Stylesheet | ResourceKind::Image
+        ) && edge.is_none();
+        if static_asset {
+            let fp = pii_net::cache::asset_fingerprint(&url_key);
+            let max_age = if fp.is_multiple_of(4) { 30 } else { 3600 };
+            response.headers.insert(
+                "Cache-Control",
+                format!("max-age={max_age}, stale-while-revalidate=600"),
+            );
+            response.headers.insert("ETag", format!("\"{fp:016x}\""));
+            response
+                .headers
+                .insert("Last-Modified", "Fri, 21 May 2021 10:00:00 GMT");
+        } else {
+            response.headers.insert("Cache-Control", "no-store");
+        }
         if is_third_party && edge.is_some() {
             let uid = format!("tp-{}", tracker_rd.replace('.', "-"));
             let set = format!("uid={uid}; Path=/; SameSite=None; Secure");
@@ -543,11 +678,85 @@ impl<'a> Browser<'a> {
                     .set_item(&req.url.origin(), &site.domain, "uid", &uid);
             }
         }
+        // Store cacheable responses for later visits (cache enabled only,
+        // so the default cache-less configuration keeps identical state).
+        if self.cache_strategy.is_some() {
+            let policy = CachePolicy::parse(&response.headers);
+            if policy.cacheable() {
+                pii_telemetry::counter("browser.cache.stores", 1);
+                self.cache.store(
+                    &url_key,
+                    CacheEntry {
+                        response: response.clone(),
+                        policy,
+                        stored_at_ms: self.cache_clock_ms,
+                    },
+                );
+            }
+        }
         FetchRecord {
             request: req,
             response,
             blocked: None,
             error: None,
+            from_cache: None,
+        }
+    }
+
+    /// Put a conditional request on the wire and synthesise its `304 Not
+    /// Modified`. A transport fault aborts it like any network fetch; a
+    /// success restarts the stored entry's freshness lifetime.
+    fn revalidate(&mut self, mut req: Request, url_key: &str) -> FetchRecord {
+        let (etag, last_modified, cache_control) = match self.cache.get(url_key) {
+            Some(entry) => (
+                entry.policy.etag.clone(),
+                entry.policy.last_modified.clone(),
+                entry
+                    .response
+                    .headers
+                    .get("Cache-Control")
+                    .map(str::to_string),
+            ),
+            None => (None, None, None),
+        };
+        if let Some(etag) = &etag {
+            req.headers.insert("If-None-Match", etag.clone());
+        }
+        if let Some(lm) = &last_modified {
+            req.headers.insert("If-Modified-Since", lm.clone());
+        }
+        if let Some(plan) = self.faults {
+            if let Some(error) = plan.fault_for(&req.url.host, &req.url.path, self.fault_attempt) {
+                return FetchRecord {
+                    request: req,
+                    response: Response::new(error.http_status()),
+                    blocked: None,
+                    error: Some(error),
+                    from_cache: None,
+                };
+            }
+        }
+        pii_telemetry::counter("browser.cache.revalidations", 1);
+        self.cache.refresh(url_key, self.cache_clock_ms);
+        // The simulated origins' assets never change, so conditional
+        // requests always validate. The 304 repeats the validators and
+        // carries no body, per RFC 9110 §15.4.5.
+        let mut response = Response::new(304);
+        if let Some(cc) = cache_control {
+            response.headers.insert("Cache-Control", cc);
+        }
+        if let Some(etag) = etag {
+            response.headers.insert("ETag", etag);
+        }
+        if let Some(lm) = last_modified {
+            response.headers.insert("Last-Modified", lm);
+        }
+        FetchRecord {
+            request: req,
+            response,
+            blocked: None,
+            error: None,
+            from_cache: Some(CacheDisposition::Revalidated),
         }
     }
 }

@@ -14,6 +14,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod dom;
 pub mod engine;
 pub mod profiles;

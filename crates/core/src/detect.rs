@@ -587,6 +587,7 @@ mod tests {
                 response: pii_net::Response::ok(),
                 blocked: None,
                 error: None,
+                from_cache: None,
             }],
             stored_cookies: Vec::new(),
             resilience: None,

@@ -40,6 +40,7 @@ pub fn crawls_from_wire(exchanges: &[WireExchange]) -> Result<Vec<SiteCrawl>, Wi
             response,
             blocked: None,
             error: None,
+            from_cache: None,
         };
         match by_site.iter_mut().find(|(site, _)| site == ex.site) {
             Some((_, records)) => records.push(record),

@@ -1,0 +1,339 @@
+//! The evented crawl engine: every site is a task on the `pii-sched`
+//! executor, simulated over virtual time on one OS thread.
+//!
+//! Where the threaded pool dedicates an OS thread per worker and blocks it
+//! for a whole site, this engine interleaves thousands of in-flight sites:
+//! each page load becomes a virtual fetch occupying a per-host connection
+//! for a few virtual milliseconds, retry backoffs become timers instead of
+//! clock advances alone, and after each page the task re-fetches the
+//! page's distinct third-party hosts so tracker CDNs feel per-host
+//! connection pressure. None of that occupancy modelling touches the
+//! capture: records come from the same [`SiteFlow`]/[`PageRun`] machinery
+//! the threaded engine uses, on a browser owned by the site's task, so the
+//! output is byte-identical across engines, lane counts, and fault
+//! profiles — the determinism suite in `tests/sched.rs` pins exactly that.
+
+use crate::capture::SiteCrawl;
+use crate::pool::{DeliveryBoard, PanicLedger};
+use crate::steps::{AttemptOutcome, FlowStep, PageFailure, PageRun, SiteFlow};
+use pii_browser::engine::{Browser, PageContext};
+use pii_net::fault::FaultPlan;
+use pii_net::Url;
+use pii_sched::{ExecStats, Executor, SchedConfig, Step};
+use pii_web::site::Site;
+use std::collections::VecDeque;
+
+/// Virtual cost of a page navigation (document + subresources).
+const PAGE_COST_MS: u64 = 8;
+/// Virtual cost of one third-party asset re-fetch (connection pressure).
+const ASSET_COST_MS: u64 = 2;
+/// Simultaneous connections per host, browser-realistic (RFC 9110 §9.4
+/// successor of the classic six-per-host rule).
+const PER_HOST_LIMIT: usize = 6;
+
+/// What a task is waiting to do when the executor next runs it.
+enum Pending {
+    /// Ask the flow for the next step.
+    Flow,
+    /// The virtual page fetch completed: perform the actual load attempt.
+    Attempt { ctx: PageContext, attempt: u32 },
+    /// A backoff timer fired: re-occupy the host, then attempt again.
+    Retry { ctx: PageContext, attempt: u32 },
+    /// Re-fetch the page's third-party hosts (occupancy only, no records).
+    Echo { hosts: VecDeque<String> },
+}
+
+/// One site's crawl, suspended between executor events.
+struct SiteTask<'b> {
+    index: usize,
+    site: &'b Site,
+    base: Url,
+    browser: Browser<'b>,
+    flow: SiteFlow,
+    /// Measured mode's retry state; `None` on the config-driven happy path.
+    run: Option<PageRun<'b>>,
+    /// Config-mode records (measured mode accumulates inside `run`).
+    records: Vec<pii_browser::engine::FetchRecord>,
+    failed: Option<PageFailure>,
+    pending: Pending,
+    watchdog_ms: Option<u64>,
+    result: Option<SiteCrawl>,
+}
+
+/// Per-crawl configuration shared by every site task.
+#[derive(Clone, Copy)]
+struct TaskSpec<'b> {
+    plan: Option<&'b FaultPlan>,
+    retry: &'b crate::retry::RetryPolicy,
+    repeat: u32,
+    watchdog_ms: Option<u64>,
+}
+
+impl<'b> SiteTask<'b> {
+    fn new(
+        index: usize,
+        site: &'b Site,
+        base: Url,
+        mut browser: Browser<'b>,
+        spec: TaskSpec<'b>,
+    ) -> SiteTask<'b> {
+        browser.reset();
+        SiteTask {
+            index,
+            site,
+            base,
+            browser,
+            flow: SiteFlow::new(spec.plan.is_some(), spec.repeat),
+            run: spec.plan.map(|p| PageRun::new(p, spec.retry)),
+            records: Vec::new(),
+            failed: None,
+            pending: Pending::Flow,
+            watchdog_ms: spec.watchdog_ms,
+            result: None,
+        }
+    }
+
+    /// Run until the task needs the executor (a fetch, a sleep, or done).
+    fn step(&mut self) -> Step {
+        loop {
+            match std::mem::replace(&mut self.pending, Pending::Flow) {
+                Pending::Flow => {
+                    match self
+                        .flow
+                        .next(&self.browser, self.site, &self.base, self.failed.as_ref())
+                    {
+                        FlowStep::Load(ctx) => {
+                            self.pending = Pending::Attempt { ctx, attempt: 1 };
+                            return Step::Fetch {
+                                host: self.site.domain.clone(),
+                                cost_ms: PAGE_COST_MS,
+                            };
+                        }
+                        FlowStep::NextVisit => {
+                            self.browser.advance_visit();
+                            self.failed = None;
+                        }
+                        FlowStep::Finish(outcome) => {
+                            self.seal(outcome);
+                            return Step::Done;
+                        }
+                    }
+                }
+                Pending::Attempt { ctx, attempt } => {
+                    let before = self.record_count();
+                    match &mut self.run {
+                        Some(run) => {
+                            match run.attempt(&mut self.browser, self.site, &ctx, attempt) {
+                                AttemptOutcome::Loaded => {
+                                    self.failed = None;
+                                    self.queue_echo(before);
+                                }
+                                AttemptOutcome::Backoff { delay_ms } => {
+                                    self.pending = Pending::Retry {
+                                        ctx,
+                                        attempt: attempt.saturating_add(1),
+                                    };
+                                    return Step::Sleep { ms: delay_ms };
+                                }
+                                AttemptOutcome::Failed(failure) => {
+                                    self.failed = Some(failure);
+                                }
+                            }
+                        }
+                        None => {
+                            let records = self.browser.load_page(self.site, &ctx);
+                            self.records.extend(records);
+                            self.queue_echo(before);
+                        }
+                    }
+                }
+                Pending::Retry { ctx, attempt } => {
+                    self.pending = Pending::Attempt { ctx, attempt };
+                    return Step::Fetch {
+                        host: self.site.domain.clone(),
+                        cost_ms: PAGE_COST_MS,
+                    };
+                }
+                Pending::Echo { mut hosts } => {
+                    if let Some(host) = hosts.pop_front() {
+                        self.pending = Pending::Echo { hosts };
+                        return Step::Fetch {
+                            host,
+                            cost_ms: ASSET_COST_MS,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_count(&self) -> usize {
+        match &self.run {
+            Some(run) => run.records.len(),
+            None => self.records.len(),
+        }
+    }
+
+    /// Queue occupancy echo-fetches for the distinct cross-host requests
+    /// the just-loaded page actually delivered, in first-seen order.
+    fn queue_echo(&mut self, since: usize) {
+        let records = match &self.run {
+            Some(run) => &run.records,
+            None => &self.records,
+        };
+        let mut hosts: VecDeque<String> = VecDeque::new();
+        for record in records.iter().skip(since) {
+            let host = &record.request.url.host;
+            if record.delivered() && host != &self.site.domain && !hosts.iter().any(|h| h == host) {
+                hosts.push_back(host.clone());
+            }
+        }
+        if !hosts.is_empty() {
+            self.pending = Pending::Echo { hosts };
+        }
+    }
+
+    fn seal(&mut self, outcome: crate::capture::CrawlOutcome) {
+        let crawl = match self.run.take() {
+            Some(run) => run.finish(&mut self.browser, self.site, outcome),
+            None => SiteCrawl {
+                domain: self.site.domain.clone(),
+                outcome,
+                records: std::mem::take(&mut self.records),
+                stored_cookies: self.browser.jar().all().into_iter().cloned().collect(),
+                resilience: None,
+            },
+        };
+        self.result = Some(crate::flow::apply_watchdog(crawl, self.watchdog_ms));
+    }
+}
+
+/// Drive all `sites` through the evented executor. Mirrors the threaded
+/// pool's delivery contract: `deliver` sees every site exactly once;
+/// panicking sites are retried once on another lane, then quarantined; the
+/// caller gap-fills anything left on the board.
+pub(crate) fn run_pool<'b>(
+    crawler: &'b crate::flow::Crawler<'_>,
+    profile: &pii_browser::profiles::BrowserProfile,
+    sites: &[&'b Site],
+    plan: Option<&'b FaultPlan>,
+    board: &DeliveryBoard,
+    deliver: &(dyn Fn(usize, SiteCrawl) + Sync),
+) -> ExecStats {
+    let lanes = crawler.workers.max(1);
+    let spec = TaskSpec {
+        plan,
+        retry: &crawler.retry,
+        repeat: crawler.repeat,
+        watchdog_ms: crawler.watchdog_ms,
+    };
+    let mut exec = Executor::new(SchedConfig {
+        lanes,
+        per_host_limit: PER_HOST_LIMIT,
+        in_flight_budget: crawler.in_flight_budget,
+        steal_seed: crawler.steal_seed(),
+    });
+    let ledger = PanicLedger::new(sites.len());
+    // Task slots are indexed by executor id: one push per spawn, always.
+    let mut tasks: Vec<Option<SiteTask<'_>>> = Vec::new();
+    for (index, site) in sites.iter().enumerate() {
+        let Some(base) = crate::flow::site_url(site, "/") else {
+            // Such a site is isolated, never crashed on — same accounting
+            // as the threaded engine's config path.
+            pii_telemetry::counter("crawler.sites", 1);
+            board.mark(index);
+            deliver(
+                index,
+                crate::flow::quarantined(site, "site domain does not form a valid URL".to_string()),
+            );
+            continue;
+        };
+        let id = exec.spawn(index % lanes);
+        debug_assert_eq!(id, tasks.len());
+        tasks.push(Some(SiteTask::new(
+            index,
+            site,
+            base,
+            crawler.fresh_browser(profile, plan),
+            spec,
+        )));
+    }
+    while let Some((id, lane)) = exec.next_runnable() {
+        let Some(slot) = tasks.get_mut(id) else {
+            exec.complete(id);
+            continue;
+        };
+        let Some(task) = slot.as_mut() else {
+            exec.complete(id);
+            continue;
+        };
+        let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.step()));
+        match step {
+            Ok(Step::Done) => {
+                exec.complete(id);
+                if let Some(mut task) = slot.take() {
+                    if let Some(crawl) = task.result.take() {
+                        let mut span = pii_telemetry::span("crawl.site");
+                        span.add_arg("site", &task.site.domain);
+                        if let Some(res) = &crawl.resilience {
+                            span.set_virtual_ms(res.virtual_ms);
+                        }
+                        pii_telemetry::counter("crawler.sites", 1);
+                        if pii_telemetry::enabled() {
+                            pii_telemetry::counter(&format!("crawler.worker.{lane}.sites"), 1);
+                        }
+                        board.mark(task.index);
+                        deliver(task.index, crawl);
+                    }
+                }
+            }
+            Ok(step) => exec.dispatch(id, step),
+            Err(payload) => {
+                pii_telemetry::counter("crawler.panics", 1);
+                exec.complete(id);
+                let Some(task) = slot.take() else { continue };
+                let reason = crate::flow::panic_reason(payload.as_ref());
+                if ledger.first_panic(task.index) {
+                    // Retry on the next lane with a fresh task (the unwound
+                    // browser's state is suspect), like the threaded pool
+                    // hands a casualty to a different worker.
+                    let new_id = exec.spawn((lane + 1) % lanes);
+                    debug_assert_eq!(new_id, tasks.len());
+                    tasks.push(Some(SiteTask::new(
+                        task.index,
+                        task.site,
+                        task.base.clone(),
+                        crawler.fresh_browser(profile, plan),
+                        spec,
+                    )));
+                } else {
+                    board.mark(task.index);
+                    deliver(
+                        task.index,
+                        crate::flow::quarantined(
+                            task.site,
+                            format!("crawl worker panicked twice: {reason}"),
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    let stats = exec.stats();
+    emit_stats(&stats);
+    stats
+}
+
+/// Executor counters, namespaced `sched.*` (scheduling artifacts, excluded
+/// from the deterministic-telemetry comparison like `crawler.worker.*`).
+fn emit_stats(stats: &ExecStats) {
+    if !pii_telemetry::enabled() {
+        return;
+    }
+    pii_telemetry::counter("sched.events", stats.events);
+    pii_telemetry::counter("sched.steals", stats.steals);
+    pii_telemetry::counter("sched.host_waits", stats.host_waits);
+    pii_telemetry::counter("sched.timer_fires", stats.timer_fires);
+    pii_telemetry::counter("sched.peak_in_flight", stats.peak_in_flight as u64);
+    pii_telemetry::counter("sched.virtual_ms", stats.virtual_ms);
+}

@@ -1,16 +1,62 @@
 //! The authentication-flow driver.
 
-use crate::capture::{CrawlDataset, CrawlOutcome, SiteCrawl, SiteResilience};
-use crate::retry::{RetryPolicy, SimClock};
+use crate::capture::{CrawlDataset, CrawlOutcome, SiteCrawl};
+use crate::pool::{DeliveryBoard, PanicLedger};
+use crate::retry::RetryPolicy;
+use crate::steps::{FlowStep, PageRun, SiteFlow};
 use parking_lot::Mutex;
-use pii_browser::engine::{Browser, FetchRecord, PageContext};
+use pii_browser::engine::Browser;
 use pii_browser::profiles::BrowserKind;
 use pii_dns::PublicSuffixList;
-use pii_net::fault::{FaultPlan, FetchError};
+use pii_net::cache::CacheStrategy;
+use pii_net::fault::FaultPlan;
 use pii_net::Url;
-use pii_web::site::{BlockReason, Site, SiteOutcome};
+use pii_web::site::Site;
 use pii_web::Universe;
+use std::str::FromStr;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Which execution engine drives the crawl. Both produce byte-identical
+/// captures; they differ only in how sites are scheduled onto the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The reference engine: one OS thread per worker, crossbeam scope,
+    /// work claimed from a shared queue.
+    #[default]
+    Threaded,
+    /// The `pii-sched` engine: every site is a task on a deterministic
+    /// event-driven executor over virtual time, all on one OS thread.
+    Evented,
+}
+
+impl Engine {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Threaded => "threaded",
+            Engine::Evented => "evented",
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Engine, String> {
+        match s {
+            "threaded" => Ok(Engine::Threaded),
+            "evented" => Ok(Engine::Evented),
+            other => Err(format!(
+                "unknown engine '{other}' (expected threaded or evented)"
+            )),
+        }
+    }
+}
 
 /// Observer for [`Crawler::run_streaming`]: called with the site's
 /// canonical index and its finished crawl, from whichever worker thread
@@ -47,6 +93,19 @@ pub struct Crawler<'a> {
     /// on the seeded fault schedule, never on wall-clock or scheduling, so
     /// a watchdogged run is exactly as deterministic as a plain one.
     pub watchdog_ms: Option<u64>,
+    /// Which execution engine schedules the sites. Both engines produce
+    /// byte-identical captures; `Threaded` is the reference.
+    pub engine: Engine,
+    /// HTTP cache strategy handed to every browser. `None` (the default)
+    /// disables the cache, preserving the historical capture byte for byte.
+    pub cache: Option<CacheStrategy>,
+    /// Visits per site. 1 (the default) is the paper's one-shot crawl; more
+    /// replays the revisit pages against warm caches, with the cache clock
+    /// advanced between visits.
+    pub repeat: u32,
+    /// Evented engine only: how many sites may be in flight at once.
+    /// Admission beyond the budget queues FIFO.
+    pub in_flight_budget: usize,
 }
 
 impl<'a> Crawler<'a> {
@@ -60,6 +119,10 @@ impl<'a> Crawler<'a> {
             faults: FaultPlan::none(),
             retry: RetryPolicy::default(),
             watchdog_ms: None,
+            engine: Engine::default(),
+            cache: None,
+            repeat: 1,
+            in_flight_budget: 2048,
         }
     }
 
@@ -142,12 +205,34 @@ impl<'a> Crawler<'a> {
         filter: Option<&[String]>,
         deliver: &(dyn Fn(usize, SiteCrawl) + Sync),
     ) -> BrowserKind {
+        let sites = self.site_list(filter);
+        let plan = (!self.faults.is_inert()).then_some(&self.faults);
+        let board = DeliveryBoard::new(sites.len());
+        match self.engine {
+            Engine::Threaded => self.run_pool_threaded(&profile, &sites, plan, &board, deliver),
+            Engine::Evented => {
+                crate::evented::run_pool(self, &profile, &sites, plan, &board, deliver);
+            }
+        }
+        // Gap-fill: a site nobody delivered (worker lost outside the panic
+        // guard) is quarantined rather than silently dropped.
+        board.fill_gaps(|index| {
+            deliver(
+                index,
+                quarantined(sites[index], "crawl worker lost".to_string()),
+            );
+        });
+        profile.kind
+    }
+
+    /// Resolve the optional domain filter against the universe, preserving
+    /// universe order.
+    fn site_list(&self, filter: Option<&[String]>) -> Vec<&Site> {
         // Hash the filter once: the resume path passes hundreds of missing
         // domains, and a per-site linear scan over that list is O(n·m).
         let filter: Option<std::collections::HashSet<&str>> =
             filter.map(|f| f.iter().map(|d| d.as_str()).collect());
-        let sites: Vec<&Site> = self
-            .universe
+        self.universe
             .sites
             .iter()
             .filter(|s| {
@@ -155,9 +240,20 @@ impl<'a> Crawler<'a> {
                     .as_ref()
                     .is_none_or(|f| f.contains(s.domain.as_str()))
             })
-            .collect();
-        let plan = (!self.faults.is_inert()).then_some(&self.faults);
-        let delivered: Mutex<Vec<bool>> = Mutex::new(vec![false; sites.len()]);
+            .collect()
+    }
+
+    /// The reference engine: one OS thread per worker, work claimed from a
+    /// shared queue.
+    fn run_pool_threaded(
+        &self,
+        profile: &pii_browser::profiles::BrowserProfile,
+        sites: &[&Site],
+        plan: Option<&FaultPlan>,
+        board: &DeliveryBoard,
+        deliver: &(dyn Fn(usize, SiteCrawl) + Sync),
+    ) {
+        let ledger = PanicLedger::new(sites.len());
         let next = AtomicUsize::new(0);
         // Sites whose worker panicked, tagged with the panicking worker so a
         // *different* worker retries them when possible.
@@ -168,8 +264,7 @@ impl<'a> Crawler<'a> {
         // aborting the crawl.
         let _ = crossbeam::thread::scope(|scope| {
             for worker_id in 0..self.workers.max(1) {
-                let (sites, delivered, next, requeued, profile) =
-                    (&sites, &delivered, &next, &requeued, &profile);
+                let (next, requeued, ledger) = (&next, &requeued, &ledger);
                 scope.spawn(move |_| {
                     let mut browser = self.fresh_browser(profile, plan);
                     loop {
@@ -186,8 +281,8 @@ impl<'a> Crawler<'a> {
                                 .or_else(|| (fresh_done && !queue.is_empty()).then_some(0))
                                 .map(|pos| queue.remove(pos))
                         };
-                        let (index, second_attempt) = match retried {
-                            Some((index, _)) => (index, true),
+                        let index = match retried {
+                            Some((index, _)) => index,
                             None => {
                                 let index = next.fetch_add(1, Ordering::Relaxed);
                                 if index >= sites.len() {
@@ -196,7 +291,7 @@ impl<'a> Crawler<'a> {
                                     }
                                     continue;
                                 }
-                                (index, false)
+                                index
                             }
                         };
                         let attempt = {
@@ -211,6 +306,7 @@ impl<'a> Crawler<'a> {
                                         plan,
                                         &self.retry,
                                         self.watchdog_ms,
+                                        self.repeat,
                                     )
                                 }));
                             if let Ok(crawl) = &attempt {
@@ -232,7 +328,7 @@ impl<'a> Crawler<'a> {
                                         1,
                                     );
                                 }
-                                delivered.lock()[index] = true;
+                                board.mark(index);
                                 deliver(index, crawl);
                             }
                             Err(payload) => {
@@ -241,15 +337,15 @@ impl<'a> Crawler<'a> {
                                 // rebuild before the next site.
                                 browser = self.fresh_browser(profile, plan);
                                 let reason = panic_reason(payload.as_ref());
-                                if second_attempt {
+                                if ledger.first_panic(index) {
+                                    requeued.lock().push((index, worker_id));
+                                } else {
                                     let crawl = quarantined(
                                         sites[index],
                                         format!("crawl worker panicked twice: {reason}"),
                                     );
-                                    delivered.lock()[index] = true;
+                                    board.mark(index);
                                     deliver(index, crawl);
-                                } else {
-                                    requeued.lock().push((index, worker_id));
                                 }
                             }
                         }
@@ -257,20 +353,47 @@ impl<'a> Crawler<'a> {
                 });
             }
         });
-        // Gap-fill: a site nobody delivered (worker lost outside the panic
-        // guard) is quarantined rather than silently dropped.
-        for (index, seen) in delivered.into_inner().into_iter().enumerate() {
-            if !seen {
-                deliver(
-                    index,
-                    quarantined(sites[index], "crawl worker lost".to_string()),
-                );
-            }
-        }
-        profile.kind
     }
 
-    fn fresh_browser<'b>(
+    /// Run the evented engine directly and return its executor statistics
+    /// alongside the dataset — the scheduler bench measures sustained
+    /// in-flight sites and events/sec through this.
+    pub fn run_evented_with_stats(
+        &self,
+        kind: BrowserKind,
+    ) -> (CrawlDataset, pii_sched::ExecStats) {
+        let profile = kind.profile();
+        let sites = self.site_list(None);
+        let plan = (!self.faults.is_inert()).then_some(&self.faults);
+        let results: Mutex<Vec<(usize, SiteCrawl)>> = Mutex::new(Vec::new());
+        let board = DeliveryBoard::new(sites.len());
+        let stats =
+            crate::evented::run_pool(self, &profile, &sites, plan, &board, &|index, crawl| {
+                results.lock().push((index, crawl));
+            });
+        board.fill_gaps(|index| {
+            results.lock().push((
+                index,
+                quarantined(sites[index], "crawl worker lost".to_string()),
+            ));
+        });
+        let mut results = results.into_inner();
+        results.sort_by_key(|(i, _)| *i);
+        (
+            CrawlDataset {
+                browser: profile.kind,
+                crawls: results.into_iter().map(|(_, crawl)| crawl).collect(),
+            },
+            stats,
+        )
+    }
+
+    /// The seed every deterministic scheduling decision derives from.
+    pub(crate) fn steal_seed(&self) -> u64 {
+        self.universe.spec.seed
+    }
+
+    pub(crate) fn fresh_browser<'b>(
         &'b self,
         profile: &pii_browser::profiles::BrowserProfile,
         plan: Option<&'b FaultPlan>,
@@ -282,6 +405,7 @@ impl<'a> Crawler<'a> {
             &self.universe.persona,
         );
         browser.set_fault_plan(plan);
+        browser.set_cache_strategy(self.cache);
         browser
     }
 }
@@ -294,10 +418,11 @@ fn crawl_one(
     plan: Option<&FaultPlan>,
     retry: &RetryPolicy,
     watchdog_ms: Option<u64>,
+    repeat: u32,
 ) -> SiteCrawl {
     let crawl = match plan {
-        Some(plan) => crawl_site_measured(browser, site, plan, retry),
-        None => crawl_site(browser, site),
+        Some(plan) => crawl_site_measured(browser, site, plan, retry, repeat),
+        None => crawl_site(browser, site, repeat),
     };
     apply_watchdog(crawl, watchdog_ms)
 }
@@ -306,7 +431,7 @@ fn crawl_one(
 /// The traffic of a site that would have hung the run is discarded (as a
 /// killed worker's would be), but its resilience accounting is kept so the
 /// degradation report can say *why* the site was given up on.
-fn apply_watchdog(crawl: SiteCrawl, watchdog_ms: Option<u64>) -> SiteCrawl {
+pub(crate) fn apply_watchdog(crawl: SiteCrawl, watchdog_ms: Option<u64>) -> SiteCrawl {
     let Some(limit) = watchdog_ms else {
         return crawl;
     };
@@ -327,7 +452,7 @@ fn apply_watchdog(crawl: SiteCrawl, watchdog_ms: Option<u64>) -> SiteCrawl {
 }
 
 /// A site the pool gave up on after repeated worker panics.
-fn quarantined(site: &Site, reason: String) -> SiteCrawl {
+pub(crate) fn quarantined(site: &Site, reason: String) -> SiteCrawl {
     pii_telemetry::counter("crawler.quarantined", 1);
     SiteCrawl {
         domain: site.domain.clone(),
@@ -339,7 +464,7 @@ fn quarantined(site: &Site, reason: String) -> SiteCrawl {
 }
 
 /// Human-readable reason out of a caught panic payload.
-fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(message) = payload.downcast_ref::<&str>() {
         (*message).to_string()
     } else if let Some(message) = payload.downcast_ref::<String>() {
@@ -351,177 +476,32 @@ fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// Build a page URL on `site`. `None` when the domain itself cannot form a
 /// valid URL — such a site is isolated, never crashed on.
-fn site_url(site: &Site, path: &str) -> Option<Url> {
+pub(crate) fn site_url(site: &Site, path: &str) -> Option<Url> {
     Url::parse(&format!("https://{}{}", site.domain, path)).ok()
 }
 
-/// Run the full §3.2 flow against one site, trusting the configured outcome.
-fn crawl_site(browser: &mut Browser, site: &Site) -> SiteCrawl {
+/// Run the full §3.2 flow against one site, trusting the configured
+/// outcome. The page sequence lives in [`SiteFlow`]; this just spins it.
+fn crawl_site(browser: &mut Browser, site: &Site, repeat: u32) -> SiteCrawl {
     browser.reset();
     let Some(base) = site_url(site, "/") else {
         return quarantined(site, "site domain does not form a valid URL".to_string());
     };
+    let mut flow = SiteFlow::new(false, repeat);
     let mut records = Vec::new();
-    let page = |path: &str| -> Url { site_url(site, path).unwrap_or_else(|| base.clone()) };
-
-    let outcome = match &site.outcome {
-        SiteOutcome::Unreachable => CrawlOutcome::Unreachable,
-        SiteOutcome::NoAuthFlow => {
-            // Browse the homepage, find no form, move on.
-            records.extend(browser.load_page(site, &PageContext::get(page("/"), "/", false)));
-            CrawlOutcome::NoAuthFlow
-        }
-        SiteOutcome::SignupBlocked(reason) => {
-            records.extend(browser.load_page(site, &PageContext::get(page("/"), "/", false)));
-            records.extend(
-                browser.load_page(site, &PageContext::get(page("/signup"), "/signup", false)),
-            );
-            CrawlOutcome::SignupBlocked(
-                match reason {
-                    BlockReason::PhoneVerification => "phone verification required",
-                    BlockReason::IdentityDocuments => "identity documents required",
-                    BlockReason::GeoBlocked => "account creation blocked for global customers",
-                }
-                .to_string(),
-            )
-        }
-        SiteOutcome::Ok {
-            email_confirmation,
-            bot_detection,
-        } => {
-            // 1–2: homepage and sign-up form.
-            records.extend(browser.load_page(site, &PageContext::get(page("/"), "/", false)));
-            records.extend(
-                browser.load_page(site, &PageContext::get(page("/signup"), "/signup", false)),
-            );
-            if !browser.signup_can_complete(site) {
-                // Brave Shields vs. nykaa.com's CAPTCHA.
-                CrawlOutcome::SignupFailed("shields broke CAPTCHA verification".to_string())
-            } else {
-                // 3: submit the filled form.
-                let submit_url = browser.form_submit_url(site);
-                records.extend(browser.load_page(
-                    site,
-                    &PageContext {
-                        document_url: submit_url,
-                        path: "/welcome".into(),
-                        pii_known: true,
-                        form_post: browser.form_post_body(site),
-                    },
-                ));
-                // 4: email confirmation when required ("we open another
-                // browser and got the email confirmation link").
-                if *email_confirmation {
-                    let confirm = page("/confirm").with_query_param("token", "c0nf1rm");
-                    records.extend(
-                        browser.load_page(site, &PageContext::get(confirm, "/confirm", true)),
-                    );
-                }
-                // 5: sign in with the created account.
-                records.extend(
-                    browser.load_page(site, &PageContext::get(page("/signin"), "/signin", true)),
-                );
-                // 6: reload logged-in.
-                records.extend(
-                    browser.load_page(site, &PageContext::get(page("/account"), "/account", true)),
-                );
-                // 7: click a product link (subpage).
-                records.extend(browser.load_page(
-                    site,
-                    &PageContext::get(page("/products/1"), "/products/1", true),
-                ));
-                CrawlOutcome::Completed {
-                    email_confirmed: *email_confirmation,
-                    bot_detection_passed: *bot_detection,
-                }
-            }
+    let outcome = loop {
+        match flow.next(browser, site, &base, None) {
+            FlowStep::Load(ctx) => records.extend(browser.load_page(site, &ctx)),
+            FlowStep::NextVisit => browser.advance_visit(),
+            FlowStep::Finish(outcome) => break outcome,
         }
     };
-
     SiteCrawl {
         domain: site.domain.clone(),
         outcome,
         records,
         stored_cookies: browser.jar().all().into_iter().cloned().collect(),
         resilience: None,
-    }
-}
-
-/// One page's terminal failure: the error of the last attempt and how many
-/// attempts were spent.
-struct PageFailure {
-    error: FetchError,
-    attempts: u32,
-}
-
-/// Retry-loop state for one site's measured crawl.
-struct PageRun<'p> {
-    plan: &'p FaultPlan,
-    retry: &'p RetryPolicy,
-    clock: SimClock,
-    resilience: SiteResilience,
-    records: Vec<FetchRecord>,
-}
-
-impl PageRun<'_> {
-    /// Load one page with retries. Failed attempts stay in the capture as
-    /// aborted records; backoff advances the virtual clock only.
-    fn load(
-        &mut self,
-        browser: &mut Browser,
-        site: &Site,
-        ctx: &PageContext,
-    ) -> Result<(), PageFailure> {
-        let mut attempt = 1u32;
-        loop {
-            browser.set_fault_attempt(attempt);
-            self.resilience.attempts += 1;
-            match browser.load_page_checked(site, ctx) {
-                Ok(mut records) => {
-                    if attempt > 1 {
-                        self.resilience.rescued = true;
-                        pii_telemetry::counter("crawler.rescued_pages", 1);
-                    }
-                    self.records.append(&mut records);
-                    return Ok(());
-                }
-                Err(failure) => {
-                    self.resilience.errors.push(format!(
-                        "{}@{}#{attempt}",
-                        failure.error.label(),
-                        ctx.path
-                    ));
-                    self.records.push(*failure.record);
-                    let delay = self.retry.backoff_ms(self.plan, &site.domain, attempt);
-                    let out_of_attempts = attempt >= self.retry.max_attempts;
-                    let out_of_budget = !self.retry.budget_allows(self.clock.now_ms(), delay);
-                    if out_of_attempts || out_of_budget {
-                        return Err(PageFailure {
-                            error: failure.error,
-                            attempts: attempt,
-                        });
-                    }
-                    self.clock.advance(delay);
-                    self.resilience.retries += 1;
-                    pii_telemetry::counter("crawler.retries", 1);
-                    pii_telemetry::observe("crawler.backoff_ms", delay);
-                    attempt = attempt.saturating_add(1);
-                }
-            }
-        }
-    }
-
-    /// Seal the crawl with its measured outcome.
-    fn finish(mut self, browser: &mut Browser, site: &Site, outcome: CrawlOutcome) -> SiteCrawl {
-        browser.set_fault_attempt(1);
-        self.resilience.virtual_ms = self.clock.now_ms();
-        SiteCrawl {
-            domain: site.domain.clone(),
-            outcome,
-            records: self.records,
-            stored_cookies: browser.jar().all().into_iter().cloned().collect(),
-            resilience: Some(self.resilience),
-        }
     }
 }
 
@@ -535,113 +515,32 @@ fn crawl_site_measured(
     site: &Site,
     plan: &FaultPlan,
     retry: &RetryPolicy,
+    repeat: u32,
 ) -> SiteCrawl {
     browser.reset();
     let Some(base) = site_url(site, "/") else {
         return quarantined(site, "site domain does not form a valid URL".to_string());
     };
-    let page = |path: &str| -> Url { site_url(site, path).unwrap_or_else(|| base.clone()) };
-    let mut run = PageRun {
-        plan,
-        retry,
-        clock: SimClock::default(),
-        resilience: SiteResilience::default(),
-        records: Vec::new(),
-    };
-
-    // Homepage. A front door that never answers is, on the wire, what
-    // "unreachable" means.
-    if run
-        .load(browser, site, &PageContext::get(page("/"), "/", false))
-        .is_err()
-    {
-        return run.finish(browser, site, CrawlOutcome::Unreachable);
-    }
-
-    // Content-driven: the homepage rendered and offers no sign-up form.
-    if site.outcome == SiteOutcome::NoAuthFlow {
-        return run.finish(browser, site, CrawlOutcome::NoAuthFlow);
-    }
-
-    // Sign-up page. Persistent failure here (bot walls answer 5xx on
-    // /signup forever) reads as "sign-up blocked", with the observed fault
-    // as the reason.
-    if let Err(failure) = run.load(
-        browser,
-        site,
-        &PageContext::get(page("/signup"), "/signup", false),
-    ) {
-        let reason = format!(
-            "{} on /signup after {} attempts",
-            failure.error, failure.attempts
-        );
-        return run.finish(browser, site, CrawlOutcome::SignupBlocked(reason));
-    }
-
-    if !browser.signup_can_complete(site) {
-        return run.finish(
-            browser,
-            site,
-            CrawlOutcome::SignupFailed("shields broke CAPTCHA verification".to_string()),
-        );
-    }
-
-    // Submit the filled form.
-    let submit_url = browser.form_submit_url(site);
-    let submit_ctx = PageContext {
-        document_url: submit_url,
-        path: "/welcome".into(),
-        pii_known: true,
-        form_post: browser.form_post_body(site),
-    };
-    if let Err(failure) = run.load(browser, site, &submit_ctx) {
-        let reason = format!(
-            "{} on /welcome after {} attempts",
-            failure.error, failure.attempts
-        );
-        return run.finish(browser, site, CrawlOutcome::SignupBlocked(reason));
-    }
-
-    // The site's flow shape (confirmation email, bot detection) is content,
-    // not transport; it still comes from the site itself.
-    let (email_confirmation, bot_detection) = match &site.outcome {
-        SiteOutcome::Ok {
-            email_confirmation,
-            bot_detection,
-        } => (*email_confirmation, *bot_detection),
-        _ => (false, false),
-    };
-    if email_confirmation {
-        let confirm = page("/confirm").with_query_param("token", "c0nf1rm");
-        if let Err(failure) = run.load(browser, site, &PageContext::get(confirm, "/confirm", true))
-        {
-            let reason = format!(
-                "{} on /confirm after {} attempts",
-                failure.error, failure.attempts
-            );
-            return run.finish(browser, site, CrawlOutcome::SignupBlocked(reason));
+    let mut flow = SiteFlow::new(true, repeat);
+    let mut run = PageRun::new(plan, retry);
+    let mut failed = None;
+    loop {
+        match flow.next(browser, site, &base, failed.as_ref()) {
+            FlowStep::Load(ctx) => failed = run.load(browser, site, &ctx).err(),
+            FlowStep::NextVisit => {
+                browser.advance_visit();
+                failed = None;
+            }
+            FlowStep::Finish(outcome) => return run.finish(browser, site, outcome),
         }
     }
-
-    // Post-signup browsing. The account exists now, so a lost page only
-    // costs its traffic — it no longer disqualifies the site.
-    for path in ["/signin", "/account", "/products/1"] {
-        let _ = run.load(browser, site, &PageContext::get(page(path), path, true));
-    }
-    run.finish(
-        browser,
-        site,
-        CrawlOutcome::Completed {
-            email_confirmed: email_confirmation,
-            bot_detection_passed: bot_detection,
-        },
-    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::capture::FunnelStats;
+    use pii_web::site::SiteOutcome;
 
     fn dataset() -> (Universe, CrawlDataset) {
         let u = Universe::generate();

@@ -49,6 +49,12 @@ pub struct HarEntry {
     /// the server managed to send) and no body.
     #[serde(rename = "_error", skip_serializing_if = "Option::is_none")]
     pub error: Option<String>,
+    /// Non-standard (devtools convention): `"disk"` when the response was
+    /// served from the HTTP cache without touching the network. Conditional
+    /// revalidations answered 304 went on the wire and are not flagged —
+    /// they show up as status-304 entries with `bodySize` 0 instead.
+    #[serde(rename = "_fromCache", skip_serializing_if = "Option::is_none")]
+    pub from_cache: Option<String>,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -69,6 +75,11 @@ pub struct HarRequest {
 pub struct HarResponse {
     pub status: u16,
     pub headers: Vec<HarNameValue>,
+    /// Bytes received over the network for the body: 0 for cache-served
+    /// entries and 304 revalidations (nothing or only headers crossed the
+    /// wire), the body length otherwise.
+    #[serde(rename = "bodySize")]
+    pub body_size: i64,
 }
 
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -124,10 +135,20 @@ fn site_entries(crawl: &SiteCrawl) -> Vec<HarEntry> {
                 response: HarResponse {
                     status: rec.response.status,
                     headers: rec.response.headers.iter().map(|(n, v)| nv(n, v)).collect(),
+                    body_size: if rec.from_cache.is_some_and(|d| d.suppressed()) {
+                        // Served locally: no body bytes crossed the network.
+                        0
+                    } else {
+                        rec.response.body.as_ref().map_or(0, |b| b.len() as i64)
+                    },
                 },
                 blocked_reason: rec.blocked.clone(),
                 initiator: req.initiator.as_ref().map(|u| u.to_string()),
                 error: rec.error.as_ref().map(|e| e.har_error().to_string()),
+                from_cache: rec
+                    .from_cache
+                    .filter(|d| d.suppressed())
+                    .map(|_| "disk".to_string()),
             }
         })
         .collect()
@@ -273,6 +294,64 @@ mod tests {
                 .count(),
             aborted.len()
         );
+    }
+
+    #[test]
+    fn cache_served_entries_are_flagged_and_bodiless() {
+        use pii_net::cache::CacheStrategy;
+        let u = Universe::generate();
+        let targets: Vec<String> = u.sender_sites().take(2).map(|s| s.domain.clone()).collect();
+        let mut crawler = Crawler::new(&u);
+        crawler.cache = Some(CacheStrategy::CacheFirst);
+        crawler.repeat = 2;
+        let ds = crawler.run_on(BrowserKind::Firefox88Vanilla, Some(&targets));
+        let har = export(&ds);
+        let cached: Vec<&HarEntry> = har
+            .log
+            .entries
+            .iter()
+            .filter(|e| e.from_cache.is_some())
+            .collect();
+        assert!(!cached.is_empty(), "warm revisit should serve from cache");
+        for entry in &cached {
+            assert_eq!(entry.from_cache.as_deref(), Some("disk"));
+            assert_eq!(entry.response.body_size, 0, "no bytes crossed the wire");
+            assert!(entry.error.is_none());
+        }
+        let json = export_json(&ds);
+        assert!(json.contains("\"_fromCache\": \"disk\""));
+    }
+
+    #[test]
+    fn revalidated_entries_are_304_with_zero_byte_bodies() {
+        use pii_net::cache::CacheStrategy;
+        let u = Universe::generate();
+        let targets: Vec<String> = u.sender_sites().take(2).map(|s| s.domain.clone()).collect();
+        let mut crawler = Crawler::new(&u);
+        // Network-first: every cached asset revalidates on the revisit.
+        crawler.cache = Some(CacheStrategy::NetworkFirst);
+        crawler.repeat = 2;
+        let ds = crawler.run_on(BrowserKind::Firefox88Vanilla, Some(&targets));
+        let har = export(&ds);
+        let revalidated: Vec<&HarEntry> = har
+            .log
+            .entries
+            .iter()
+            .filter(|e| e.response.status == 304)
+            .collect();
+        assert!(!revalidated.is_empty(), "revisit should produce 304s");
+        for entry in &revalidated {
+            assert_eq!(entry.response.body_size, 0);
+            // The conditional request went on the wire, so it is not a
+            // cache-served entry.
+            assert!(entry.from_cache.is_none());
+        }
+        // Entries that did carry a body report its true size.
+        assert!(har
+            .log
+            .entries
+            .iter()
+            .any(|e| e.response.body_size > 0 && e.response.status == 200));
     }
 
     #[test]

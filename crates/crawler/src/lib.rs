@@ -29,10 +29,13 @@
 #![forbid(unsafe_code)]
 
 pub mod capture;
+mod evented;
 pub mod flow;
 pub mod har;
+mod pool;
 pub mod retry;
+mod steps;
 
 pub use capture::{CrawlDataset, CrawlOutcome, FunnelStats, SiteCrawl, SiteResilience};
-pub use flow::{CrawlSink, CrawlSummary, Crawler};
+pub use flow::{CrawlSink, CrawlSummary, Crawler, Engine};
 pub use retry::{RetryPolicy, SimClock};

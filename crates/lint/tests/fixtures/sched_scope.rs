@@ -1,0 +1,37 @@
+//@path crates/sched/src/executor.rs
+//! Scheduler-scope fixture: the evented executor inherits W01 (wall-clock
+//! reads would break virtual time), W02 (unordered iteration reaching event
+//! order reaches study bytes), and W04 (a panic in the machinery between
+//! site tasks takes down the whole crawl) — and, as an output crate, is
+//! exempt from W06.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn bad_wall_clock_deadline(delay_ms: u64) -> u64 {
+    let epoch = std::time::Instant::now();
+    epoch.elapsed().as_millis() as u64 + delay_ms
+}
+
+pub fn bad_unordered_ready_hosts(waiters: HashMap<String, u32>) -> Vec<String> {
+    waiters.keys().cloned().collect()
+}
+
+pub fn bad_unwrap_next_timer(deadlines: Vec<u64>) -> u64 {
+    *deadlines.first().unwrap()
+}
+
+pub fn bad_slot_index(slots: &[u64], cursor: usize) -> u64 {
+    slots[cursor]
+}
+
+pub fn ok_btree_ready_hosts(grants: BTreeMap<String, u32>) -> Vec<String> {
+    grants.keys().cloned().collect() // ok: BTreeMap iterates in key order
+}
+
+pub fn ok_guarded_slot(slots: &[u64], cursor: usize) -> u64 {
+    slots.get(cursor).copied().unwrap_or(0) // ok: a missing slot degrades to an empty fire
+}
+
+pub fn ok_seeded_victim_fold(seed: u64, lanes: HashMap<u32, u32>) -> u64 {
+    seed ^ lanes.values().map(|v| u64::from(*v)).sum::<u64>() // ok: commutative fold over lane weights
+}

@@ -30,12 +30,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod cookie;
 pub mod fault;
 pub mod http;
 pub mod url;
 pub mod wire;
 
+pub use cache::{CacheDisposition, CacheEntry, CachePolicy, CacheStrategy};
 pub use cookie::{Cookie, CookieJar, SameSite};
 pub use fault::{DomainSchedule, FaultPlan, FaultProfile, FetchError};
 pub use http::{HeaderMap, Method, Request, Response};

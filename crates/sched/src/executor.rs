@@ -1,0 +1,547 @@
+//! The deterministic event-driven executor.
+//!
+//! One OS thread simulates `lanes` logical workers over virtual time. Each
+//! lane owns a FIFO run queue; a lane whose queue is empty steals from the
+//! back of other lanes' queues in a victim order derived from the
+//! configured seed (never from wall-clock, thread ids, or map iteration
+//! order). Tasks block on three things, all of which resolve through the
+//! [`TimerWheel`](crate::TimerWheel): virtual sleeps, simulated fetches
+//! (which also occupy one of a bounded number of per-host connections,
+//! granted FIFO), and admission (a bounded budget of simultaneously
+//! in-flight tasks, also granted FIFO).
+//!
+//! The executor is payload-agnostic: it hands out task ids and the driver
+//! owns the per-task state. Everything observable — which task runs next,
+//! when the clock advances, who gets a freed connection — is a pure
+//! function of the spawn/dispatch sequence and the seed, which is what
+//! makes an evented crawl byte-identical across lane counts.
+
+use crate::wheel::TimerWheel;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Executor tuning. All fields are part of the deterministic contract:
+/// change one and you have a different (but still deterministic) schedule.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Logical worker lanes (the evented analogue of pool threads).
+    pub lanes: usize,
+    /// Simultaneous connections per host before fetches queue FIFO.
+    pub per_host_limit: usize,
+    /// Simultaneously admitted (in-flight) tasks; further spawns queue.
+    pub in_flight_budget: usize,
+    /// Seed for the per-lane steal-victim permutation.
+    pub steal_seed: u64,
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig {
+            lanes: 4,
+            per_host_limit: 6,
+            in_flight_budget: 2048,
+            steal_seed: 0,
+        }
+    }
+}
+
+/// What a task wants from the executor after a step of work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Occupy a connection to `host` for `cost_ms` of virtual time.
+    Fetch { host: String, cost_ms: u64 },
+    /// Sleep for `ms` of virtual time (retry backoff).
+    Sleep { ms: u64 },
+    /// Go to the back of the home lane's run queue.
+    Yield,
+    /// The task is finished; its budget slot frees up.
+    Done,
+}
+
+/// Counters the executor maintains as it runs. `in_flight_ms` is the
+/// time-weighted integral of the in-flight count over virtual time, so
+/// `in_flight_ms / virtual_ms` is the sustained concurrency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    pub events: u64,
+    pub steals: u64,
+    pub spawned: u64,
+    pub completed: u64,
+    pub timer_fires: u64,
+    pub host_waits: u64,
+    pub peak_in_flight: usize,
+    pub in_flight_ms: u128,
+    pub virtual_ms: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TaskState {
+    /// Spawned past the budget; waiting in the admission queue.
+    AwaitAdmission,
+    /// In some lane's run queue (or currently being stepped).
+    Ready,
+    Sleeping,
+    /// Waiting FIFO for a connection to `host`.
+    AwaitHost,
+    /// Occupying a connection until the completion timer fires.
+    Fetching,
+    Done,
+}
+
+#[derive(Debug)]
+struct Task {
+    home: usize,
+    state: TaskState,
+    /// Host whose connection this task occupies while `Fetching`.
+    host: Option<String>,
+}
+
+#[derive(Debug, Default)]
+struct HostState {
+    in_use: usize,
+    waiters: VecDeque<(usize, u64)>,
+}
+
+/// See the module docs. Drive it with [`Executor::spawn`] /
+/// [`Executor::next`] / [`Executor::dispatch`].
+pub struct Executor {
+    cfg: SchedConfig,
+    wheel: TimerWheel,
+    tasks: Vec<Task>,
+    queues: Vec<VecDeque<usize>>,
+    /// Seeded steal order per lane: a permutation of the other lanes.
+    victims: Vec<Vec<usize>>,
+    cursor: usize,
+    hosts: BTreeMap<String, HostState>,
+    admit_queue: VecDeque<usize>,
+    in_flight: usize,
+    clock: u64,
+    stats: ExecStats,
+    fired: Vec<u64>,
+}
+
+impl Executor {
+    pub fn new(cfg: SchedConfig) -> Executor {
+        let lanes = cfg.lanes.max(1);
+        let cfg = SchedConfig {
+            lanes,
+            per_host_limit: cfg.per_host_limit.max(1),
+            in_flight_budget: cfg.in_flight_budget.max(1),
+            steal_seed: cfg.steal_seed,
+        };
+        let victims = (0..lanes)
+            .map(|lane| victim_permutation(lane, lanes, cfg.steal_seed))
+            .collect();
+        Executor {
+            cfg,
+            wheel: TimerWheel::new(),
+            tasks: Vec::new(),
+            queues: (0..lanes).map(|_| VecDeque::new()).collect(),
+            victims,
+            cursor: 0,
+            hosts: BTreeMap::new(),
+            admit_queue: VecDeque::new(),
+            in_flight: 0,
+            clock: 0,
+            stats: ExecStats::default(),
+            fired: Vec::new(),
+        }
+    }
+
+    /// Current virtual time in ms.
+    pub fn now_ms(&self) -> u64 {
+        self.clock
+    }
+
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Register a new task homed on `home_lane` (wrapped into range). Task
+    /// ids are assigned sequentially from 0, in spawn order. The task
+    /// becomes runnable immediately if the in-flight budget allows,
+    /// otherwise it queues FIFO for admission.
+    pub fn spawn(&mut self, home_lane: usize) -> usize {
+        let id = self.tasks.len();
+        self.tasks.push(Task {
+            home: home_lane % self.cfg.lanes,
+            state: TaskState::AwaitAdmission,
+            host: None,
+        });
+        self.stats.spawned = self.stats.spawned.saturating_add(1);
+        if self.in_flight < self.cfg.in_flight_budget {
+            self.admit(id);
+        } else {
+            self.admit_queue.push_back(id);
+        }
+        id
+    }
+
+    fn admit(&mut self, id: usize) {
+        self.in_flight = self.in_flight.saturating_add(1);
+        self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight);
+        self.make_ready(id);
+    }
+
+    fn make_ready(&mut self, id: usize) {
+        let Some(task) = self.tasks.get_mut(id) else {
+            return;
+        };
+        task.state = TaskState::Ready;
+        let home = task.home;
+        if let Some(queue) = self.queues.get_mut(home) {
+            queue.push_back(id);
+        }
+    }
+
+    /// Pick the next task to step and the lane it runs on, advancing the
+    /// virtual clock past timer deadlines whenever every run queue is
+    /// empty. `None` means the executor is drained: no runnable task, no
+    /// pending timer.
+    pub fn next_runnable(&mut self) -> Option<(usize, usize)> {
+        loop {
+            let lane = self.cursor % self.cfg.lanes;
+            if let Some(id) = self.queues.get_mut(lane).and_then(|q| q.pop_front()) {
+                self.cursor = (lane + 1) % self.cfg.lanes;
+                self.stats.events = self.stats.events.saturating_add(1);
+                return Some((id, lane));
+            }
+            // Own queue empty: steal from the back of a victim, in the
+            // seeded order.
+            let victims = self.victims.get(lane).cloned().unwrap_or_default();
+            for v in victims {
+                if let Some(id) = self.queues.get_mut(v).and_then(|q| q.pop_back()) {
+                    self.cursor = (lane + 1) % self.cfg.lanes;
+                    self.stats.events = self.stats.events.saturating_add(1);
+                    self.stats.steals = self.stats.steals.saturating_add(1);
+                    return Some((id, lane));
+                }
+            }
+            // Nothing runnable anywhere: jump virtual time to the next
+            // deadline and wake whatever fires there.
+            let deadline = self.wheel.next_deadline()?;
+            let dt = deadline.saturating_sub(self.clock);
+            self.stats.in_flight_ms = self
+                .stats
+                .in_flight_ms
+                .saturating_add(self.in_flight as u128 * u128::from(dt));
+            self.clock = deadline;
+            self.stats.virtual_ms = deadline;
+            let mut fired = std::mem::take(&mut self.fired);
+            fired.clear();
+            self.wheel.advance_to(deadline, &mut fired);
+            for &token in &fired {
+                self.on_timer(token as usize);
+            }
+            self.fired = fired;
+        }
+    }
+
+    fn on_timer(&mut self, id: usize) {
+        self.stats.timer_fires = self.stats.timer_fires.saturating_add(1);
+        let Some(task) = self.tasks.get_mut(id) else {
+            return;
+        };
+        match task.state {
+            TaskState::Sleeping => self.make_ready(id),
+            TaskState::Fetching => {
+                let host = task.host.take();
+                if let Some(host) = host {
+                    self.release_host(&host);
+                }
+                self.make_ready(id);
+            }
+            // Stale timer for a task that already finished (e.g. the driver
+            // completed it after a panic): ignore.
+            _ => {}
+        }
+    }
+
+    fn release_host(&mut self, host: &str) {
+        let Some(state) = self.hosts.get_mut(host) else {
+            return;
+        };
+        state.in_use = state.in_use.saturating_sub(1);
+        // Grant the freed connection to the first FIFO waiter.
+        if state.in_use < self.cfg.per_host_limit {
+            if let Some((waiter, cost)) = state.waiters.pop_front() {
+                state.in_use = state.in_use.saturating_add(1);
+                self.start_fetch(waiter, host.to_string(), cost);
+            }
+        }
+    }
+
+    fn start_fetch(&mut self, id: usize, host: String, cost_ms: u64) {
+        let Some(task) = self.tasks.get_mut(id) else {
+            return;
+        };
+        task.state = TaskState::Fetching;
+        task.host = Some(host);
+        self.wheel
+            .schedule(self.clock.saturating_add(cost_ms), id as u64);
+    }
+
+    /// Occupy a connection to `host` for `cost_ms`; queues FIFO behind the
+    /// per-host limit. The task wakes (on its home lane) when the fetch
+    /// completes.
+    pub fn fetch(&mut self, id: usize, host: &str, cost_ms: u64) {
+        let entry = self.hosts.entry(host.to_string()).or_default();
+        if entry.in_use < self.cfg.per_host_limit {
+            entry.in_use = entry.in_use.saturating_add(1);
+            self.start_fetch(id, host.to_string(), cost_ms);
+        } else {
+            entry.waiters.push_back((id, cost_ms));
+            if let Some(task) = self.tasks.get_mut(id) {
+                task.state = TaskState::AwaitHost;
+            }
+            self.stats.host_waits = self.stats.host_waits.saturating_add(1);
+        }
+    }
+
+    /// Sleep for `ms` of virtual time.
+    pub fn sleep(&mut self, id: usize, ms: u64) {
+        if let Some(task) = self.tasks.get_mut(id) {
+            task.state = TaskState::Sleeping;
+        }
+        self.wheel
+            .schedule(self.clock.saturating_add(ms), id as u64);
+    }
+
+    /// Requeue at the back of the home lane.
+    pub fn yield_now(&mut self, id: usize) {
+        self.make_ready(id);
+    }
+
+    /// Finish a task: frees its budget slot (admitting the next queued
+    /// spawn) and, defensively, any connection it still holds.
+    pub fn complete(&mut self, id: usize) {
+        let host = match self.tasks.get_mut(id) {
+            Some(task) => {
+                task.state = TaskState::Done;
+                task.host.take()
+            }
+            None => None,
+        };
+        if let Some(host) = host {
+            self.release_host(&host);
+        }
+        self.in_flight = self.in_flight.saturating_sub(1);
+        self.stats.completed = self.stats.completed.saturating_add(1);
+        if self.in_flight < self.cfg.in_flight_budget {
+            if let Some(next_id) = self.admit_queue.pop_front() {
+                self.admit(next_id);
+            }
+        }
+    }
+
+    /// Apply a [`Step`] returned by a task's driver.
+    pub fn dispatch(&mut self, id: usize, step: Step) {
+        match step {
+            Step::Fetch { host, cost_ms } => self.fetch(id, &host, cost_ms),
+            Step::Sleep { ms } => self.sleep(id, ms),
+            Step::Yield => self.yield_now(id),
+            Step::Done => self.complete(id),
+        }
+    }
+}
+
+/// Seeded permutation of every lane but `lane` — the steal order. A tiny
+/// xorshift keyed on `(seed, lane)` drives a Fisher–Yates shuffle; no
+/// wall-clock, no `HashMap` order, no thread identity.
+fn victim_permutation(lane: usize, lanes: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..lanes).filter(|&l| l != lane).collect();
+    let mut state = seed
+        ^ 0x9E37_79B9_7F4A_7C15u64
+        ^ ((lane as u64)
+            .wrapping_add(1)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    if state == 0 {
+        state = 0x2545_F491_4F6C_DD1D;
+    }
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in (1..order.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a scripted workload: every task fetches `fetches` times from
+    /// its own host list, then completes. Returns the (task, lane) event
+    /// trace.
+    fn run_script(cfg: SchedConfig, tasks: &[(usize, Vec<(&str, u64)>)]) -> Vec<(usize, usize)> {
+        let mut exec = Executor::new(cfg);
+        let mut scripts: Vec<VecDeque<(String, u64)>> = Vec::new();
+        for (home, fetches) in tasks {
+            exec.spawn(*home);
+            scripts.push(fetches.iter().map(|(h, c)| (h.to_string(), *c)).collect());
+        }
+        let mut trace = Vec::new();
+        while let Some((id, lane)) = exec.next_runnable() {
+            trace.push((id, lane));
+            let step = match scripts.get_mut(id).and_then(|s| s.pop_front()) {
+                Some((host, cost_ms)) => Step::Fetch { host, cost_ms },
+                None => Step::Done,
+            };
+            exec.dispatch(id, step);
+        }
+        trace
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            run_script(
+                SchedConfig {
+                    lanes: 3,
+                    per_host_limit: 2,
+                    in_flight_budget: 4,
+                    steal_seed: 42,
+                },
+                &[
+                    (0, vec![("a.com", 5), ("b.com", 3)]),
+                    (1, vec![("a.com", 5)]),
+                    (2, vec![("b.com", 1), ("a.com", 2), ("c.com", 9)]),
+                    (0, vec![("a.com", 5)]),
+                    (1, vec![("c.com", 4)]),
+                    (2, vec![("a.com", 5), ("a.com", 5)]),
+                ],
+            )
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn steal_order_follows_the_seed() {
+        let a = victim_permutation(0, 16, 1);
+        let b = victim_permutation(0, 16, 2);
+        assert_ne!(a, b, "different seeds should shuffle differently");
+        assert_eq!(a, victim_permutation(0, 16, 1));
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (1..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn per_host_limit_grants_fifo() {
+        let mut exec = Executor::new(SchedConfig {
+            lanes: 1,
+            per_host_limit: 1,
+            in_flight_budget: 16,
+            steal_seed: 0,
+        });
+        for _ in 0..3 {
+            exec.spawn(0);
+        }
+        // All three tasks fetch the same host; with limit 1 they must be
+        // granted strictly in request order, 10 ms apart.
+        let mut started: Vec<(usize, u64)> = Vec::new();
+        let mut fetched = [false; 3];
+        while let Some((id, _lane)) = exec.next_runnable() {
+            if let Some(flag) = fetched.get_mut(id) {
+                if !*flag {
+                    *flag = true;
+                    started.push((id, exec.now_ms()));
+                    exec.dispatch(
+                        id,
+                        Step::Fetch {
+                            host: "shared.com".into(),
+                            cost_ms: 10,
+                        },
+                    );
+                    continue;
+                }
+            }
+            exec.dispatch(id, Step::Done);
+        }
+        assert_eq!(started, vec![(0, 0), (1, 0), (2, 0)]);
+        assert_eq!(exec.now_ms(), 30, "three serialized 10ms fetches");
+        assert_eq!(exec.stats().host_waits, 2);
+    }
+
+    #[test]
+    fn in_flight_budget_gates_admission() {
+        let mut exec = Executor::new(SchedConfig {
+            lanes: 2,
+            per_host_limit: 6,
+            in_flight_budget: 2,
+            steal_seed: 7,
+        });
+        for i in 0..5 {
+            exec.spawn(i);
+        }
+        let mut peak_seen = 0;
+        let mut remaining = [1u32; 5];
+        while let Some((id, _lane)) = exec.next_runnable() {
+            peak_seen = peak_seen.max(exec.stats().peak_in_flight);
+            let step = match remaining.get_mut(id) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    Step::Fetch {
+                        host: format!("h{id}.com"),
+                        cost_ms: 4,
+                    }
+                }
+                _ => Step::Done,
+            };
+            exec.dispatch(id, step);
+        }
+        assert_eq!(exec.stats().completed, 5);
+        assert_eq!(exec.stats().peak_in_flight, 2, "budget must cap in-flight");
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time_only() {
+        let mut exec = Executor::new(SchedConfig::default());
+        exec.spawn(0);
+        let mut slept = false;
+        while let Some((id, _)) = exec.next_runnable() {
+            if !slept {
+                slept = true;
+                exec.dispatch(id, Step::Sleep { ms: 250 });
+            } else {
+                exec.dispatch(id, Step::Done);
+            }
+        }
+        assert_eq!(exec.now_ms(), 250);
+        assert_eq!(exec.stats().timer_fires, 1);
+    }
+
+    #[test]
+    fn sustained_in_flight_integral_accumulates() {
+        let mut exec = Executor::new(SchedConfig {
+            lanes: 1,
+            per_host_limit: 8,
+            in_flight_budget: 8,
+            steal_seed: 0,
+        });
+        for i in 0..4 {
+            exec.spawn(i);
+        }
+        let mut remaining = [1u32; 4];
+        while let Some((id, _)) = exec.next_runnable() {
+            let step = match remaining.get_mut(id) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    Step::Fetch {
+                        host: format!("h{id}.com"),
+                        cost_ms: 10,
+                    }
+                }
+                _ => Step::Done,
+            };
+            exec.dispatch(id, step);
+        }
+        // Four tasks in flight for the whole 10 ms window.
+        assert_eq!(exec.stats().virtual_ms, 10);
+        assert_eq!(exec.stats().in_flight_ms, 40);
+    }
+}

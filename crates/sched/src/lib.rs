@@ -1,0 +1,24 @@
+//! `pii-sched` — a deterministic event-driven executor over virtual time.
+//!
+//! The crawl engines in `pii-crawler` need a way to simulate thousands of
+//! in-flight sites in one process without giving up the byte-identical
+//! reproducibility the study depends on. This crate provides the two
+//! building blocks:
+//!
+//! - [`TimerWheel`] — a hierarchical (hashed) timer wheel keyed on virtual
+//!   milliseconds, firing timers ordered by `(deadline, insertion seq)`.
+//! - [`Executor`] — per-lane run queues with seeded work stealing, per-host
+//!   connection limits with FIFO waiters, and a bounded in-flight budget,
+//!   all advanced over the wheel's virtual clock.
+//!
+//! Nothing here reads the wall clock, thread identity, or unordered map
+//! iteration order: given the same spawn/dispatch sequence and seed, every
+//! run produces the same event trace on any machine, at any lane count.
+
+#![forbid(unsafe_code)]
+
+pub mod executor;
+pub mod wheel;
+
+pub use executor::{ExecStats, Executor, SchedConfig, Step};
+pub use wheel::TimerWheel;

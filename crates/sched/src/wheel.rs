@@ -1,0 +1,334 @@
+//! Hierarchical timer wheel over virtual milliseconds.
+//!
+//! Four levels of 64 slots each: level `k` buckets deadlines at a
+//! granularity of `64^k` ms, so together the levels cover `64^4` ms
+//! (~4.7 virtual hours) ahead of `now`; anything further sits in an
+//! overflow list that is re-examined as time passes. Advancing the clock
+//! cascades each coarser slot into the finer levels exactly when the finer
+//! wheel wraps, so a timer is always in the finest level that can still
+//! represent its distance — the classic hashed-wheel layout, O(1) schedule
+//! and amortized O(1) per-tick advance.
+//!
+//! Determinism contract: timers fire ordered by `(deadline, insertion
+//! sequence)`. Cascading moves timers between buckets in batches, which can
+//! interleave a cascaded timer behind one scheduled directly at the same
+//! deadline, so each same-millisecond batch is explicitly re-sorted by
+//! sequence before it is handed out. Nothing in the wheel reads the wall
+//! clock or iterates an unordered collection.
+
+const SLOT_BITS: u32 = 6;
+const SLOTS: usize = 1 << SLOT_BITS;
+const LEVELS: usize = 4;
+
+/// Deadlines less than `now + level_span(k)` fit in level `k`.
+fn level_span(level: usize) -> u64 {
+    1u64 << (SLOT_BITS * (level as u32 + 1))
+}
+
+#[derive(Debug, Clone)]
+struct Timer {
+    deadline: u64,
+    seq: u64,
+    token: u64,
+}
+
+/// The wheel. Tokens are opaque `u64`s chosen by the caller (the executor
+/// uses task ids); one token may be scheduled at most once at a time —
+/// scheduling it again simply adds another timer.
+#[derive(Debug, Default)]
+pub struct TimerWheel {
+    levels: Vec<Vec<Vec<Timer>>>,
+    overflow: Vec<Timer>,
+    now: u64,
+    seq: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    pub fn new() -> TimerWheel {
+        TimerWheel {
+            levels: (0..LEVELS)
+                .map(|_| (0..SLOTS).map(|_| Vec::new()).collect())
+                .collect(),
+            overflow: Vec::new(),
+            now: 0,
+            seq: 0,
+            len: 0,
+        }
+    }
+
+    /// Current virtual time in ms.
+    pub fn now_ms(&self) -> u64 {
+        self.now
+    }
+
+    /// Number of pending timers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Schedule `token` to fire at `deadline` ms (clamped to `now`).
+    pub fn schedule(&mut self, deadline: u64, token: u64) {
+        let timer = Timer {
+            deadline: deadline.max(self.now),
+            seq: self.seq,
+            token,
+        };
+        self.seq = self.seq.saturating_add(1);
+        self.len = self.len.saturating_add(1);
+        self.place(timer);
+    }
+
+    /// Put a timer into the finest level that can represent its distance
+    /// from `now`. Falls back to the overflow list, which stays correct
+    /// (just slower) because every due-collection also drains it.
+    fn place(&mut self, timer: Timer) {
+        let delta = timer.deadline.saturating_sub(self.now);
+        for level in 0..LEVELS {
+            if delta < level_span(level) {
+                let slot = ((timer.deadline >> (SLOT_BITS * level as u32)) as usize) & (SLOTS - 1);
+                let Some(bucket) = self.levels.get_mut(level).and_then(|l| l.get_mut(slot)) else {
+                    self.overflow.push(timer);
+                    return;
+                };
+                bucket.push(timer);
+                return;
+            }
+        }
+        self.overflow.push(timer);
+    }
+
+    /// Earliest pending deadline, or `None` when the wheel is empty. When
+    /// everything pending fits in level 0 this is a 64-slot scan; otherwise
+    /// it inspects every pending timer (coarser slots do not order their
+    /// contents against finer ones between cascades).
+    pub fn next_deadline(&self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut best: Option<u64> = None;
+        for level in &self.levels {
+            for bucket in level {
+                for t in bucket {
+                    best = Some(best.map_or(t.deadline, |b: u64| b.min(t.deadline)));
+                }
+            }
+        }
+        for t in &self.overflow {
+            best = Some(best.map_or(t.deadline, |b: u64| b.min(t.deadline)));
+        }
+        best
+    }
+
+    /// Advance the clock to `target`, appending every fired token to
+    /// `fired` ordered by `(deadline, insertion sequence)`.
+    pub fn advance_to(&mut self, target: u64, fired: &mut Vec<u64>) {
+        let target = target.max(self.now);
+        loop {
+            self.collect_due(fired);
+            if self.now >= target {
+                return;
+            }
+            if self.len == 0 {
+                // Nothing pending anywhere: jump.
+                self.now = target;
+                return;
+            }
+            self.now = self.now.saturating_add(1);
+            self.cascade();
+        }
+    }
+
+    /// Drain everything due at exactly `now`: the level-0 slot plus any
+    /// overflow strays, re-sorted by insertion sequence.
+    fn collect_due(&mut self, fired: &mut Vec<u64>) {
+        let slot = (self.now as usize) & (SLOTS - 1);
+        let mut batch: Vec<Timer> = Vec::new();
+        if let Some(bucket) = self.levels.get_mut(0).and_then(|l| l.get_mut(slot)) {
+            let mut keep = Vec::new();
+            for t in bucket.drain(..) {
+                if t.deadline <= self.now {
+                    batch.push(t);
+                } else {
+                    keep.push(t);
+                }
+            }
+            *bucket = keep;
+        }
+        if !self.overflow.is_empty() {
+            let now = self.now;
+            let mut keep = Vec::new();
+            for t in self.overflow.drain(..) {
+                if t.deadline <= now {
+                    batch.push(t);
+                } else {
+                    keep.push(t);
+                }
+            }
+            self.overflow = keep;
+        }
+        if batch.is_empty() {
+            return;
+        }
+        self.len = self.len.saturating_sub(batch.len());
+        batch.sort_by_key(|t| t.seq);
+        fired.extend(batch.into_iter().map(|t| t.token));
+    }
+
+    /// At each wrap boundary of a finer level, re-place the coarser slot
+    /// that now covers `[now, now + stride)` into the finer levels.
+    fn cascade(&mut self) {
+        if self.now & (SLOTS as u64 - 1) != 0 {
+            return;
+        }
+        for level in 1..LEVELS {
+            let stride = 1u64 << (SLOT_BITS * level as u32);
+            if !self.now.is_multiple_of(stride) {
+                break;
+            }
+            let slot = ((self.now >> (SLOT_BITS * level as u32)) as usize) & (SLOTS - 1);
+            let moved: Vec<Timer> = match self.levels.get_mut(level).and_then(|l| l.get_mut(slot)) {
+                Some(bucket) => std::mem::take(bucket),
+                None => Vec::new(),
+            };
+            for t in moved {
+                self.place(t);
+            }
+        }
+        // When the coarsest level wraps, overflow entries may have come
+        // within representable range.
+        let top_stride = 1u64 << (SLOT_BITS * (LEVELS as u32 - 1));
+        if self.now.is_multiple_of(top_stride) && !self.overflow.is_empty() {
+            let span = level_span(LEVELS - 1);
+            let now = self.now;
+            let (near, far): (Vec<Timer>, Vec<Timer>) = self
+                .overflow
+                .drain(..)
+                .partition(|t| t.deadline.saturating_sub(now) < span);
+            self.overflow = far;
+            for t in near {
+                self.place(t);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_all(wheel: &mut TimerWheel) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some(d) = wheel.next_deadline() {
+            let mut fired = Vec::new();
+            wheel.advance_to(d, &mut fired);
+            out.extend(fired.into_iter().map(|tok| (d, tok)));
+        }
+        out
+    }
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut w = TimerWheel::new();
+        for (deadline, token) in [(50u64, 1u64), (3, 2), (700, 3), (3, 4), (0, 5)] {
+            w.schedule(deadline, token);
+        }
+        let fired = drain_all(&mut w);
+        assert_eq!(fired, vec![(0, 5), (3, 2), (3, 4), (50, 1), (700, 3)]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_deadlines_fire_in_insertion_order() {
+        let mut w = TimerWheel::new();
+        for token in 0..100u64 {
+            w.schedule(4096, token);
+        }
+        let fired = drain_all(&mut w);
+        assert_eq!(fired.len(), 100);
+        for (i, (d, tok)) in fired.iter().enumerate() {
+            assert_eq!(*d, 4096);
+            assert_eq!(*tok, i as u64, "insertion order broken at {i}");
+        }
+    }
+
+    #[test]
+    fn cascade_boundaries_fire_exactly_once_at_the_right_time() {
+        // Deadlines straddling every level boundary: 64, 64^2, 64^3, and
+        // their neighbours, plus an overflow deadline past 64^4.
+        let mut w = TimerWheel::new();
+        let deadlines = [
+            0u64, 1, 63, 64, 65, 4095, 4096, 4097, 262_143, 262_144, 262_145, 16_777_215,
+            16_777_216, 16_777_217,
+        ];
+        for (i, &d) in deadlines.iter().enumerate() {
+            w.schedule(d, i as u64);
+        }
+        let fired = drain_all(&mut w);
+        assert_eq!(fired.len(), deadlines.len());
+        let mut sorted: Vec<u64> = deadlines.to_vec();
+        sorted.sort_unstable();
+        for ((got_deadline, tok), want) in fired.iter().zip(&sorted) {
+            assert_eq!(got_deadline, want);
+            assert_eq!(deadlines.get(*tok as usize), Some(want));
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_advance() {
+        let mut w = TimerWheel::new();
+        w.schedule(10, 1);
+        let mut fired = Vec::new();
+        w.advance_to(10, &mut fired);
+        assert_eq!(fired, vec![1]);
+        // Scheduling relative to the advanced clock, including a past
+        // deadline (clamped to now).
+        w.schedule(5, 2);
+        w.schedule(12, 3);
+        w.schedule(200, 4);
+        assert_eq!(w.next_deadline(), Some(10));
+        fired.clear();
+        w.advance_to(12, &mut fired);
+        assert_eq!(fired, vec![2, 3]);
+        fired.clear();
+        w.advance_to(200, &mut fired);
+        assert_eq!(fired, vec![4]);
+        assert_eq!(w.now_ms(), 200);
+    }
+
+    #[test]
+    fn same_deadline_mixed_levels_respects_sequence() {
+        // Token 0 is scheduled while 128 is two level-0 rotations away
+        // (level 1), token 1 after advancing close enough for level 0. The
+        // cascade must not let token 1 overtake token 0.
+        let mut w = TimerWheel::new();
+        w.schedule(128, 0);
+        let mut fired = Vec::new();
+        w.advance_to(100, &mut fired);
+        assert!(fired.is_empty());
+        w.schedule(128, 1);
+        w.advance_to(128, &mut fired);
+        assert_eq!(fired, vec![0, 1]);
+    }
+
+    #[test]
+    fn repeated_runs_are_identical() {
+        let run = || {
+            let mut w = TimerWheel::new();
+            let mut state = 0x9E37u64;
+            for token in 0..500u64 {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                w.schedule(state % 100_000, token);
+            }
+            drain_all(&mut w)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -25,6 +25,7 @@ use crate::vbin::{
 };
 use pii_browser::engine::FetchRecord;
 use pii_crawler::{CrawlOutcome, SiteCrawl, SiteResilience};
+use pii_net::cache::CacheDisposition;
 use pii_net::cookie::{Cookie, SameSite};
 use pii_net::fault::FetchError;
 use pii_net::http::{HeaderMap, Method, Request, ResourceKind, Response};
@@ -201,7 +202,8 @@ fn w_fetch_error(out: &mut Vec<u8>, e: &FetchError) {
 }
 
 fn w_fetch_record(out: &mut Vec<u8>, rec: &FetchRecord) {
-    w_obj(out, if rec.error.is_some() { 4 } else { 3 });
+    let count = 3 + u64::from(rec.error.is_some()) + u64::from(rec.from_cache.is_some());
+    w_obj(out, count);
     w_key(out, "request");
     w_request(out, &rec.request);
     w_key(out, "response");
@@ -211,6 +213,14 @@ fn w_fetch_record(out: &mut Vec<u8>, rec: &FetchRecord) {
     if let Some(e) = &rec.error {
         w_key(out, "error");
         w_fetch_error(out, e);
+    }
+    if let Some(d) = rec.from_cache {
+        w_key(out, "from_cache");
+        match d {
+            CacheDisposition::Hit => w_unit_variant(out, "Hit"),
+            CacheDisposition::Stale => w_unit_variant(out, "Stale"),
+            CacheDisposition::Revalidated => w_unit_variant(out, "Revalidated"),
+        }
     }
 }
 
@@ -566,12 +576,24 @@ fn r_fetch_record(r: &mut Reader<'_>) -> Result<FetchRecord, VbinError> {
     let mut response = None;
     let mut blocked = None;
     let mut error = None;
+    let mut from_cache = None;
     for _ in 0..count {
         match r.r_key()? {
             b"request" => request = Some(r_request(r)?),
             b"response" => response = Some(r_response(r)?),
             b"blocked" => blocked = r.r_opt_str()?,
             b"error" => error = Some(r_fetch_error(r)?),
+            b"from_cache" => {
+                if r.byte()? != TAG_STR {
+                    return Err(ERR);
+                }
+                from_cache = Some(match r.str_bytes()? {
+                    b"Hit" => CacheDisposition::Hit,
+                    b"Stale" => CacheDisposition::Stale,
+                    b"Revalidated" => CacheDisposition::Revalidated,
+                    _ => return Err(ERR),
+                });
+            }
             _ => return Err(ERR),
         }
     }
@@ -580,6 +602,7 @@ fn r_fetch_record(r: &mut Reader<'_>) -> Result<FetchRecord, VbinError> {
         response: response.ok_or(ERR)?,
         blocked,
         error,
+        from_cache,
     })
 }
 
@@ -786,6 +809,7 @@ mod tests {
             },
             blocked: Some("shields".into()),
             error,
+            from_cache: None,
         };
         SiteCrawl {
             domain: "shop0001.com".into(),
@@ -813,6 +837,44 @@ mod tests {
                     },
                     blocked: None,
                     error: None,
+                    from_cache: None,
+                },
+                // Cache-served variants (repeat-visit captures).
+                FetchRecord {
+                    request: Request {
+                        method: Method::Get,
+                        url: bare_url.clone(),
+                        headers: HeaderMap::new(),
+                        body: None,
+                        kind: ResourceKind::Script,
+                        initiator: None,
+                    },
+                    response: Response {
+                        status: 200,
+                        headers: HeaderMap::new(),
+                        body: Some(b"cached".to_vec()),
+                    },
+                    blocked: None,
+                    error: None,
+                    from_cache: Some(pii_net::cache::CacheDisposition::Hit),
+                },
+                FetchRecord {
+                    request: Request {
+                        method: Method::Get,
+                        url: bare_url.clone(),
+                        headers: HeaderMap::new(),
+                        body: None,
+                        kind: ResourceKind::Script,
+                        initiator: None,
+                    },
+                    response: Response {
+                        status: 304,
+                        headers: HeaderMap::new(),
+                        body: None,
+                    },
+                    blocked: None,
+                    error: None,
+                    from_cache: Some(pii_net::cache::CacheDisposition::Revalidated),
                 },
             ],
             stored_cookies: vec![

@@ -1,0 +1,135 @@
+//! CI validator for `BENCH_sched.json` (the `benches/sched.rs` artifact).
+//!
+//! ```text
+//! validate_sched_json <BENCH_sched.json> [--min-in-flight <n>]
+//! ```
+//!
+//! Checks — via the vendored serde_json, so the bench's serde output and
+//! this reader cannot drift — that the file parses, declares
+//! `bench: "sched"`, and carries a well-formed measurement: positive site,
+//! event, and throughput counts; peak in-flight within the admission budget
+//! and at least the sustained average; a warm-cache block whose hit ratio is
+//! the ratio of its own counts. With `--min-in-flight`, additionally
+//! requires the sustained in-flight average to clear the given floor (the
+//! checked-in 10x artifact is validated at 1000; the CI smoke artifact at a
+//! reduced-universe 64).
+
+use serde::Value;
+use std::process::exit;
+
+fn field<'v>(value: &'v Value, key: &str) -> Option<&'v Value> {
+    match value {
+        Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_f64(value: &Value) -> Option<f64> {
+    match value {
+        Value::F64(n) => Some(*n),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn as_str(value: &Value) -> Option<&str> {
+    match value {
+        Value::Str(s) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn fail(message: &str) -> ! {
+    eprintln!("validate_sched_json: {message}");
+    exit(1);
+}
+
+fn num(doc: &Value, path: &str, key: &str) -> f64 {
+    field(doc, key)
+        .and_then(as_f64)
+        .unwrap_or_else(|| fail(&format!("{path}: {key} missing or not numeric")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        fail("usage: validate_sched_json <BENCH_sched.json> [--min-in-flight <n>]");
+    };
+    let min_in_flight: f64 = args
+        .iter()
+        .position(|a| a == "--min-in-flight")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            v.parse()
+                .unwrap_or_else(|_| fail(&format!("bad --min-in-flight value {v:?}")))
+        })
+        .unwrap_or(0.0);
+
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc: Value = serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(&format!("{path} is not valid JSON: {e}")));
+    if field(&doc, "bench").and_then(as_str) != Some("sched") {
+        fail(&format!("{path}: bench field missing or not \"sched\""));
+    }
+
+    for key in [
+        "sites",
+        "lanes",
+        "in_flight_budget",
+        "peak_in_flight",
+        "sustained_in_flight",
+        "events",
+        "events_per_sec",
+        "virtual_ms",
+    ] {
+        if num(&doc, path, key) <= 0.0 {
+            fail(&format!("{path}: {key} is non-positive"));
+        }
+    }
+    let peak = num(&doc, path, "peak_in_flight");
+    let sustained = num(&doc, path, "sustained_in_flight");
+    let budget = num(&doc, path, "in_flight_budget");
+    if peak > budget {
+        fail(&format!(
+            "{path}: peak_in_flight {peak} exceeds in_flight_budget {budget}"
+        ));
+    }
+    if sustained > peak {
+        fail(&format!(
+            "{path}: sustained_in_flight {sustained:.1} exceeds peak_in_flight {peak}"
+        ));
+    }
+    if sustained < min_in_flight {
+        fail(&format!(
+            "{path}: sustained_in_flight {sustained:.1} below required {min_in_flight:.0}"
+        ));
+    }
+
+    let warm = field(&doc, "warm").unwrap_or_else(|| fail(&format!("{path}: warm block missing")));
+    let total = num(warm, path, "requests_total");
+    let suppressed = num(warm, path, "requests_suppressed");
+    let ratio = num(warm, path, "cache_hit_ratio");
+    if suppressed > total {
+        fail(&format!(
+            "{path}: warm suppressed {suppressed} exceeds total {total}"
+        ));
+    }
+    // The recorded ratio must be the ratio of the recorded counts.
+    if (ratio - suppressed / total).abs() > 0.001 {
+        fail(&format!(
+            "{path}: cache_hit_ratio {ratio:.4} inconsistent with counts ({:.4})",
+            suppressed / total
+        ));
+    }
+    if !(0.0..1.0).contains(&ratio) {
+        fail(&format!("{path}: cache_hit_ratio {ratio:.4} out of range"));
+    }
+
+    println!(
+        "{path}: ok (sustained {sustained:.1} in flight, peak {peak:.0}, \
+         {:.0} events/s, warm hit ratio {ratio:.2})",
+        num(&doc, path, "events_per_sec")
+    );
+}

@@ -42,6 +42,7 @@ fn detector_survives_mangled_requests() {
         response: pii_suite::net::http::Response::ok(),
         blocked: None,
         error: None,
+        from_cache: None,
     });
     let report = LeakDetector::new(&tokens, &psl, &universe.zones).detect(&dataset);
     // The three real senders are still found; the hostile record neither

@@ -1,0 +1,158 @@
+//! The evented engine's contract: `--engine evented` must be a pure
+//! scheduling change. For every (worker count × fault profile) cell the
+//! study output — the serialized dataset, byte for byte — must match the
+//! threaded reference engine, because every run of either engine derives
+//! from the same seed and the same [`SiteFlow`] page machine.
+
+use pii_suite::crawler::{CrawlOutcome, Engine};
+use pii_suite::net::cache::CacheStrategy;
+use pii_suite::net::fault::{DomainSchedule, FaultProfile};
+use pii_suite::prelude::*;
+use std::sync::OnceLock;
+
+fn universe() -> &'static Universe {
+    static U: OnceLock<Universe> = OnceLock::new();
+    U.get_or_init(Universe::generate)
+}
+
+fn dataset_json(dataset: &CrawlDataset) -> String {
+    serde_json::to_string(dataset).expect("dataset serializes")
+}
+
+const WORKER_COUNTS: [usize; 5] = [1, 2, 5, 8, 64];
+
+#[test]
+fn evented_is_byte_identical_to_threaded_for_every_cell() {
+    let u = universe();
+    for profile in [
+        FaultProfile::None,
+        FaultProfile::PaperMay2021,
+        FaultProfile::Hostile,
+    ] {
+        let mut reference = Crawler::new(u);
+        reference.faults = u.fault_plan(profile);
+        let want = dataset_json(&reference.run(BrowserKind::Firefox88Vanilla));
+        for workers in WORKER_COUNTS {
+            let mut crawler = Crawler::new(u);
+            crawler.engine = Engine::Evented;
+            crawler.workers = workers;
+            crawler.faults = u.fault_plan(profile);
+            let got = dataset_json(&crawler.run(BrowserKind::Firefox88Vanilla));
+            assert_eq!(
+                want, got,
+                "evented({workers} lanes) diverged from threaded under {profile:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn evented_filtered_crawl_matches_threaded() {
+    let u = universe();
+    let targets: Vec<String> = u.sender_sites().take(7).map(|s| s.domain.clone()).collect();
+    let want = dataset_json(&Crawler::new(u).run_on(BrowserKind::Chrome93, Some(&targets)));
+    let mut crawler = Crawler::new(u);
+    crawler.engine = Engine::Evented;
+    crawler.workers = 3;
+    let got = dataset_json(&crawler.run_on(BrowserKind::Chrome93, Some(&targets)));
+    assert_eq!(want, got);
+}
+
+#[test]
+fn evented_retries_a_panicking_site_once_then_quarantines() {
+    let u = universe();
+    let victim = u
+        .sender_sites()
+        .nth(5)
+        .map(|s| s.domain.clone())
+        .expect("universe has senders");
+    let mut plan = u.fault_plan(FaultProfile::PaperMay2021);
+    plan.set(&victim, DomainSchedule::Panic);
+
+    let mut threaded = Crawler::new(u);
+    threaded.workers = 4;
+    threaded.faults = plan.clone();
+    let want = threaded.run(BrowserKind::Firefox88Vanilla);
+
+    let mut evented = Crawler::new(u);
+    evented.engine = Engine::Evented;
+    evented.workers = 4;
+    evented.faults = plan;
+    let got = evented.run(BrowserKind::Firefox88Vanilla);
+
+    assert_eq!(dataset_json(&want), dataset_json(&got));
+    let crawl = got.site(&victim).expect("victim still has an entry");
+    match &crawl.outcome {
+        CrawlOutcome::Quarantined(reason) => {
+            assert!(reason.contains("panicked twice"), "{reason}")
+        }
+        other => panic!("victim should be quarantined, got {other:?}"),
+    }
+    assert_eq!(got.funnel().quarantined, 1);
+}
+
+#[test]
+fn evented_watchdog_parity_with_threaded() {
+    let u = universe();
+    let mut threaded = Crawler::new(u);
+    threaded.faults = u.fault_plan(FaultProfile::Hostile);
+    threaded.watchdog_ms = Some(40_000);
+    let want = dataset_json(&threaded.run(BrowserKind::Firefox88Vanilla));
+    let mut evented = Crawler::new(u);
+    evented.engine = Engine::Evented;
+    evented.workers = 8;
+    evented.faults = u.fault_plan(FaultProfile::Hostile);
+    evented.watchdog_ms = Some(40_000);
+    let got = dataset_json(&evented.run(BrowserKind::Firefox88Vanilla));
+    assert_eq!(want, got);
+}
+
+#[test]
+fn repeat_visits_with_warm_caches_match_across_engines() {
+    let u = universe();
+    let targets: Vec<String> = u.sender_sites().take(6).map(|s| s.domain.clone()).collect();
+    let run = |engine: Engine| {
+        let mut crawler = Crawler::new(u);
+        crawler.engine = engine;
+        crawler.workers = 4;
+        crawler.cache = Some(CacheStrategy::CacheFirst);
+        crawler.repeat = 2;
+        crawler.run_on(BrowserKind::Firefox88Vanilla, Some(&targets))
+    };
+    let want = run(Engine::Threaded);
+    let got = run(Engine::Evented);
+    assert_eq!(dataset_json(&want), dataset_json(&got));
+    // The second visit really happened against a warm cache: some requests
+    // were answered locally (suppressed) instead of going on the wire.
+    let suppressed = want
+        .crawls
+        .iter()
+        .flat_map(|c| &c.records)
+        .filter(|r| r.from_cache.is_some_and(|d| d.suppressed()))
+        .count();
+    assert!(suppressed > 0, "warm revisits should serve from cache");
+    // And a single-visit run has strictly less traffic.
+    let mut single = Crawler::new(u);
+    single.cache = Some(CacheStrategy::CacheFirst);
+    let once = single.run_on(BrowserKind::Firefox88Vanilla, Some(&targets));
+    let count = |ds: &CrawlDataset| ds.crawls.iter().map(|c| c.records.len()).sum::<usize>();
+    assert!(count(&want) > count(&once));
+}
+
+#[test]
+fn evented_stats_expose_scheduler_behavior() {
+    let u = universe();
+    let mut crawler = Crawler::new(u);
+    crawler.engine = Engine::Evented;
+    crawler.workers = 8;
+    let (dataset, stats) = crawler.run_evented_with_stats(BrowserKind::Firefox88Vanilla);
+    assert_eq!(dataset.crawls.len(), 404);
+    assert_eq!(stats.spawned, stats.completed);
+    assert!(stats.events > 0);
+    assert!(stats.timer_fires > 0, "fetches complete via timers");
+    assert!(stats.peak_in_flight >= 1);
+    assert!(stats.virtual_ms > 0);
+    // Determinism of the stats themselves: same seed, same schedule.
+    let (_, again) = crawler.run_evented_with_stats(BrowserKind::Firefox88Vanilla);
+    assert_eq!(stats, again);
+}
